@@ -1,0 +1,269 @@
+// Benchmarks regenerating the paper's evaluation artifacts. Each
+// table/figure has a dedicated benchmark; custom metrics carry the numbers
+// the paper reports (normalized execution time, overhead percentages,
+// width-3 coverage). Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-iteration instruction budget is deliberately small so the full
+// suite completes in minutes; cmd/spt-bench runs the same harness at
+// larger budgets.
+package spt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spt"
+)
+
+const benchBudget = 15_000
+
+// BenchmarkTable1Machine verifies the machine configuration is constructed
+// (Table 1); it mostly exists so every table has a named artifact.
+func BenchmarkTable1Machine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(spt.MachineTable()) == 0 {
+			b.Fatal("empty machine table")
+		}
+	}
+}
+
+// BenchmarkTable2Configs runs every Table 2 configuration once on one
+// benchmark and reports each scheme's normalized execution time.
+func BenchmarkTable2Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var base *spt.Result
+		for _, s := range spt.Schemes() {
+			res, err := spt.Run("gcc", spt.Options{
+				Scheme: s, Model: spt.Futuristic, MaxInstructions: benchBudget,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if base == nil {
+				base = res
+			}
+			b.ReportMetric(res.NormalizedTo(base), string(s)+"-norm")
+		}
+	}
+}
+
+// benchFigure7 runs the Figure 7 sweep for one attack model over a
+// representative subset and reports the headline aggregates.
+func benchFigure7(b *testing.B, model spt.AttackModel) {
+	subset := []string{"perlbench", "mcf", "parest", "namd", "xz", "chacha20", "djbsort", "aes-bitslice"}
+	for i := 0; i < b.N; i++ {
+		fig, err := spt.RunFigure7(model, spt.EvalOptions{Budget: benchBudget, Workloads: subset})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.MeanSpec[spt.SPTFull], "spt-norm-spec")
+		b.ReportMetric(fig.MeanSpec[spt.SecureBaseline], "secure-norm-spec")
+		b.ReportMetric(fig.MeanCT[spt.SPTFull], "spt-norm-ct")
+		b.ReportMetric(fig.MeanCT[spt.SecureBaseline], "secure-norm-ct")
+		b.ReportMetric(fig.MeanSpec[spt.STT], "stt-norm-spec")
+	}
+}
+
+// BenchmarkFigure7Futuristic regenerates Figure 7 (top graph): normalized
+// execution time under the Futuristic attack model (paper: SPT 45%
+// overhead, 3.6x below SecureBaseline; const-time 2.8x -> 1.10x).
+func BenchmarkFigure7Futuristic(b *testing.B) { benchFigure7(b, spt.Futuristic) }
+
+// BenchmarkFigure7Spectre regenerates Figure 7 (bottom graph): the Spectre
+// attack model (paper: SPT 11% overhead, 3x below SecureBaseline).
+func BenchmarkFigure7Spectre(b *testing.B) { benchFigure7(b, spt.Spectre) }
+
+// BenchmarkFigure8Breakdown regenerates the untaint-event breakdown
+// (Figure 8) on the full SPT design for both models, reporting the share
+// of forward untaints in the futuristic rows.
+func BenchmarkFigure8Breakdown(b *testing.B) {
+	subset := []string{"perlbench", "mcf", "fotonik3d", "namd"}
+	for i := 0; i < b.N; i++ {
+		rows, err := spt.RunFigure8(spt.EvalOptions{Budget: benchBudget, Workloads: subset})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fwd, total float64
+		for _, r := range rows {
+			if r.Model == spt.Futuristic {
+				fwd += float64(r.Counts["forward"]) + float64(r.Counts["vp-declassify"])
+				total += float64(r.Total)
+			}
+		}
+		if total > 0 {
+			b.ReportMetric(100*fwd/total, "fwd+vp-share-%")
+		}
+	}
+}
+
+// BenchmarkFigure9Histogram regenerates Figure 9: the untaints-per-cycle
+// distribution under SPT{Ideal,ShadowMem}, reporting the width-3 coverage
+// the paper uses to justify its design point (~81%).
+func BenchmarkFigure9Histogram(b *testing.B) {
+	subset := []string{"perlbench", "mcf", "xz", "bwaves"}
+	for i := 0; i < b.N; i++ {
+		rows, err := spt.RunFigure9(spt.EvalOptions{Budget: benchBudget, Workloads: subset})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.CumulativePct[2]
+		}
+		if len(rows) > 0 {
+			b.ReportMetric(sum/float64(len(rows)), "width3-coverage-%")
+		}
+	}
+}
+
+// BenchmarkWidthSweep regenerates §9.4: sensitivity to the untaint
+// broadcast width, reporting width-1 and width-3 slowdowns vs unbounded.
+func BenchmarkWidthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := spt.RunWidthSweep([]int{1, 3, -1}, spt.EvalOptions{
+			Budget: benchBudget, Workloads: []string{"mcf", "perlbench"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg := map[int][]float64{}
+		for _, r := range rows {
+			agg[r.Width] = append(agg[r.Width], r.Normalized)
+		}
+		mean := func(v []float64) float64 {
+			var s float64
+			for _, x := range v {
+				s += x
+			}
+			return s / float64(len(v))
+		}
+		b.ReportMetric(mean(agg[1]), "w1-vs-unbounded")
+		b.ReportMetric(mean(agg[3]), "w3-vs-unbounded")
+	}
+}
+
+// BenchmarkConstTimeHeadline isolates the paper's constant-time claim:
+// SecureBaseline vs SPT on the three data-oblivious kernels (Futuristic).
+func BenchmarkConstTimeHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var secure, sptn float64
+		for _, k := range []string{"chacha20", "aes-bitslice", "djbsort"} {
+			base, err := spt.Run(k, spt.Options{Scheme: spt.UnsafeBaseline, MaxInstructions: benchBudget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := spt.Run(k, spt.Options{Scheme: spt.SecureBaseline, MaxInstructions: benchBudget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := spt.Run(k, spt.Options{Scheme: spt.SPTFull, MaxInstructions: benchBudget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			secure += s.NormalizedTo(base)
+			sptn += p.NormalizedTo(base)
+		}
+		b.ReportMetric(secure/3, "secure-norm")
+		b.ReportMetric(sptn/3, "spt-norm")
+	}
+}
+
+// BenchmarkSimulatorSpeed measures raw simulation throughput (simulated
+// instructions per wall-clock second) per scheme — a library-quality
+// metric rather than a paper artifact.
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	for _, scheme := range []spt.Scheme{spt.UnsafeBaseline, spt.SPTFull} {
+		b.Run(string(scheme), func(b *testing.B) {
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				res, err := spt.Run("gcc", spt.Options{
+					Scheme: scheme, MaxInstructions: 50_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts += res.Instructions
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-insts/s")
+		})
+	}
+}
+
+// BenchmarkWorkloadSuite runs each workload once under full SPT; useful
+// for spotting outliers and as per-benchmark artifacts for Figure 7's
+// individual bars.
+func BenchmarkWorkloadSuite(b *testing.B) {
+	for _, w := range spt.Workloads() {
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base, err := spt.Run(w.Name, spt.Options{Scheme: spt.UnsafeBaseline, MaxInstructions: benchBudget})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := spt.Run(w.Name, spt.Options{Scheme: spt.SPTFull, MaxInstructions: benchBudget})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.NormalizedTo(base), "spt-norm")
+			}
+		})
+	}
+}
+
+func ExampleRun() {
+	res, err := spt.Run("chacha20", spt.Options{
+		Scheme:          spt.SPTFull,
+		Model:           spt.Futuristic,
+		MaxInstructions: 10_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Workload, res.Instructions >= 10_000)
+	// Output: chacha20 true
+}
+
+// BenchmarkAblationSDO compares the two protection policies the paper's
+// §6.3 discusses — delayed execution (evaluated in the paper) and
+// SDO-style oblivious execution (this repo's extension) — on a workload
+// where the visibility point lags badly behind (dependent scattered
+// loads).
+func BenchmarkAblationSDO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		delay, err := spt.Run("parest", spt.Options{Scheme: spt.SPTFull, MaxInstructions: benchBudget})
+		if err != nil {
+			b.Fatal(err)
+		}
+		obl, err := spt.Run("parest", spt.Options{Scheme: spt.SPTOblivious, MaxInstructions: benchBudget})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := spt.Run("parest", spt.Options{Scheme: spt.UnsafeBaseline, MaxInstructions: benchBudget})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(delay.NormalizedTo(base), "delay-norm")
+		b.ReportMetric(obl.NormalizedTo(base), "oblivious-norm")
+	}
+}
+
+// BenchmarkAblationWarmup quantifies cold-start effects the SimPoint-style
+// warmup removes.
+func BenchmarkAblationWarmup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cold, err := spt.Run("namd", spt.Options{Scheme: spt.SPTFull, MaxInstructions: benchBudget})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm, err := spt.Run("namd", spt.Options{
+			Scheme: spt.SPTFull, MaxInstructions: benchBudget, WarmupInstructions: benchBudget,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cold.CPI(), "cold-cpi")
+		b.ReportMetric(warm.CPI(), "warm-cpi")
+	}
+}

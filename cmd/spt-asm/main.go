@@ -1,0 +1,81 @@
+// Command spt-asm assembles, disassembles, and functionally executes
+// µRISC programs:
+//
+//	spt-asm -in prog.s -out prog.bin          # assemble (code section)
+//	spt-asm -in prog.bin -disasm              # disassemble
+//	spt-asm -in prog.s -run -max-insts 100000 # run on the functional emulator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spt/internal/asm"
+	"spt/internal/emu"
+	"spt/internal/isa"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input file (.s assembly or .bin code)")
+		out      = flag.String("out", "", "output file for -assemble")
+		disasm   = flag.Bool("disasm", false, "disassemble a .bin input")
+		run      = flag.Bool("run", false, "execute on the functional emulator")
+		maxInsts = flag.Uint64("max-insts", 10_000_000, "emulation budget")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("need -in"))
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var prog *isa.Program
+	if strings.HasSuffix(*in, ".bin") {
+		code, err := isa.DecodeProgram(data)
+		if err != nil {
+			fatal(err)
+		}
+		prog = &isa.Program{Name: filepath.Base(*in), Code: code}
+	} else {
+		prog, err = asm.Assemble(filepath.Base(*in), string(data))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *disasm:
+		fmt.Print(asm.Disassemble(prog))
+	case *run:
+		e := emu.New(prog)
+		n, err := e.Run(*maxInsts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed %d instructions, halted=%v\n", n, e.State.Halted)
+		for r := 0; r < isa.NumRegs; r += 4 {
+			fmt.Printf("r%-2d=%#-18x r%-2d=%#-18x r%-2d=%#-18x r%-2d=%#x\n",
+				r, e.State.Regs[r], r+1, e.State.Regs[r+1], r+2, e.State.Regs[r+2], r+3, e.State.Regs[r+3])
+		}
+	default:
+		if *out == "" {
+			fatal(fmt.Errorf("need -out, -disasm, or -run"))
+		}
+		if err := os.WriteFile(*out, isa.EncodeProgram(prog.Code), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d instructions (%d bytes) to %s\n",
+			len(prog.Code), len(prog.Code)*isa.WordSize, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spt-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command spt-bench regenerates the paper's evaluation artifacts:
+//
+//	spt-bench -what machine   # Table 1 (simulated machine)
+//	spt-bench -what configs   # Table 2 (design variants)
+//	spt-bench -what fig7      # Figure 7, both attack models + headline numbers
+//	spt-bench -what fig8      # Figure 8, untaint event breakdown
+//	spt-bench -what fig9      # Figure 9, untaints-per-cycle distribution
+//	spt-bench -what width     # §9.4 broadcast width sweep
+//	spt-bench -what pentest   # §9.1 penetration testing
+//	spt-bench -what all       # everything
+//
+// -budget scales the per-run retired-instruction count (the SimPoint
+// stand-in); -workloads restricts the suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spt"
+	"spt/internal/attack"
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+)
+
+func main() {
+	var (
+		what      = flag.String("what", "all", "machine|configs|fig7|fig8|fig9|width|pentest|all")
+		budget    = flag.Uint64("budget", 120_000, "retired instructions per run")
+		workloads = flag.String("workloads", "", "comma-separated subset (default: all)")
+	)
+	flag.Parse()
+
+	opt := spt.EvalOptions{Budget: *budget}
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+
+	run := func(name string, f func() error) {
+		if *what != "all" && *what != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "spt-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("machine", func() error {
+		fmt.Println(spt.MachineTable())
+		return nil
+	})
+	run("configs", func() error {
+		fmt.Println(spt.SchemeTable())
+		return nil
+	})
+	run("fig7", func() error {
+		for _, model := range spt.AttackModels() {
+			fig, err := spt.RunFigure7(model, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fig.Text())
+		}
+		return nil
+	})
+	run("fig8", func() error {
+		rows, err := spt.RunFigure8(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(spt.Figure8Text(rows))
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := spt.RunFigure9(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(spt.Figure9Text(rows))
+		return nil
+	})
+	run("width", func() error {
+		rows, err := spt.RunWidthSweep(nil, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(spt.WidthSweepText(rows))
+		return nil
+	})
+	run("pentest", runPentest)
+}
+
+func runPentest() error {
+	fmt.Println("Penetration testing (paper §9.1)")
+	type cfg struct {
+		name string
+		mk   func() pipeline.Policy
+	}
+	cfgs := []cfg{
+		{"unsafe", func() pipeline.Policy { return nil }},
+		{"secure", func() pipeline.Policy { return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintNone}) }},
+		{"stt", func() pipeline.Policy { return taint.NewSTT() }},
+		{"spt", func() pipeline.Policy { return taint.NewSPT(taint.DefaultSPTConfig()) }},
+	}
+	for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+		for _, c := range cfgs {
+			res, err := attack.Run(attack.SpectreV1Program(42), model, c.mk())
+			if err != nil {
+				return err
+			}
+			verdict := "BLOCKED"
+			if res.Leaked {
+				verdict = fmt.Sprintf("LEAKED value %d", res.Value)
+			}
+			fmt.Printf("  spectre-v1      %-10s %-8s -> %s\n", model, c.name, verdict)
+		}
+	}
+	for _, c := range cfgs {
+		res, err := attack.Run(attack.NonSpecSecretProgram(0x3C), pipeline.Futuristic, c.mk())
+		if err != nil {
+			return err
+		}
+		verdict := "BLOCKED"
+		if res.Leaked {
+			verdict = fmt.Sprintf("LEAKED value %#x", res.Value)
+		}
+		fmt.Printf("  nonspec-secret  %-10s %-8s -> %s\n", pipeline.Futuristic, c.name, verdict)
+	}
+	fmt.Println("  expected: unsafe leaks both; stt leaks only nonspec-secret; secure/spt block everything")
+	return nil
+}

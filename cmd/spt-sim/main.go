@@ -1,0 +1,140 @@
+// Command spt-sim runs one workload (or a µRISC assembly file) under one
+// processor configuration and prints gem5-style statistics. It is the
+// equivalent of the paper artifact's run_spt.py helper:
+//
+//	spt-sim -workload mcf -scheme spt -threat-model futuristic
+//	spt-sim -asm prog.s -scheme secure -max-insts 500000
+//	spt-sim -list
+//
+// Scheme names follow the artifact's configurations (Table 2): unsafe,
+// secure, spt-fwd, spt-bwd, spt (= SPT{Bwd,ShadowL1}), spt-shadowmem,
+// spt-ideal, stt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spt"
+	"spt/internal/asm"
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+	"spt/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload name (see -list)")
+		asmFile  = flag.String("asm", "", "µRISC assembly file to run instead of a workload")
+		scheme   = flag.String("scheme", "unsafe", "processor configuration (Table 2)")
+		model    = flag.String("threat-model", "futuristic", "spectre or futuristic")
+		width    = flag.Int("untaint-width", 3, "untaint broadcast width (SPT only; <0 = unbounded)")
+		maxInsts = flag.Uint64("max-insts", 200_000, "retired-instruction budget")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		outDir   = flag.String("output-dir", "", "write stats.txt here instead of stdout")
+		track    = flag.Bool("track-insts", false, "print a per-instruction pipeline timeline (assembly input only)")
+		trackMax = flag.Int("track-limit", 2000, "event buffer for -track-insts")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-14s %-11s %s\n", "NAME", "CLASS", "BEHAVIOR")
+		for _, w := range spt.Workloads() {
+			fmt.Printf("%-14s %-11s %s\n", w.Name, w.Class, w.Behavior)
+		}
+		return
+	}
+
+	opt := spt.Options{
+		Scheme:                spt.Scheme(*scheme),
+		Model:                 spt.AttackModel(*model),
+		UntaintBroadcastWidth: *width,
+		MaxInstructions:       *maxInsts,
+	}
+
+	var (
+		res *spt.Result
+		err error
+	)
+	switch {
+	case *asmFile != "":
+		src, rerr := os.ReadFile(*asmFile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if *track {
+			if err := runTracked(filepath.Base(*asmFile), string(src), opt, *trackMax); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		res, err = spt.RunAssembly(filepath.Base(*asmFile), string(src), opt)
+	case *workload != "":
+		res, err = spt.Run(*workload, opt)
+	default:
+		fatal(fmt.Errorf("need -workload or -asm (try -list)"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	text := res.StatsText()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "stats.txt"), []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(*outDir, "stats.txt"))
+		return
+	}
+	fmt.Print(text)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spt-sim:", err)
+	os.Exit(1)
+}
+
+// runTracked executes an assembly program with the per-instruction tracer
+// attached (the artifact's --track-insts) and prints the stage timeline.
+func runTracked(name, src string, opt spt.Options, limit int) error {
+	prog, err := asm.Assemble(name, src)
+	if err != nil {
+		return err
+	}
+	cfg := pipeline.DefaultConfig()
+	if opt.Model == spt.Spectre {
+		cfg.Model = pipeline.Spectre
+	}
+	var pol pipeline.Policy
+	switch opt.Scheme {
+	case spt.UnsafeBaseline, "":
+	case spt.SecureBaseline:
+		pol = taint.NewSPT(taint.SPTConfig{Method: taint.UntaintNone})
+	case spt.STT:
+		pol = taint.NewSTT()
+	default:
+		pol = taint.NewSPT(taint.DefaultSPTConfig())
+	}
+	core, err := pipeline.New(cfg, prog, mem.NewHierarchy(mem.DefaultHierarchyConfig()), pol)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder()
+	rec.Limit = limit
+	core.Tracer = rec
+	if err := core.Run(opt.MaxInstructions, 400*opt.MaxInstructions); err != nil {
+		return err
+	}
+	if err := rec.WriteTimeline(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\n%d cycles, %d retired, IPC %.3f (%s)\n",
+		core.Stats.Cycles, core.Stats.Retired, core.Stats.IPC(), rec.Summary())
+	return nil
+}

@@ -1,0 +1,411 @@
+package spt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"spt/internal/workloads"
+)
+
+// EvalOptions scales the evaluation harness.
+type EvalOptions struct {
+	// Budget is the retired-instruction budget per run (the SimPoint
+	// stand-in). Default 120,000.
+	Budget uint64
+	// Workloads restricts the suite (nil = all).
+	Workloads []string
+	// Width is the untaint broadcast width for SPT runs. Default 3.
+	Width int
+}
+
+func (o EvalOptions) withDefaults() EvalOptions {
+	if o.Budget == 0 {
+		o.Budget = 120_000
+	}
+	if o.Width == 0 {
+		o.Width = 3
+	}
+	return o
+}
+
+func (o EvalOptions) names() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	var names []string
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func classOf(name string) string {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return "?"
+	}
+	return w.Class.String()
+}
+
+// Figure7Row is one benchmark's normalized execution time per scheme.
+type Figure7Row struct {
+	Workload   string
+	Class      string
+	Cycles     map[Scheme]uint64
+	Normalized map[Scheme]float64 // relative to UnsafeBaseline
+}
+
+// Figure7 reproduces the paper's Figure 7 for one attack model.
+type Figure7 struct {
+	Model   AttackModel
+	Schemes []Scheme
+	Rows    []Figure7Row
+	// Mean is the geometric mean of normalized execution time per scheme
+	// over all benchmarks; MeanSpec and MeanCT restrict to the SPEC-like
+	// and constant-time subsets.
+	Mean, MeanSpec, MeanCT map[Scheme]float64
+}
+
+// RunFigure7 measures normalized execution time for every workload and
+// scheme under the given attack model.
+func RunFigure7(model AttackModel, opt EvalOptions) (*Figure7, error) {
+	opt = opt.withDefaults()
+	fig := &Figure7{
+		Model:   model,
+		Schemes: Schemes(),
+		Mean:    map[Scheme]float64{}, MeanSpec: map[Scheme]float64{}, MeanCT: map[Scheme]float64{},
+	}
+	type acc struct {
+		logSum float64
+		n      int
+	}
+	accAll := map[Scheme]*acc{}
+	accSpec := map[Scheme]*acc{}
+	accCT := map[Scheme]*acc{}
+	for _, s := range fig.Schemes {
+		accAll[s], accSpec[s], accCT[s] = &acc{}, &acc{}, &acc{}
+	}
+
+	for _, name := range opt.names() {
+		row := Figure7Row{
+			Workload:   name,
+			Class:      classOf(name),
+			Cycles:     map[Scheme]uint64{},
+			Normalized: map[Scheme]float64{},
+		}
+		base, err := Run(name, Options{
+			Scheme: UnsafeBaseline, Model: model,
+			MaxInstructions: opt.Budget, UntaintBroadcastWidth: opt.Width,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range fig.Schemes {
+			var res *Result
+			if s == UnsafeBaseline {
+				res = base
+			} else {
+				res, err = Run(name, Options{
+					Scheme: s, Model: model,
+					MaxInstructions: opt.Budget, UntaintBroadcastWidth: opt.Width,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			row.Cycles[s] = res.Cycles
+			norm := res.NormalizedTo(base)
+			row.Normalized[s] = norm
+			accAll[s].logSum += math.Log(norm)
+			accAll[s].n++
+			if row.Class == "const-time" {
+				accCT[s].logSum += math.Log(norm)
+				accCT[s].n++
+			} else {
+				accSpec[s].logSum += math.Log(norm)
+				accSpec[s].n++
+			}
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	gm := func(a *acc) float64 {
+		if a.n == 0 {
+			return 0
+		}
+		return math.Exp(a.logSum / float64(a.n))
+	}
+	for _, s := range fig.Schemes {
+		fig.Mean[s] = gm(accAll[s])
+		fig.MeanSpec[s] = gm(accSpec[s])
+		fig.MeanCT[s] = gm(accCT[s])
+	}
+	return fig, nil
+}
+
+// Text renders the figure as an aligned table.
+func (f *Figure7) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — execution time normalized to UnsafeBaseline (%s model)\n", f.Model)
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, s := range f.Schemes {
+		fmt.Fprintf(&b, " %13s", s)
+	}
+	b.WriteString("\n")
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%-12s", row.Workload)
+		for _, s := range f.Schemes {
+			fmt.Fprintf(&b, " %13.3f", row.Normalized[s])
+		}
+		b.WriteString("\n")
+	}
+	for _, m := range []struct {
+		name string
+		v    map[Scheme]float64
+	}{{"gmean(spec)", f.MeanSpec}, {"gmean(ct)", f.MeanCT}, {"gmean(all)", f.Mean}} {
+		fmt.Fprintf(&b, "%-12s", m.name)
+		for _, s := range f.Schemes {
+			fmt.Fprintf(&b, " %13.3f", m.v[s])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n" + f.Headline())
+	return b.String()
+}
+
+// Headline summarizes the paper's §9.2 claims from the measured data.
+func (f *Figure7) Headline() string {
+	var b strings.Builder
+	sptOv := f.MeanSpec[SPTFull] - 1
+	secOv := f.MeanSpec[SecureBaseline] - 1
+	fmt.Fprintf(&b, "[%s] SPT overhead vs UnsafeBaseline (spec): %.1f%%  (paper: 45%% futuristic / 11%% spectre)\n",
+		f.Model, 100*sptOv)
+	if sptOv > 0 {
+		fmt.Fprintf(&b, "[%s] SecureBaseline/SPT overhead ratio (spec): %.1fx  (paper: 3.6x / 3x)\n",
+			f.Model, secOv/sptOv)
+	}
+	fmt.Fprintf(&b, "[%s] const-time kernels: SecureBaseline %.2fx, SPT %.2fx vs unsafe (paper futuristic: 2.8x -> 1.10x)\n",
+		f.Model, f.MeanCT[SecureBaseline], f.MeanCT[SPTFull])
+	fmt.Fprintf(&b, "[%s] SPT extra overhead vs STT (spec): %.1f pp (paper: +26.1 futuristic / +3.3 spectre)\n",
+		f.Model, 100*(f.MeanSpec[SPTFull]-f.MeanSpec[STT]))
+	return b.String()
+}
+
+// Figure8Row is one benchmark's untaint-event breakdown under one model.
+type Figure8Row struct {
+	Workload string
+	Model    AttackModel
+	// Counts maps event kind to count; Fractions are counts normalized to
+	// the row total.
+	Counts    map[string]uint64
+	Fractions map[string]float64
+	Total     uint64
+}
+
+// RunFigure8 reproduces the untaint-event breakdown (full SPT design,
+// both attack models).
+func RunFigure8(opt EvalOptions) ([]Figure8Row, error) {
+	opt = opt.withDefaults()
+	var rows []Figure8Row
+	for _, name := range opt.names() {
+		for _, model := range AttackModels() {
+			res, err := Run(name, Options{
+				Scheme: SPTFull, Model: model,
+				MaxInstructions: opt.Budget, UntaintBroadcastWidth: opt.Width,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := Figure8Row{
+				Workload:  name,
+				Model:     model,
+				Counts:    res.Taint.Events,
+				Fractions: map[string]float64{},
+			}
+			for _, v := range res.Taint.Events {
+				row.Total += v
+			}
+			if row.Total > 0 {
+				for k, v := range res.Taint.Events {
+					row.Fractions[k] = float64(v) / float64(row.Total)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Figure8Text renders the breakdown table.
+func Figure8Text(rows []Figure8Row) string {
+	kinds := EventNames()
+	var b strings.Builder
+	b.WriteString("Figure 8 — breakdown of untaint events, SPT{Bwd,ShadowL1} (F = futuristic, S = spectre)\n")
+	fmt.Fprintf(&b, "%-12s %-2s %10s", "benchmark", "m", "total")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %12s", k)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		m := "F"
+		if r.Model == Spectre {
+			m = "S"
+		}
+		fmt.Fprintf(&b, "%-12s %-2s %10d", r.Workload, m, r.Total)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " %11.1f%%", 100*r.Fractions[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure9Row is one benchmark's cumulative untaints-per-cycle distribution
+// under SPT{Ideal,ShadowMem}.
+type Figure9Row struct {
+	Workload string
+	// CumulativePct[i] is the percentage of untainting cycles that untaint
+	// at most i+1 registers (the last bucket covers 10+ and is 100).
+	CumulativePct    [10]float64
+	UntaintingCycles uint64
+}
+
+// RunFigure9 measures, for each untainting cycle, how many registers were
+// untainted (paper Figure 9; justifies broadcast width 3).
+func RunFigure9(opt EvalOptions) ([]Figure9Row, error) {
+	opt = opt.withDefaults()
+	var rows []Figure9Row
+	for _, name := range opt.names() {
+		if classOf(name) == "const-time" {
+			continue // the paper runs Figure 9 on SPEC only
+		}
+		res, err := Run(name, Options{
+			Scheme: SPTIdealShadowMem, Model: Futuristic,
+			MaxInstructions: opt.Budget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Figure9Row{Workload: name, UntaintingCycles: res.Taint.UntaintingCycles}
+		var cum uint64
+		for i, v := range res.Taint.UntaintHist {
+			cum += v
+			if res.Taint.UntaintingCycles > 0 {
+				row.CumulativePct[i] = 100 * float64(cum) / float64(res.Taint.UntaintingCycles)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure9Text renders the cumulative distribution table, plus the average
+// coverage of width 3 (the paper's ~81% claim).
+func Figure9Text(rows []Figure9Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — % of untainting cycles untainting <= N registers, SPT{Ideal,ShadowMem}\n")
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for n := 1; n <= 9; n++ {
+		fmt.Fprintf(&b, " %6s", fmt.Sprintf("<=%d", n))
+	}
+	fmt.Fprintf(&b, " %6s\n", "10+")
+	var sum3 float64
+	active := 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s", r.Workload)
+		for i := 0; i < 10; i++ {
+			fmt.Fprintf(&b, " %5.1f%%", r.CumulativePct[i])
+		}
+		if r.UntaintingCycles == 0 {
+			b.WriteString("  (no untainting cycles)")
+		} else {
+			sum3 += r.CumulativePct[2]
+			active++
+		}
+		b.WriteString("\n")
+	}
+	if active > 0 {
+		fmt.Fprintf(&b, "average coverage of width 3: %.1f%% (paper: ~81%%)\n", sum3/float64(active))
+	}
+	return b.String()
+}
+
+// WidthSweepRow is one (workload, width) cycle count.
+type WidthSweepRow struct {
+	Workload   string
+	Width      int // 0 = unbounded
+	Cycles     uint64
+	Normalized float64 // vs unbounded width
+}
+
+// RunWidthSweep measures sensitivity to the untaint broadcast width
+// (paper §9.4).
+func RunWidthSweep(widths []int, opt EvalOptions) ([]WidthSweepRow, error) {
+	opt = opt.withDefaults()
+	if len(widths) == 0 {
+		widths = []int{1, 2, 3, 4, 6, 8, -1}
+	}
+	var rows []WidthSweepRow
+	for _, name := range opt.names() {
+		base := map[int]uint64{}
+		for _, w := range widths {
+			res, err := Run(name, Options{
+				Scheme: SPTFull, Model: Futuristic,
+				MaxInstructions: opt.Budget, UntaintBroadcastWidth: w,
+			})
+			if err != nil {
+				return nil, err
+			}
+			wKey := w
+			if w < 0 {
+				wKey = 0
+			}
+			base[wKey] = res.Cycles
+			rows = append(rows, WidthSweepRow{Workload: name, Width: wKey, Cycles: res.Cycles})
+		}
+		if unb, ok := base[0]; ok && unb > 0 {
+			for i := range rows {
+				if rows[i].Workload == name {
+					rows[i].Normalized = float64(rows[i].Cycles) / float64(unb)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WidthSweepText renders the sweep.
+func WidthSweepText(rows []WidthSweepRow) string {
+	byWorkload := map[string]map[int]WidthSweepRow{}
+	var names []string
+	widthSet := map[int]bool{}
+	for _, r := range rows {
+		if byWorkload[r.Workload] == nil {
+			byWorkload[r.Workload] = map[int]WidthSweepRow{}
+			names = append(names, r.Workload)
+		}
+		byWorkload[r.Workload][r.Width] = r
+		widthSet[r.Width] = true
+	}
+	var widths []int
+	for w := range widthSet {
+		widths = append(widths, w)
+	}
+	sort.Ints(widths)
+	var b strings.Builder
+	b.WriteString("§9.4 — untaint broadcast width sweep, cycles normalized to unbounded width (0)\n")
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, w := range widths {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("w=%d", w))
+	}
+	b.WriteString("\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-12s", n)
+		for _, w := range widths {
+			fmt.Fprintf(&b, " %8.3f", byWorkload[n][w].Normalized)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

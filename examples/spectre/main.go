@@ -1,0 +1,64 @@
+// Spectre demo: mounts the paper's two penetration tests (§9.1) —
+// the classic Spectre V1 bounds bypass and the attack on a
+// *non-speculative secret* held by constant-time code — against every
+// protection scheme, and shows which ones leak.
+//
+// The second attack is the paper's motivation: STT protects only
+// speculatively-accessed data, so a secret that constant-time code loaded
+// architecturally can still be exfiltrated by a transient gadget. SPT
+// closes exactly that gap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spt/internal/attack"
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+)
+
+func main() {
+	configs := []struct {
+		name string
+		mk   func() pipeline.Policy
+	}{
+		{"unsafe", func() pipeline.Policy { return nil }},
+		{"secure-baseline", func() pipeline.Policy { return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintNone}) }},
+		{"stt", func() pipeline.Policy { return taint.NewSTT() }},
+		{"spt-full", func() pipeline.Policy { return taint.NewSPT(taint.DefaultSPTConfig()) }},
+	}
+
+	const secret = 0xA5
+	fmt.Printf("victim secret byte: %#x\n\n", secret)
+
+	fmt.Println("Attack 1: Spectre V1 — transient out-of-bounds read of speculatively-accessed data")
+	for _, c := range configs {
+		res, err := attack.Run(attack.SpectreV1Program(secret), pipeline.Futuristic, c.mk())
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(c.name, res)
+	}
+
+	fmt.Println("\nAttack 2: transient gadget transmits a register holding a NON-speculative secret")
+	fmt.Println("(constant-time victim: the secret never flows to a branch or address architecturally)")
+	for _, c := range configs {
+		res, err := attack.Run(attack.NonSpecSecretProgram(secret), pipeline.Futuristic, c.mk())
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(c.name, res)
+	}
+
+	fmt.Println("\nSTT fails attack 2 because the secret was accessed non-speculatively;")
+	fmt.Println("SPT taints it until the program itself leaks it — which never happens.")
+}
+
+func report(name string, res attack.Result) {
+	if res.Leaked {
+		fmt.Printf("  %-16s receiver recovered %#x from the cache side channel\n", name, res.Value)
+	} else {
+		fmt.Printf("  %-16s blocked (%d probe lines touched)\n", name, res.ResidentLines)
+	}
+}

@@ -1,0 +1,32 @@
+// Sweep demo: reproduces the paper's §9.4 design-space exploration of the
+// untaint broadcast width, plus a per-benchmark Figure 9-style view of how
+// many registers want to untaint per cycle. The paper picks width 3
+// because ~81% of untainting cycles untaint at most 3 registers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spt"
+)
+
+func main() {
+	workloadSubset := []string{"mcf", "perlbench", "xz", "exchange2"}
+	opt := spt.EvalOptions{Budget: 60_000, Workloads: workloadSubset}
+
+	rows, err := spt.RunWidthSweep([]int{1, 2, 3, 4, 8, -1}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(spt.WidthSweepText(rows))
+
+	fig9, err := spt.RunFigure9(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(spt.Figure9Text(fig9))
+
+	fmt.Println("A width of 3 captures the large majority of untainting cycles at a")
+	fmt.Println("fraction of the wiring cost of a full-RS broadcast (paper §9.4).")
+}

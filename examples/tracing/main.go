@@ -1,0 +1,69 @@
+// Tracing demo: watch SPT work at per-instruction granularity. The same
+// tiny program runs on the unprotected core and under full SPT; the
+// pipeline timelines show exactly where the taint engine delays the
+// dependent load (its address is a loaded, still-tainted value) and where
+// the visibility-point declassification releases it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"spt/internal/asm"
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+	"spt/internal/trace"
+)
+
+const program = `
+; A pointer dereference whose address is ready early but tainted: the
+; unprotected core issues it immediately; SPT holds it until the pointer
+; is declassified at the visibility point. The slow pointer chase at the
+; head keeps the VP far behind, making the delay visible.
+.data 0x7000
+.quad 0x7100
+.data 0x4000
+.quad 0x4100
+.text
+  movi r8, 0x7000
+  ld r8, 0(r8)      ; cold miss: VP blocker #1
+  ld r8, 0(r8)      ; dependent cold miss: VP blocker #2
+  movi r1, 0x4000
+  ld r3, 0(r1)      ; r3 = pointer loaded from memory: tainted
+  ld r4, 0(r3)      ; address ready long before the VP; SPT delays it
+  addi r5, r4, 1
+  halt
+`
+
+func main() {
+	for _, cfg := range []struct {
+		name string
+		pol  pipeline.Policy
+	}{
+		{"unsafe baseline", nil},
+		{"full SPT", taint.NewSPT(taint.DefaultSPTConfig())},
+	} {
+		fmt.Printf("=== %s ===\n", cfg.name)
+		prog, err := asm.Assemble("demo", program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		core, err := pipeline.New(pipeline.DefaultConfig(), prog, mem.NewHierarchy(mem.DefaultHierarchyConfig()), cfg.pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		core.Tracer = rec
+		if err := core.Run(1000, 1_000_000); err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteTimeline(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("total: %d cycles\n\n", core.Stats.Cycles)
+	}
+	fmt.Println("Compare the 'mem' column of the dependent load (pc=5): under SPT it")
+	fmt.Println("waits until the pointer is declassified at the visibility point.")
+}

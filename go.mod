@@ -1,0 +1,3 @@
+module spt
+
+go 1.22

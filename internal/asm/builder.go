@@ -1,0 +1,215 @@
+// Package asm provides two ways to produce µRISC programs: a programmatic
+// Builder DSL (used by the workload kernels) and a two-pass text assembler
+// compatible with the disassembler's output syntax.
+package asm
+
+import (
+	"fmt"
+
+	"spt/internal/isa"
+)
+
+// Builder incrementally constructs a µRISC program. Control-flow targets
+// are symbolic labels resolved at Build time, so forward references are
+// fine. Builder methods panic on misuse (duplicate label, bad register);
+// Build returns an error for unresolved labels and validation failures.
+type Builder struct {
+	name   string
+	code   []isa.Instruction
+	labels map[string]int
+	fixups []fixup
+	data   []isa.Segment
+	entry  string // optional entry label
+}
+
+type fixup struct {
+	pc    int    // instruction needing the target
+	label string // label it refers to
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Len reports the number of instructions emitted so far (the PC of the next
+// instruction).
+func (b *Builder) Len() int { return len(b.code) }
+
+// Label defines a label at the current PC.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// Entry marks the label execution starts at. Defaults to instruction 0.
+func (b *Builder) Entry(label string) *Builder {
+	b.entry = label
+	return b
+}
+
+// Data adds an initialized data segment.
+func (b *Builder) Data(addr uint64, bytes []byte) *Builder {
+	cp := make([]byte, len(bytes))
+	copy(cp, bytes)
+	b.data = append(b.data, isa.Segment{Addr: addr, Bytes: cp})
+	return b
+}
+
+// DataQuads adds a data segment of little-endian 64-bit words.
+func (b *Builder) DataQuads(addr uint64, vals []uint64) *Builder {
+	bytes := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		for j := 0; j < 8; j++ {
+			bytes[8*i+j] = byte(v >> (8 * j))
+		}
+	}
+	return b.Data(addr, bytes)
+}
+
+func (b *Builder) emit(ins isa.Instruction) *Builder {
+	b.code = append(b.code, ins)
+	return b
+}
+
+func (b *Builder) emitBranch(ins isa.Instruction, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label})
+	return b.emit(ins)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(isa.Instruction{Op: isa.NOP}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() *Builder { return b.emit(isa.Instruction{Op: isa.HALT}) }
+
+// Movi emits rd = imm.
+func (b *Builder) Movi(rd isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.MOVI, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd = rs.
+func (b *Builder) Mov(rd, rs isa.Reg) *Builder {
+	return b.emit(isa.Instruction{Op: isa.MOV, Rd: rd, Rs1: rs})
+}
+
+// Op3 emits a register-register ALU operation rd = rs1 op rs2.
+func (b *Builder) Op3(op isa.Op, rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// OpI emits a register-immediate ALU operation rd = rs1 op imm.
+func (b *Builder) OpI(op isa.Op, rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Convenience ALU helpers for the most common operations.
+
+func (b *Builder) Add(rd, a, c isa.Reg) *Builder          { return b.Op3(isa.ADD, rd, a, c) }
+func (b *Builder) Sub(rd, a, c isa.Reg) *Builder          { return b.Op3(isa.SUB, rd, a, c) }
+func (b *Builder) And(rd, a, c isa.Reg) *Builder          { return b.Op3(isa.AND, rd, a, c) }
+func (b *Builder) Or(rd, a, c isa.Reg) *Builder           { return b.Op3(isa.OR, rd, a, c) }
+func (b *Builder) Xor(rd, a, c isa.Reg) *Builder          { return b.Op3(isa.XOR, rd, a, c) }
+func (b *Builder) Mul(rd, a, c isa.Reg) *Builder          { return b.Op3(isa.MUL, rd, a, c) }
+func (b *Builder) Addi(rd, a isa.Reg, imm int64) *Builder { return b.OpI(isa.ADDI, rd, a, imm) }
+func (b *Builder) Andi(rd, a isa.Reg, imm int64) *Builder { return b.OpI(isa.ANDI, rd, a, imm) }
+func (b *Builder) Xori(rd, a isa.Reg, imm int64) *Builder { return b.OpI(isa.XORI, rd, a, imm) }
+func (b *Builder) Shli(rd, a isa.Reg, imm int64) *Builder { return b.OpI(isa.SHLI, rd, a, imm) }
+func (b *Builder) Shri(rd, a isa.Reg, imm int64) *Builder { return b.OpI(isa.SHRI, rd, a, imm) }
+
+// Ld emits rd = mem64[rs1+imm]; Ldw and Ldb are the narrower forms.
+func (b *Builder) Ld(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+func (b *Builder) Ldw(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.LDW, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+func (b *Builder) Ldb(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.LDB, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St emits mem64[rs1+imm] = rv; Stw and Stb are the narrower forms.
+func (b *Builder) St(rv, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.ST, Rs1: rs1, Rs2: rv, Imm: imm})
+}
+
+func (b *Builder) Stw(rv, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.STW, Rs1: rs1, Rs2: rv, Imm: imm})
+}
+
+func (b *Builder) Stb(rv, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.STB, Rs1: rs1, Rs2: rv, Imm: imm})
+}
+
+// Branch emits a conditional branch to a label.
+func (b *Builder) Branch(op isa.Op, rs1, rs2 isa.Reg, label string) *Builder {
+	if !(isa.Instruction{Op: op}).IsCondBranch() {
+		panic(fmt.Sprintf("asm: Branch with non-branch op %v", op))
+	}
+	return b.emitBranch(isa.Instruction{Op: op, Rs1: rs1, Rs2: rs2}, label)
+}
+
+func (b *Builder) Beq(a, c isa.Reg, label string) *Builder  { return b.Branch(isa.BEQ, a, c, label) }
+func (b *Builder) Bne(a, c isa.Reg, label string) *Builder  { return b.Branch(isa.BNE, a, c, label) }
+func (b *Builder) Blt(a, c isa.Reg, label string) *Builder  { return b.Branch(isa.BLT, a, c, label) }
+func (b *Builder) Bge(a, c isa.Reg, label string) *Builder  { return b.Branch(isa.BGE, a, c, label) }
+func (b *Builder) Bltu(a, c isa.Reg, label string) *Builder { return b.Branch(isa.BLTU, a, c, label) }
+func (b *Builder) Bgeu(a, c isa.Reg, label string) *Builder { return b.Branch(isa.BGEU, a, c, label) }
+
+// Jump emits an unconditional jump (JAL writing the zero register).
+func (b *Builder) Jump(label string) *Builder {
+	return b.emitBranch(isa.Instruction{Op: isa.JAL, Rd: isa.Zero}, label)
+}
+
+// Call emits a call: JAL with the return address in RA.
+func (b *Builder) Call(label string) *Builder {
+	return b.emitBranch(isa.Instruction{Op: isa.JAL, Rd: isa.RA}, label)
+}
+
+// Ret emits a return: JALR through RA.
+func (b *Builder) Ret() *Builder {
+	return b.emit(isa.Instruction{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA})
+}
+
+// Jalr emits an indirect jump rd = pc+1; pc = rs1+imm.
+func (b *Builder) Jalr(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.JALR, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*isa.Program, error) {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q at pc %d", f.label, f.pc)
+		}
+		b.code[f.pc].Imm = int64(target - f.pc)
+	}
+	var entry uint64
+	if b.entry != "" {
+		e, ok := b.labels[b.entry]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined entry label %q", b.entry)
+		}
+		entry = uint64(e)
+	}
+	p := &isa.Program{Name: b.name, Code: b.code, Data: b.data, Entry: entry}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically-known programs.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

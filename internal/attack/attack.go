@@ -1,0 +1,183 @@
+// Package attack contains the penetration tests from the paper's
+// evaluation (§9.1): a Spectre V1 bounds-bypass attack on
+// speculatively-accessed data, and an attack on a *non-speculative secret*
+// held by constant-time code — the case STT does not protect and SPT does.
+//
+// The attacker's receiver is a cache-occupancy probe: after the victim
+// runs, it checks which line of a 256-line probe array became resident.
+// Probe line v resident <=> the transient transmitter executed with secret
+// value v.
+package attack
+
+import (
+	"fmt"
+
+	"spt/internal/asm"
+	"spt/internal/isa"
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+)
+
+// Layout constants shared by the gadget programs.
+const (
+	arrayBase   = 0x10000                     // victim array A
+	arrayLen    = 16                          // elements (8 bytes each)
+	secretAddr  = arrayBase + arrayLen*8 + 64 // out-of-bounds secret location
+	boundsAddr  = 0x20000                     // pointer to the bounds cell (chased)
+	boundsAddr2 = 0x20400                     // memory cell holding the array length
+	probeBase   = 0x100000
+	probeLine   = 64
+)
+
+// SpectreV1Program builds the classic bounds-bypass victim,
+// if (i < N) transmit(A[i]), with secret placed just past the array. The
+// bounds value N is loaded from memory (a cold miss), so the bounds check
+// resolves slowly; the first dynamic instance of the branch has no
+// predictor state and is predicted not-taken (fall-through into the
+// gadget), giving a deterministic misprediction window.
+func SpectreV1Program(secret byte) *isa.Program {
+	oobIndex := (secretAddr - arrayBase) / 8
+	src := fmt.Sprintf(`
+.data %#x
+.quad 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+.data %#x
+.byte %d
+.data %#x
+.quad %#x
+.data %#x
+.quad %d
+.text
+  movi r1, %#x       ; A
+  movi r2, %#x       ; &&N
+  movi r3, %d        ; attacker-controlled index (out of bounds)
+  movi r8, %#x       ; probe array
+  ld r4, 0(r2)       ; chase 1 (cold miss)
+  ld r4, 0(r4)       ; N arrives only after two serialized misses
+  bgeu r3, r4, done  ; bounds check: architecturally TAKEN (i >= N)
+  shli r5, r3, 3
+  add r5, r5, r1
+  ldb r6, 0(r5)      ; transient out-of-bounds read of the secret
+  shli r7, r6, 6     ; line-stride encode
+  add r7, r7, r8
+  ld r9, 0(r7)       ; transmitter: touches probe line <secret>
+done:
+  halt
+`, arrayBase, secretAddr, secret, boundsAddr, boundsAddr2, boundsAddr2, arrayLen,
+		arrayBase, boundsAddr, oobIndex, probeBase)
+	return asm.MustAssemble("spectre-v1", src)
+}
+
+// NonSpecSecretProgram builds the constant-time-victim scenario from §3:
+// the secret is read into a register *non-speculatively* and only used in
+// data-oblivious computation, so it never leaks in any correct execution.
+// A mispredicted branch then transiently steers execution into a transmit
+// gadget that encodes the secret register into the probe array.
+//
+// STT does not protect this (the secret is non-speculatively accessed);
+// SPT taints it until it is non-speculatively leaked — which never
+// happens — so the gadget's transmitter is delayed until squash.
+func NonSpecSecretProgram(secret byte) *isa.Program {
+	src := fmt.Sprintf(`
+.data %#x
+.byte %d
+.data %#x
+.quad %#x
+.data %#x
+.quad 1
+.text
+  movi r1, %#x       ; &secret
+  movi r8, %#x       ; probe array
+  ldb r9, 0(r1)      ; SECRET loaded non-speculatively (retires normally)
+  ; --- constant-time computation over the secret: no secret-dependent
+  ;     branches or addresses (data-oblivious) ---
+  xori r10, r9, 0x5A
+  andi r10, r10, 0x7F
+  add r11, r10, r10
+  ; --- attacker-influenced control flow: the guard value arrives from a
+  ;     cold load, and the first dynamic branch instance mispredicts
+  ;     not-taken, transiently running the gadget below ---
+  movi r2, %#x
+  ld r4, 0(r2)       ; chase 1 (cold miss)
+  ld r4, 0(r4)       ; guard = 1, after two serialized misses
+  bne r4, r0, done   ; architecturally TAKEN (guard != 0)
+  ; transient gadget: transmit(secret)
+  shli r7, r9, 6
+  add r7, r7, r8
+  ld r12, 0(r7)      ; transmitter on the non-speculative secret
+done:
+  halt
+`, secretAddr, secret, boundsAddr, boundsAddr2, boundsAddr2, secretAddr, probeBase, boundsAddr)
+	return asm.MustAssemble("nonspec-secret", src)
+}
+
+// Result describes what the receiver observed after a victim run.
+type Result struct {
+	// Leaked reports whether exactly one probe line was resident.
+	Leaked bool
+	// Value is the leaked byte when Leaked.
+	Value byte
+	// ResidentLines counts probe lines found in the cache.
+	ResidentLines int
+}
+
+// Run executes the victim under the given policy and model, then probes
+// the cache. The probe checks L1D, L2 and L3 residency (Flush+Reload-style
+// receivers see any level).
+func Run(prog *isa.Program, model pipeline.AttackModel, pol pipeline.Policy) (Result, error) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Model = model
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	core, err := pipeline.New(cfg, prog, hier, pol)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := core.Run(10_000_000, 100_000_000); err != nil {
+		return Result{}, err
+	}
+	if !core.Finished() {
+		return Result{}, fmt.Errorf("attack: victim did not finish")
+	}
+	return Probe(hier), nil
+}
+
+// Probe inspects the cache for resident probe lines.
+func Probe(hier *mem.Hierarchy) Result {
+	var res Result
+	for v := 0; v < 256; v++ {
+		addr := uint64(probeBase + v*probeLine)
+		_, inL1 := hier.L1D.Probe(addr)
+		_, inL2 := hier.L2.Probe(addr)
+		_, inL3 := hier.L3.Probe(addr)
+		if inL1 || inL2 || inL3 {
+			res.ResidentLines++
+			res.Value = byte(v)
+		}
+	}
+	res.Leaked = res.ResidentLines == 1
+	return res
+}
+
+// ObservationTrace runs prog and records every observable memory-system
+// event (load line accesses, store translations, retirement writes) with
+// its cycle. Identical traces across secret values mean the secret is
+// unobservable (Definition 1's observational-determinism reading).
+func ObservationTrace(prog *isa.Program, model pipeline.AttackModel, pol pipeline.Policy) ([]string, error) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Model = model
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	core, err := pipeline.New(cfg, prog, hier, pol)
+	if err != nil {
+		return nil, err
+	}
+	var trace []string
+	core.Observer = func(kind byte, cycle uint64, addr uint64) {
+		trace = append(trace, fmt.Sprintf("%c@%d:%#x", kind, cycle, addr))
+	}
+	if err := core.Run(10_000_000, 100_000_000); err != nil {
+		return nil, err
+	}
+	if !core.Finished() {
+		return nil, fmt.Errorf("attack: victim did not finish")
+	}
+	return trace, nil
+}

@@ -1,0 +1,178 @@
+package attack
+
+import (
+	"testing"
+
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+)
+
+func sptFull() pipeline.Policy { return taint.NewSPT(taint.DefaultSPTConfig()) }
+func secure() pipeline.Policy  { return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintNone}) }
+func sptIdeal() pipeline.Policy {
+	return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintIdeal, Shadow: taint.ShadowMem})
+}
+
+// TestSpectreV1LeaksOnUnsafeBaseline: the classic attack works against the
+// unprotected machine, recovering the exact secret byte.
+func TestSpectreV1LeaksOnUnsafeBaseline(t *testing.T) {
+	for _, secret := range []byte{42, 0xA7} {
+		for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+			res, err := Run(SpectreV1Program(secret), model, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Leaked || res.Value != secret {
+				t.Fatalf("model %v secret %d: attack failed on unsafe baseline: %+v", model, secret, res)
+			}
+		}
+	}
+}
+
+// TestSpectreV1BlockedByAllDefenses: every protected configuration stops
+// the bounds-bypass leak (speculatively-accessed data is in every scheme's
+// protection scope).
+func TestSpectreV1BlockedByAllDefenses(t *testing.T) {
+	mks := map[string]func() pipeline.Policy{
+		"secure":    secure,
+		"stt":       func() pipeline.Policy { return taint.NewSTT() },
+		"spt-full":  sptFull,
+		"spt-ideal": sptIdeal,
+	}
+	for name, mk := range mks {
+		for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+			res, err := Run(SpectreV1Program(42), model, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ResidentLines != 0 {
+				t.Errorf("%s/%v: probe lines resident after defended run: %+v", name, model, res)
+			}
+		}
+	}
+}
+
+// TestNonSpecSecretLeaksUnderSTT is the paper's motivating gap (§3): the
+// secret is accessed non-speculatively by constant-time code, so STT
+// leaves it unprotected and the transient gadget leaks it. The unsafe
+// baseline leaks it too, of course.
+func TestNonSpecSecretLeaksUnderSTT(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() pipeline.Policy
+	}{
+		{"unsafe", func() pipeline.Policy { return nil }},
+		{"stt", func() pipeline.Policy { return taint.NewSTT() }},
+	} {
+		res, err := Run(NonSpecSecretProgram(0x3C), pipeline.Futuristic, tc.mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Leaked || res.Value != 0x3C {
+			t.Errorf("%s: expected the non-speculative secret to leak, got %+v", tc.name, res)
+		}
+	}
+}
+
+// TestNonSpecSecretProtectedBySPT: SPT's broader scope (non-speculative
+// secrets) blocks the same attack, as does the secure baseline.
+func TestNonSpecSecretProtectedBySPT(t *testing.T) {
+	mks := map[string]func() pipeline.Policy{
+		"secure":    secure,
+		"spt-full":  sptFull,
+		"spt-ideal": sptIdeal,
+	}
+	for name, mk := range mks {
+		for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+			res, err := Run(NonSpecSecretProgram(0x3C), model, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ResidentLines != 0 {
+				t.Errorf("%s/%v: non-speculative secret leaked: %+v", name, model, res)
+			}
+		}
+	}
+}
+
+// TestObservationalDeterminism: Definition 1 as a differential test. The
+// victim's secret is never non-speculatively leaked, so under SPT the full
+// observable event trace must be identical for different secret values;
+// under the unsafe baseline it differs (the transient gadget's probe
+// access depends on the secret).
+func TestObservationalDeterminism(t *testing.T) {
+	secrets := []byte{0x11, 0xEE}
+
+	t.Run("spt-traces-equal", func(t *testing.T) {
+		var traces [][]string
+		for _, s := range secrets {
+			tr, err := ObservationTrace(NonSpecSecretProgram(s), pipeline.Futuristic, sptFull())
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces = append(traces, tr)
+		}
+		if len(traces[0]) != len(traces[1]) {
+			t.Fatalf("trace lengths differ: %d vs %d", len(traces[0]), len(traces[1]))
+		}
+		for i := range traces[0] {
+			if traces[0][i] != traces[1][i] {
+				t.Fatalf("traces diverge at event %d: %q vs %q", i, traces[0][i], traces[1][i])
+			}
+		}
+	})
+
+	t.Run("unsafe-traces-differ", func(t *testing.T) {
+		var traces [][]string
+		for _, s := range secrets {
+			tr, err := ObservationTrace(NonSpecSecretProgram(s), pipeline.Futuristic, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces = append(traces, tr)
+		}
+		same := len(traces[0]) == len(traces[1])
+		if same {
+			for i := range traces[0] {
+				if traces[0][i] != traces[1][i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("unsafe baseline produced identical traces; the gadget did not fire")
+		}
+	})
+}
+
+// TestSpectreObservationalDeterminismAcrossConfigs: the Spectre V1 victim
+// under every SPT configuration produces secret-independent traces.
+func TestSpectreObservationalDeterminismAcrossConfigs(t *testing.T) {
+	mks := map[string]func() pipeline.Policy{
+		"secure":    secure,
+		"spt-full":  sptFull,
+		"spt-ideal": sptIdeal,
+		"stt":       func() pipeline.Policy { return taint.NewSTT() },
+	}
+	for name, mk := range mks {
+		a, err := ObservationTrace(SpectreV1Program(1), pipeline.Futuristic, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ObservationTrace(SpectreV1Program(200), pipeline.Futuristic, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Errorf("%s: trace lengths differ: %d vs %d", name, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: traces diverge at %d: %q vs %q", name, i, a[i], b[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package attack
+
+import (
+	"testing"
+
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+)
+
+func sptOblivious() pipeline.Policy {
+	return taint.NewSPT(taint.SPTConfig{
+		Method: taint.UntaintBwd, Shadow: taint.ShadowL1, BroadcastWidth: 3,
+		Protect: taint.ObliviousExecution,
+	})
+}
+
+// TestObliviousExecutionBlocksAttacks: the SDO-style protection policy
+// must block both penetration tests — transmitters run, but with no
+// operand-dependent cache state.
+func TestObliviousExecutionBlocksAttacks(t *testing.T) {
+	for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+		res, err := Run(SpectreV1Program(42), model, sptOblivious())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ResidentLines != 0 {
+			t.Errorf("%v: spectre-v1 leaked under oblivious execution: %+v", model, res)
+		}
+		res, err = Run(NonSpecSecretProgram(0x3C), model, sptOblivious())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ResidentLines != 0 {
+			t.Errorf("%v: nonspec-secret leaked under oblivious execution: %+v", model, res)
+		}
+	}
+}
+
+// TestObliviousObservationalDeterminism: the full observable trace stays
+// secret-independent, including the retirement-time replay accesses.
+func TestObliviousObservationalDeterminism(t *testing.T) {
+	a, err := ObservationTrace(NonSpecSecretProgram(0x01), pipeline.Futuristic, sptOblivious())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ObservationTrace(NonSpecSecretProgram(0xFE), pipeline.Futuristic, sptOblivious())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package emu is a functional (non-pipelined) µRISC emulator. It defines
+// the architectural semantics of the ISA and serves as the golden model the
+// out-of-order pipeline is property-tested against: after running the same
+// program, the pipeline's retired architectural state must match the
+// emulator's exactly.
+package emu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"spt/internal/isa"
+)
+
+// Memory is a sparse byte-addressable memory backed by fixed-size pages.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+)
+
+type page [pageSize]byte
+
+// NewMemory returns an empty memory. All bytes read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// LoadSegments copies a program's initial data image into memory.
+func (m *Memory) LoadSegments(segs []isa.Segment) {
+	for _, s := range segs {
+		for i, b := range s.Bytes {
+			m.SetByte(s.Addr+uint64(i), b)
+		}
+	}
+}
+
+// ByteAt reads one byte.
+func (m *Memory) ByteAt(addr uint64) byte {
+	p := m.pages[addr>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// SetByte writes one byte.
+func (m *Memory) SetByte(addr uint64, b byte) {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	p[addr&(pageSize-1)] = b
+}
+
+// Read reads size bytes little-endian, zero-extended to 64 bits.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write writes the low size bytes of v little-endian.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// Footprint returns the number of allocated pages (for tests and stats).
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// State is the complete architectural state of a µRISC machine.
+type State struct {
+	PC     uint64
+	Regs   [isa.NumRegs]uint64
+	Mem    *Memory
+	Halted bool
+	// Retired counts executed (retired) instructions.
+	Retired uint64
+}
+
+// Emulator executes µRISC programs one instruction at a time.
+type Emulator struct {
+	Prog  *isa.Program
+	State State
+}
+
+// New creates an emulator with the program's data image loaded and the PC
+// at the entry point.
+func New(p *isa.Program) *Emulator {
+	mem := NewMemory()
+	mem.LoadSegments(p.Data)
+	return &Emulator{
+		Prog:  p,
+		State: State{PC: p.Entry, Mem: mem},
+	}
+}
+
+// ErrPCOutOfRange is returned when execution falls off the end of the code.
+type ErrPCOutOfRange struct{ PC uint64 }
+
+func (e ErrPCOutOfRange) Error() string {
+	return fmt.Sprintf("emu: pc %d out of range", e.PC)
+}
+
+// Step executes one instruction. It returns an error if the PC is invalid.
+// Stepping a halted machine is a no-op.
+func (e *Emulator) Step() error {
+	s := &e.State
+	if s.Halted {
+		return nil
+	}
+	if s.PC >= uint64(len(e.Prog.Code)) {
+		return ErrPCOutOfRange{s.PC}
+	}
+	ins := e.Prog.Code[s.PC]
+	nextPC := s.PC + 1
+
+	reg := func(r isa.Reg) uint64 { return s.Regs[r] }
+	setReg := func(r isa.Reg, v uint64) {
+		if r != isa.Zero {
+			s.Regs[r] = v
+		}
+	}
+
+	switch ins.Op {
+	case isa.NOP:
+	case isa.HALT:
+		s.Halted = true
+	case isa.MOVI:
+		setReg(ins.Rd, uint64(ins.Imm))
+	case isa.MOV:
+		setReg(ins.Rd, reg(ins.Rs1))
+	case isa.LD, isa.LDW, isa.LDB:
+		addr := reg(ins.Rs1) + uint64(ins.Imm)
+		setReg(ins.Rd, s.Mem.Read(addr, ins.MemSize()))
+	case isa.ST, isa.STW, isa.STB:
+		addr := reg(ins.Rs1) + uint64(ins.Imm)
+		s.Mem.Write(addr, ins.MemSize(), reg(ins.Rs2))
+	case isa.JAL:
+		setReg(ins.Rd, s.PC+1)
+		nextPC = s.PC + uint64(ins.Imm)
+	case isa.JALR:
+		target := reg(ins.Rs1) + uint64(ins.Imm)
+		setReg(ins.Rd, s.PC+1)
+		nextPC = target
+	default:
+		if ins.IsCondBranch() {
+			if BranchTaken(ins.Op, reg(ins.Rs1), reg(ins.Rs2)) {
+				nextPC = s.PC + uint64(ins.Imm)
+			}
+		} else {
+			setReg(ins.Rd, ALU(ins.Op, reg(ins.Rs1), reg(ins.Rs2), ins.Imm))
+		}
+	}
+	s.PC = nextPC
+	s.Retired++
+	return nil
+}
+
+// Run executes until the machine halts or maxInstructions retire. It
+// reports the number of instructions retired by this call.
+func (e *Emulator) Run(maxInstructions uint64) (uint64, error) {
+	start := e.State.Retired
+	for !e.State.Halted && e.State.Retired-start < maxInstructions {
+		if err := e.Step(); err != nil {
+			return e.State.Retired - start, err
+		}
+	}
+	return e.State.Retired - start, nil
+}
+
+// BranchTaken evaluates a conditional branch's predicate.
+func BranchTaken(op isa.Op, a, b uint64) bool {
+	switch op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLT:
+		return int64(a) < int64(b)
+	case isa.BGE:
+		return int64(a) >= int64(b)
+	case isa.BLTU:
+		return a < b
+	case isa.BGEU:
+		return a >= b
+	}
+	panic(fmt.Sprintf("emu: BranchTaken on non-branch %v", op))
+}
+
+// ALU evaluates a register-writing ALU operation. It is the single source
+// of truth for arithmetic semantics: the pipeline's execute stage calls it
+// too, so the golden model and the timing model cannot diverge.
+func ALU(op isa.Op, a, b uint64, imm int64) uint64 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.SHL:
+		return a << (b & 63)
+	case isa.SHR:
+		return a >> (b & 63)
+	case isa.SRA:
+		return uint64(int64(a) >> (b & 63))
+	case isa.MUL:
+		return a * b
+	case isa.DIV:
+		if b == 0 {
+			return ^uint64(0) // -1, RISC-V convention
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return a // overflow: return dividend
+		}
+		return uint64(int64(a) / int64(b))
+	case isa.REM:
+		if b == 0 {
+			return a
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case isa.SLT:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case isa.SLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.MIN:
+		if int64(a) < int64(b) {
+			return a
+		}
+		return b
+	case isa.MAX:
+		if int64(a) > int64(b) {
+			return a
+		}
+		return b
+	case isa.MINU:
+		if a < b {
+			return a
+		}
+		return b
+	case isa.MAXU:
+		if a > b {
+			return a
+		}
+		return b
+	case isa.ADDW:
+		return uint64(uint32(a) + uint32(b))
+	case isa.SUBW:
+		return uint64(uint32(a) - uint32(b))
+	case isa.ROLW:
+		return uint64(bits.RotateLeft32(uint32(a), int(b&31)))
+	case isa.RORW:
+		return uint64(bits.RotateLeft32(uint32(a), -int(b&31)))
+	case isa.ADDI:
+		return a + uint64(imm)
+	case isa.ANDI:
+		return a & uint64(imm)
+	case isa.ORI:
+		return a | uint64(imm)
+	case isa.XORI:
+		return a ^ uint64(imm)
+	case isa.SHLI:
+		return a << (uint64(imm) & 63)
+	case isa.SHRI:
+		return a >> (uint64(imm) & 63)
+	case isa.SRAI:
+		return uint64(int64(a) >> (uint64(imm) & 63))
+	case isa.SLTI:
+		if int64(a) < imm {
+			return 1
+		}
+		return 0
+	}
+	panic(fmt.Sprintf("emu: ALU on unsupported op %v", op))
+}

@@ -1,0 +1,239 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spt/internal/isa"
+)
+
+func run(t *testing.T, code []isa.Instruction, data []isa.Segment) *Emulator {
+	t.Helper()
+	p := &isa.Program{Code: code, Data: data}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid program: %v", err)
+	}
+	e := New(p)
+	if _, err := e.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !e.State.Halted {
+		t.Fatal("program did not halt")
+	}
+	return e
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// Sum 1..10 into r3.
+	code := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 1, Imm: 10},         // r1 = n
+		{Op: isa.MOVI, Rd: 3, Imm: 0},          // r3 = sum
+		{Op: isa.MOVI, Rd: 2, Imm: 1},          // r2 = i
+		{Op: isa.ADD, Rd: 3, Rs1: 3, Rs2: 2},   // sum += i
+		{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 1},  // i++
+		{Op: isa.BGE, Rs1: 1, Rs2: 2, Imm: -2}, // while n >= i
+		{Op: isa.HALT},
+	}
+	e := run(t, code, nil)
+	if got := e.State.Regs[3]; got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestMemoryWidths(t *testing.T) {
+	code := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 1, Imm: 0x1000},
+		{Op: isa.MOVI, Rd: 2, Imm: 0x1122334455667788 & 0x7FFFFFFFFFFFFFFF},
+		{Op: isa.ST, Rs1: 1, Rs2: 2, Imm: 0},
+		{Op: isa.LD, Rd: 3, Rs1: 1, Imm: 0},
+		{Op: isa.LDW, Rd: 4, Rs1: 1, Imm: 0},
+		{Op: isa.LDB, Rd: 5, Rs1: 1, Imm: 7},
+		{Op: isa.STB, Rs1: 1, Rs2: 2, Imm: 9},
+		{Op: isa.LDB, Rd: 6, Rs1: 1, Imm: 9},
+		{Op: isa.HALT},
+	}
+	e := run(t, code, nil)
+	want2 := uint64(0x1122334455667788 & 0x7FFFFFFFFFFFFFFF)
+	if e.State.Regs[3] != want2 {
+		t.Errorf("LD = %#x, want %#x", e.State.Regs[3], want2)
+	}
+	if e.State.Regs[4] != want2&0xFFFFFFFF {
+		t.Errorf("LDW = %#x, want %#x", e.State.Regs[4], want2&0xFFFFFFFF)
+	}
+	if e.State.Regs[5] != want2>>56 {
+		t.Errorf("LDB = %#x, want %#x", e.State.Regs[5], want2>>56)
+	}
+	if e.State.Regs[6] != want2&0xFF {
+		t.Errorf("STB/LDB = %#x, want %#x", e.State.Regs[6], want2&0xFF)
+	}
+}
+
+func TestDataSegmentLoad(t *testing.T) {
+	data := []isa.Segment{{Addr: 0x2000, Bytes: []byte{1, 2, 3, 4, 5, 6, 7, 8}}}
+	code := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 1, Imm: 0x2000},
+		{Op: isa.LD, Rd: 2, Rs1: 1},
+		{Op: isa.HALT},
+	}
+	e := run(t, code, data)
+	if got := e.State.Regs[2]; got != 0x0807060504030201 {
+		t.Fatalf("LD of data segment = %#x", got)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	// main: r5 = f(7) where f(x) = x*3; via JAL/JALR.
+	code := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 10, Imm: 7},            // 0: arg
+		{Op: isa.JAL, Rd: isa.RA, Imm: 3},         // 1: call f (pc 4)
+		{Op: isa.MOV, Rd: 5, Rs1: 11},             // 2: r5 = result
+		{Op: isa.HALT},                            // 3
+		{Op: isa.MOVI, Rd: 12, Imm: 3},            // 4: f:
+		{Op: isa.MUL, Rd: 11, Rs1: 10, Rs2: 12},   // 5
+		{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA}, // 6: ret
+	}
+	e := run(t, code, nil)
+	if got := e.State.Regs[5]; got != 21 {
+		t.Fatalf("f(7) = %d, want 21", got)
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	code := []isa.Instruction{
+		{Op: isa.MOVI, Rd: isa.Zero, Imm: 99},
+		{Op: isa.ADDI, Rd: isa.Zero, Rs1: isa.Zero, Imm: 5},
+		{Op: isa.MOV, Rd: 1, Rs1: isa.Zero},
+		{Op: isa.HALT},
+	}
+	e := run(t, code, nil)
+	if e.State.Regs[0] != 0 || e.State.Regs[1] != 0 {
+		t.Fatalf("zero register was written: r0=%d r1=%d", e.State.Regs[0], e.State.Regs[1])
+	}
+}
+
+func negU(x uint64) uint64 { return ^x + 1 }
+
+func TestALUEdgeCases(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b uint64
+		imm  int64
+		want uint64
+	}{
+		{isa.DIV, 10, 0, 0, ^uint64(0)},
+		{isa.DIV, 1 << 63, ^uint64(0), 0, 1 << 63}, // MinInt64 / -1
+		{isa.REM, 10, 0, 0, 10},
+		{isa.REM, 1 << 63, ^uint64(0), 0, 0},
+		{isa.DIV, negU(7), 2, 0, negU(3)},
+		{isa.SRA, negU(8), 1, 0, negU(4)},
+		{isa.SHR, negU(8), 1, 0, (1 << 63) - 4},
+		{isa.SHL, 1, 64 + 3, 0, 8}, // shift amount masked to 6 bits
+		{isa.ROLW, 0x80000001, 1, 0, 0x00000003},
+		{isa.RORW, 0x00000003, 1, 0, 0x80000001},
+		{isa.ADDW, 0xFFFFFFFF, 1, 0, 0},
+		{isa.SUBW, 0, 1, 0, 0xFFFFFFFF},
+		{isa.MIN, negU(5), 3, 0, negU(5)},
+		{isa.MINU, negU(5), 3, 0, 3},
+		{isa.MAX, negU(5), 3, 0, 3},
+		{isa.MAXU, negU(5), 3, 0, negU(5)},
+		{isa.SLT, negU(1), 0, 0, 1},
+		{isa.SLTU, negU(1), 0, 0, 0},
+		{isa.SLTI, 5, 0, 10, 1},
+		{isa.XORI, 0xFF, 0, 0x0F, 0xF0},
+	}
+	for _, c := range cases {
+		if got := ALU(c.op, c.a, c.b, c.imm); got != c.want {
+			t.Errorf("ALU(%v, %#x, %#x, %d) = %#x, want %#x", c.op, c.a, c.b, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	neg := negU(1)
+	cases := []struct {
+		op   isa.Op
+		a, b uint64
+		want bool
+	}{
+		{isa.BEQ, 1, 1, true}, {isa.BEQ, 1, 2, false},
+		{isa.BNE, 1, 2, true}, {isa.BNE, 2, 2, false},
+		{isa.BLT, neg, 0, true}, {isa.BLT, 0, neg, false},
+		{isa.BGE, 0, neg, true}, {isa.BGE, neg, 0, false},
+		{isa.BLTU, 0, neg, true}, {isa.BLTU, neg, 0, false},
+		{isa.BGEU, neg, 0, true}, {isa.BGEU, 0, neg, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%v, %#x, %#x) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMemorySparseRoundTrip(t *testing.T) {
+	f := func(addr uint64, val uint64, sz uint8) bool {
+		m := NewMemory()
+		size := 1 << (sz % 4) // 1,2,4,8
+		if size == 2 {
+			size = 4
+		}
+		addr &= 0xFFFFFFFF
+		m.Write(addr, size, val)
+		var mask uint64 = ^uint64(0)
+		if size < 8 {
+			mask = (1 << (8 * size)) - 1
+		}
+		return m.Read(addr, size) == val&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(pageSize - 4)
+	m.Write(addr, 8, 0x1234567890ABCDEF)
+	if got := m.Read(addr, 8); got != 0x1234567890ABCDEF {
+		t.Fatalf("cross-page read = %#x", got)
+	}
+	if m.Footprint() != 2 {
+		t.Fatalf("footprint = %d, want 2 pages", m.Footprint())
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	p := &isa.Program{Code: []isa.Instruction{{Op: isa.NOP}}}
+	e := New(p)
+	if err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(); err == nil {
+		t.Fatal("expected PC-out-of-range error")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	// Infinite loop; Run must stop at the budget.
+	p := &isa.Program{Code: []isa.Instruction{{Op: isa.JAL, Rd: isa.Zero, Imm: 0}}}
+	e := New(p)
+	n, err := e.Run(1000)
+	if err != nil || n != 1000 {
+		t.Fatalf("Run = %d, %v; want 1000, nil", n, err)
+	}
+	if e.State.Halted {
+		t.Fatal("machine should not be halted")
+	}
+}
+
+func TestHaltIsSticky(t *testing.T) {
+	p := &isa.Program{Code: []isa.Instruction{{Op: isa.HALT}, {Op: isa.MOVI, Rd: 1, Imm: 9}}}
+	e := New(p)
+	for i := 0; i < 5; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.State.Regs[1] != 0 || e.State.Retired != 1 {
+		t.Fatalf("halted machine kept executing: r1=%d retired=%d", e.State.Regs[1], e.State.Retired)
+	}
+}

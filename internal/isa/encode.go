@@ -1,0 +1,72 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WordSize is the size of one encoded instruction in bytes. µRISC uses a
+// fixed-width 16-byte encoding: 1 byte opcode, 3 register specifiers, 4
+// reserved bytes, and a 64-bit little-endian immediate. The encoding exists
+// so programs can be stored and exchanged as binaries (cmd/spt-asm); the
+// timing model fetches by instruction index.
+const WordSize = 16
+
+// Encode serializes one instruction into a 16-byte word.
+func Encode(ins Instruction) [WordSize]byte {
+	var w [WordSize]byte
+	w[0] = byte(ins.Op)
+	w[1] = byte(ins.Rd)
+	w[2] = byte(ins.Rs1)
+	w[3] = byte(ins.Rs2)
+	binary.LittleEndian.PutUint64(w[8:], uint64(ins.Imm))
+	return w
+}
+
+// Decode deserializes one instruction word. It rejects invalid opcodes and
+// register specifiers.
+func Decode(w [WordSize]byte) (Instruction, error) {
+	ins := Instruction{
+		Op:  Op(w[0]),
+		Rd:  Reg(w[1]),
+		Rs1: Reg(w[2]),
+		Rs2: Reg(w[3]),
+		Imm: int64(binary.LittleEndian.Uint64(w[8:])),
+	}
+	if ins.Op >= numOps {
+		return Instruction{}, fmt.Errorf("isa: invalid opcode %d", w[0])
+	}
+	if ins.Rd >= NumRegs || ins.Rs1 >= NumRegs || ins.Rs2 >= NumRegs {
+		return Instruction{}, fmt.Errorf("isa: invalid register in %x", w)
+	}
+	return ins, nil
+}
+
+// EncodeProgram serializes a program's code section. The data image is not
+// included; cmd/spt-asm stores it separately.
+func EncodeProgram(code []Instruction) []byte {
+	out := make([]byte, 0, len(code)*WordSize)
+	for _, ins := range code {
+		w := Encode(ins)
+		out = append(out, w[:]...)
+	}
+	return out
+}
+
+// DecodeProgram deserializes a code section produced by EncodeProgram.
+func DecodeProgram(b []byte) ([]Instruction, error) {
+	if len(b)%WordSize != 0 {
+		return nil, fmt.Errorf("isa: code length %d not a multiple of %d", len(b), WordSize)
+	}
+	code := make([]Instruction, 0, len(b)/WordSize)
+	for i := 0; i < len(b); i += WordSize {
+		var w [WordSize]byte
+		copy(w[:], b[i:i+WordSize])
+		ins, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i/WordSize, err)
+		}
+		code = append(code, ins)
+	}
+	return code, nil
+}

@@ -1,0 +1,310 @@
+// Package isa defines µRISC, the 64-bit RISC instruction set used by the
+// SPT simulator. µRISC is deliberately small but complete enough to express
+// the paper's workloads: full-width and 32-bit arithmetic, constant-time
+// selection (MIN/MAX), byte/word/doubleword memory accesses, conditional
+// branches, and calls/returns through JAL/JALR.
+//
+// Program counters are instruction indices, not byte addresses: instruction
+// i+1 follows instruction i, and branch offsets are in instructions. Data
+// addresses are byte-granular 64-bit values.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural registers. Register 0 (Zero) is
+// hardwired to zero: writes to it are discarded.
+const NumRegs = 32
+
+// Reg names an architectural register.
+type Reg uint8
+
+// Conventional register names. Only Zero and RA have semantics baked into
+// the hardware model (RA drives the return-address-stack push/pop
+// heuristics); the rest are calling-convention suggestions used by the
+// assembler and the workloads.
+const (
+	Zero Reg = 0 // hardwired zero
+	RA   Reg = 1 // return address
+	SP   Reg = 2 // stack pointer
+	GP   Reg = 3 // global pointer
+	TP   Reg = 4 // thread pointer / scratch
+)
+
+// Op identifies a µRISC operation.
+type Op uint8
+
+// The µRISC operation set.
+const (
+	NOP Op = iota
+	HALT
+
+	// Register moves and immediates.
+	MOVI // rd = imm
+	MOV  // rd = rs1
+
+	// 64-bit ALU, register-register.
+	ADD  // rd = rs1 + rs2
+	SUB  // rd = rs1 - rs2
+	AND  // rd = rs1 & rs2
+	OR   // rd = rs1 | rs2
+	XOR  // rd = rs1 ^ rs2
+	SHL  // rd = rs1 << (rs2 & 63)
+	SHR  // rd = uint64(rs1) >> (rs2 & 63)
+	SRA  // rd = rs1 >> (rs2 & 63), arithmetic
+	MUL  // rd = rs1 * rs2
+	DIV  // rd = rs1 / rs2 (signed; x/0 = -1)
+	REM  // rd = rs1 % rs2 (signed; x%0 = x)
+	SLT  // rd = (rs1 < rs2) signed ? 1 : 0
+	SLTU // rd = (rs1 < rs2) unsigned ? 1 : 0
+	MIN  // rd = min(rs1, rs2) signed (single-cycle, constant time)
+	MAX  // rd = max(rs1, rs2) signed
+	MINU // rd = min(rs1, rs2) unsigned
+	MAXU // rd = max(rs1, rs2) unsigned
+
+	// 32-bit ALU forms; results are zero-extended to 64 bits. Used by the
+	// ChaCha20 and bitslice kernels.
+	ADDW // rd = uint32(rs1 + rs2)
+	SUBW // rd = uint32(rs1 - rs2)
+	ROLW // rd = rotl32(uint32(rs1), rs2 & 31)
+	RORW // rd = rotr32(uint32(rs1), rs2 & 31)
+
+	// 64-bit ALU, register-immediate.
+	ADDI // rd = rs1 + imm
+	ANDI // rd = rs1 & imm
+	ORI  // rd = rs1 | imm
+	XORI // rd = rs1 ^ imm
+	SHLI // rd = rs1 << (imm & 63)
+	SHRI // rd = uint64(rs1) >> (imm & 63)
+	SRAI // rd = rs1 >> (imm & 63), arithmetic
+	SLTI // rd = (rs1 < imm) signed ? 1 : 0
+
+	// Memory. Effective address is rs1 + imm. LD/ST move 8 bytes, LDW/STW 4
+	// bytes (zero-extending on load), LDB/STB 1 byte (zero-extending).
+	LD
+	LDW
+	LDB
+	ST // mem[rs1+imm] = rs2
+	STW
+	STB
+
+	// Conditional branches: taken target is pc + imm (instruction offset).
+	BEQ  // rs1 == rs2
+	BNE  // rs1 != rs2
+	BLT  // rs1 <  rs2, signed
+	BGE  // rs1 >= rs2, signed
+	BLTU // rs1 <  rs2, unsigned
+	BGEU // rs1 >= rs2, unsigned
+
+	// Unconditional control flow.
+	JAL  // rd = pc + 1; pc = pc + imm. Call when rd == RA.
+	JALR // rd = pc + 1; pc = rs1 + imm. Return when rs1 == RA && rd == Zero.
+
+	numOps // sentinel
+)
+
+// NumOps reports the number of defined operations (for table sizing).
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	NOP: "nop", HALT: "halt",
+	MOVI: "movi", MOV: "mov",
+	ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", SRA: "sra", MUL: "mul", DIV: "div", REM: "rem",
+	SLT: "slt", SLTU: "sltu", MIN: "min", MAX: "max", MINU: "minu", MAXU: "maxu",
+	ADDW: "addw", SUBW: "subw", ROLW: "rolw", RORW: "rorw",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SHLI: "shli", SHRI: "shri", SRAI: "srai", SLTI: "slti",
+	LD: "ld", LDW: "ldw", LDB: "ldb", ST: "st", STW: "stw", STB: "stb",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	JAL: "jal", JALR: "jalr",
+}
+
+// String returns the assembler mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpByName maps mnemonics back to operations. Unknown names return (0, false).
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// Instruction is one decoded µRISC instruction. Fields that an operation
+// does not use are zero.
+type Instruction struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// MemSize reports the access width in bytes for memory operations, and 0
+// for everything else.
+func (i Instruction) MemSize() int {
+	switch i.Op {
+	case LD, ST:
+		return 8
+	case LDW, STW:
+		return 4
+	case LDB, STB:
+		return 1
+	}
+	return 0
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (i Instruction) IsLoad() bool { return i.Op == LD || i.Op == LDW || i.Op == LDB }
+
+// IsStore reports whether the instruction writes memory.
+func (i Instruction) IsStore() bool { return i.Op == ST || i.Op == STW || i.Op == STB }
+
+// IsMem reports whether the instruction accesses memory.
+func (i Instruction) IsMem() bool { return i.IsLoad() || i.IsStore() }
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Instruction) IsCondBranch() bool { return i.Op >= BEQ && i.Op <= BGEU }
+
+// IsControlFlow reports whether the instruction can redirect the PC.
+func (i Instruction) IsControlFlow() bool { return i.IsCondBranch() || i.Op == JAL || i.Op == JALR }
+
+// IsCall reports whether the instruction is a call (pushes the return
+// address stack).
+func (i Instruction) IsCall() bool { return (i.Op == JAL || i.Op == JALR) && i.Rd == RA }
+
+// IsReturn reports whether the instruction is a return (pops the return
+// address stack).
+func (i Instruction) IsReturn() bool { return i.Op == JALR && i.Rs1 == RA && i.Rd != RA }
+
+// IsTransmitter reports whether executing the instruction creates an
+// operand-dependent microarchitectural covert channel. Following the paper's
+// evaluation (§9.1), transmitters are loads and stores: their execution
+// makes address-dependent changes to TLB and cache state. Conditional
+// branches and indirect jumps are handled separately as implicit channels.
+func (i Instruction) IsTransmitter() bool { return i.IsMem() }
+
+// HasDest reports whether the instruction writes a destination register.
+// A destination of Zero still counts as "no destination" for dataflow.
+func (i Instruction) HasDest() bool {
+	switch {
+	case i.Op == NOP, i.Op == HALT, i.IsStore(), i.IsCondBranch():
+		return false
+	}
+	return i.Rd != Zero
+}
+
+// SrcRegs appends the source registers the instruction reads to dst and
+// returns the result. Zero-register sources are included (they read as 0 and
+// are always untainted).
+func (i Instruction) SrcRegs(dst []Reg) []Reg {
+	switch i.Op {
+	case NOP, HALT, MOVI:
+		return dst
+	case MOV:
+		return append(dst, i.Rs1)
+	case ADDI, ANDI, ORI, XORI, SHLI, SHRI, SRAI, SLTI:
+		return append(dst, i.Rs1)
+	case LD, LDW, LDB:
+		return append(dst, i.Rs1)
+	case ST, STW, STB:
+		return append(dst, i.Rs1, i.Rs2)
+	case JAL:
+		return dst
+	case JALR:
+		return append(dst, i.Rs1)
+	}
+	if i.IsCondBranch() {
+		return append(dst, i.Rs1, i.Rs2)
+	}
+	// Remaining register-register ALU forms.
+	return append(dst, i.Rs1, i.Rs2)
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instruction) String() string {
+	r := func(x Reg) string { return fmt.Sprintf("r%d", x) }
+	switch {
+	case i.Op == NOP || i.Op == HALT:
+		return i.Op.String()
+	case i.Op == MOVI:
+		return fmt.Sprintf("%s %s, %d", i.Op, r(i.Rd), i.Imm)
+	case i.Op == MOV:
+		return fmt.Sprintf("%s %s, %s", i.Op, r(i.Rd), r(i.Rs1))
+	case i.Op >= ADDI && i.Op <= SLTI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Rs1), i.Imm)
+	case i.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r(i.Rd), i.Imm, r(i.Rs1))
+	case i.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r(i.Rs2), i.Imm, r(i.Rs1))
+	case i.IsCondBranch():
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rs1), r(i.Rs2), i.Imm)
+	case i.Op == JAL:
+		return fmt.Sprintf("%s %s, %d", i.Op, r(i.Rd), i.Imm)
+	case i.Op == JALR:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r(i.Rd), i.Imm, r(i.Rs1))
+	}
+	return fmt.Sprintf("%s %s, %s, %s", i.Op, r(i.Rd), r(i.Rs1), r(i.Rs2))
+}
+
+// Program is a µRISC program: code plus an initial data image.
+type Program struct {
+	Name string
+	Code []Instruction
+	// Data maps byte addresses to initial memory contents. Segments must
+	// not overlap.
+	Data []Segment
+	// Entry is the instruction index execution starts at.
+	Entry uint64
+}
+
+// Segment is a contiguous chunk of initialized memory.
+type Segment struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// Validate checks structural well-formedness: branch targets in range,
+// register indices valid, data segments non-overlapping.
+func (p *Program) Validate() error {
+	n := int64(len(p.Code))
+	if p.Entry >= uint64(n) && n > 0 {
+		return fmt.Errorf("isa: entry %d out of range (%d instructions)", p.Entry, n)
+	}
+	for pc, ins := range p.Code {
+		if ins.Op >= numOps {
+			return fmt.Errorf("isa: pc %d: invalid op %d", pc, ins.Op)
+		}
+		if ins.Rd >= NumRegs || ins.Rs1 >= NumRegs || ins.Rs2 >= NumRegs {
+			return fmt.Errorf("isa: pc %d: register out of range in %v", pc, ins)
+		}
+		if ins.IsCondBranch() || ins.Op == JAL {
+			t := int64(pc) + ins.Imm
+			if t < 0 || t >= n {
+				return fmt.Errorf("isa: pc %d: branch target %d out of range", pc, t)
+			}
+		}
+	}
+	for i, s := range p.Data {
+		for j := i + 1; j < len(p.Data); j++ {
+			t := p.Data[j]
+			if s.Addr < t.Addr+uint64(len(t.Bytes)) && t.Addr < s.Addr+uint64(len(s.Bytes)) {
+				return fmt.Errorf("isa: data segments %d and %d overlap", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesComplete(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.String() == "" || op.String()[0] == 'o' && op.String() != "or" && op.String() != "ori" {
+			t.Errorf("op %d has no mnemonic (got %q)", op, op.String())
+		}
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v, true", op.String(), got, ok, op)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(opRaw uint8, rd, rs1, rs2 uint8, imm int64) bool {
+		ins := Instruction{
+			Op:  Op(opRaw % uint8(numOps)),
+			Rd:  Reg(rd % NumRegs),
+			Rs1: Reg(rs1 % NumRegs),
+			Rs2: Reg(rs2 % NumRegs),
+			Imm: imm,
+		}
+		got, err := Decode(Encode(ins))
+		return err == nil && got == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	var w [WordSize]byte
+	w[0] = byte(numOps)
+	if _, err := Decode(w); err == nil {
+		t.Fatal("Decode accepted invalid opcode")
+	}
+	w[0] = byte(ADD)
+	w[1] = NumRegs // invalid register
+	if _, err := Decode(w); err == nil {
+		t.Fatal("Decode accepted invalid register")
+	}
+}
+
+func TestDecodeProgramLengthCheck(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, WordSize+1)); err == nil {
+		t.Fatal("DecodeProgram accepted misaligned input")
+	}
+	code := []Instruction{{Op: MOVI, Rd: 5, Imm: 42}, {Op: HALT}}
+	got, err := DecodeProgram(EncodeProgram(code))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != code[0] || got[1] != code[1] {
+		t.Fatalf("round trip mismatch: %v", got)
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	cases := []struct {
+		ins                          Instruction
+		load, store, branch, control bool
+	}{
+		{Instruction{Op: LD, Rd: 1, Rs1: 2}, true, false, false, false},
+		{Instruction{Op: LDB, Rd: 1, Rs1: 2}, true, false, false, false},
+		{Instruction{Op: ST, Rs1: 1, Rs2: 2}, false, true, false, false},
+		{Instruction{Op: STW, Rs1: 1, Rs2: 2}, false, true, false, false},
+		{Instruction{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 4}, false, false, true, true},
+		{Instruction{Op: BGEU, Rs1: 1, Rs2: 2, Imm: -2}, false, false, true, true},
+		{Instruction{Op: JAL, Rd: RA, Imm: 10}, false, false, false, true},
+		{Instruction{Op: JALR, Rs1: RA}, false, false, false, true},
+		{Instruction{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.ins.IsLoad() != c.load || c.ins.IsStore() != c.store ||
+			c.ins.IsCondBranch() != c.branch || c.ins.IsControlFlow() != c.control {
+			t.Errorf("%v: classification mismatch", c.ins)
+		}
+		if c.ins.IsTransmitter() != (c.load || c.store) {
+			t.Errorf("%v: transmitter mismatch", c.ins)
+		}
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	call := Instruction{Op: JAL, Rd: RA, Imm: 5}
+	if !call.IsCall() {
+		t.Error("JAL rd=RA should be a call")
+	}
+	indirectCall := Instruction{Op: JALR, Rd: RA, Rs1: 7}
+	if !indirectCall.IsCall() {
+		t.Error("JALR rd=RA should be a call")
+	}
+	ret := Instruction{Op: JALR, Rd: Zero, Rs1: RA}
+	if !ret.IsReturn() || ret.IsCall() {
+		t.Error("JALR rd=zero rs1=RA should be a return")
+	}
+	plainJump := Instruction{Op: JAL, Rd: Zero, Imm: 3}
+	if plainJump.IsCall() || plainJump.IsReturn() {
+		t.Error("JAL rd=zero should be a plain jump")
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		want []Reg
+	}{
+		{Instruction{Op: MOVI, Rd: 1, Imm: 7}, nil},
+		{Instruction{Op: MOV, Rd: 1, Rs1: 2}, []Reg{2}},
+		{Instruction{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, []Reg{2, 3}},
+		{Instruction{Op: ADDI, Rd: 1, Rs1: 2, Imm: 5}, []Reg{2}},
+		{Instruction{Op: LD, Rd: 1, Rs1: 2, Imm: 8}, []Reg{2}},
+		{Instruction{Op: ST, Rs1: 2, Rs2: 3}, []Reg{2, 3}},
+		{Instruction{Op: BEQ, Rs1: 4, Rs2: 5, Imm: 1}, []Reg{4, 5}},
+		{Instruction{Op: JAL, Rd: RA, Imm: 1}, nil},
+		{Instruction{Op: JALR, Rd: Zero, Rs1: RA}, []Reg{RA}},
+		{Instruction{Op: HALT}, nil},
+	}
+	for _, c := range cases {
+		got := c.ins.SrcRegs(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%v: SrcRegs = %v, want %v", c.ins, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v: SrcRegs = %v, want %v", c.ins, got, c.want)
+			}
+		}
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	if (Instruction{Op: ADD, Rd: Zero, Rs1: 1, Rs2: 2}).HasDest() {
+		t.Error("write to zero register should not count as a destination")
+	}
+	if !(Instruction{Op: LD, Rd: 3, Rs1: 1}).HasDest() {
+		t.Error("load should have a destination")
+	}
+	if (Instruction{Op: ST, Rs1: 1, Rs2: 2}).HasDest() {
+		t.Error("store has no destination")
+	}
+	if (Instruction{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 1}).HasDest() {
+		t.Error("branch has no destination")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Program{
+		Code: []Instruction{
+			{Op: MOVI, Rd: 1, Imm: 3},
+			{Op: BEQ, Rs1: 1, Rs2: 0, Imm: 1},
+			{Op: HALT},
+		},
+		Data: []Segment{{Addr: 0x1000, Bytes: make([]byte, 64)}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	bad := &Program{Code: []Instruction{{Op: BEQ, Imm: 10}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range branch target accepted")
+	}
+
+	overlap := &Program{
+		Code: []Instruction{{Op: HALT}},
+		Data: []Segment{
+			{Addr: 0x1000, Bytes: make([]byte, 64)},
+			{Addr: 0x1020, Bytes: make([]byte, 64)},
+		},
+	}
+	if err := overlap.Validate(); err == nil {
+		t.Fatal("overlapping data segments accepted")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		ins := Instruction{
+			Op:  Op(rng.Intn(NumOps)),
+			Rd:  Reg(rng.Intn(NumRegs)),
+			Rs1: Reg(rng.Intn(NumRegs)),
+			Rs2: Reg(rng.Intn(NumRegs)),
+			Imm: rng.Int63n(1 << 20),
+		}
+		if ins.String() == "" {
+			t.Fatalf("empty disassembly for %+v", ins)
+		}
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	sizes := map[Op]int{LD: 8, ST: 8, LDW: 4, STW: 4, LDB: 1, STB: 1, ADD: 0, BEQ: 0}
+	for op, want := range sizes {
+		if got := (Instruction{Op: op}).MemSize(); got != want {
+			t.Errorf("MemSize(%v) = %d, want %d", op, got, want)
+		}
+	}
+}

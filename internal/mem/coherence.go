@@ -1,0 +1,97 @@
+package mem
+
+// Directory implements a two-level MESI directory protocol over a set of
+// private L1 caches (paper Table 1: "Two-Level MESI"). Each line has a set
+// of sharers and at most one owner in Modified/Exclusive state. The
+// simulator's single-core runs use a one-cache directory (where the
+// protocol degenerates to E/M upgrades), but the protocol itself supports
+// any number of cores and is exercised by multi-requester unit tests.
+type Directory struct {
+	caches []*Cache
+	// sharers maps line address -> bitmask of caches holding the line.
+	sharers map[uint64]uint64
+	Stats   DirectoryStats
+}
+
+// DirectoryStats counts protocol events.
+type DirectoryStats struct {
+	ReadRequests  uint64
+	WriteRequests uint64
+	Invalidations uint64
+	Downgrades    uint64
+	DirtyForwards uint64
+}
+
+// NewDirectory builds a directory over the given L1 caches.
+func NewDirectory(caches ...*Cache) *Directory {
+	return &Directory{caches: caches, sharers: make(map[uint64]uint64)}
+}
+
+// Read handles a read request from core for the line containing addr.
+// It returns the MESI state the requester should install the line in and
+// whether another core supplied modified data.
+func (d *Directory) Read(core int, addr uint64) (MESI, bool) {
+	d.Stats.ReadRequests++
+	lineAddr := d.caches[core].LineAddr(addr)
+	mask := d.sharers[lineAddr]
+	dirtyForward := false
+	for i, c := range d.caches {
+		if i == core || mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		// Any Modified/Exclusive holder downgrades to Shared.
+		if c.Downgrade(lineAddr) {
+			dirtyForward = true
+			d.Stats.DirtyForwards++
+		}
+		d.Stats.Downgrades++
+	}
+	newState := Exclusive
+	if mask&^(1<<uint(core)) != 0 {
+		newState = Shared
+	}
+	d.sharers[lineAddr] = mask | 1<<uint(core)
+	return newState, dirtyForward
+}
+
+// Write handles a write (read-for-ownership) request from core. All other
+// sharers are invalidated; the requester installs the line Modified.
+func (d *Directory) Write(core int, addr uint64) MESI {
+	d.Stats.WriteRequests++
+	lineAddr := d.caches[core].LineAddr(addr)
+	mask := d.sharers[lineAddr]
+	for i, c := range d.caches {
+		if i == core || mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if dirty, present := c.Invalidate(lineAddr); present {
+			d.Stats.Invalidations++
+			if dirty {
+				d.Stats.DirtyForwards++
+			}
+		}
+	}
+	d.sharers[lineAddr] = 1 << uint(core)
+	return Modified
+}
+
+// Evicted notifies the directory that core no longer holds the line.
+func (d *Directory) Evicted(core int, lineAddr uint64) {
+	if mask, ok := d.sharers[lineAddr]; ok {
+		mask &^= 1 << uint(core)
+		if mask == 0 {
+			delete(d.sharers, lineAddr)
+		} else {
+			d.sharers[lineAddr] = mask
+		}
+	}
+}
+
+// Sharers reports the number of caches holding the line (for tests).
+func (d *Directory) Sharers(lineAddr uint64) int {
+	n := 0
+	for mask := d.sharers[lineAddr]; mask != 0; mask &= mask - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,202 @@
+package mem
+
+// HierarchyConfig describes the full memory system (paper Table 1).
+type HierarchyConfig struct {
+	L1I, L1D, L2, L3 CacheConfig
+	MSHRs            int
+	// DRAMCycles is the DRAM access latency added after an L3 miss
+	// (50 ns at the simulated 2 GHz clock = 100 cycles).
+	DRAMCycles     uint64
+	Mesh           Mesh
+	CoreNode       int
+	TLBEntries     int
+	PageBytes      int
+	PageWalkCycles uint64
+}
+
+// DefaultHierarchyConfig returns the paper's Table 1 memory system.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:            CacheConfig{Name: "L1I", SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, LatencyCycles: 2},
+		L1D:            CacheConfig{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, LatencyCycles: 2},
+		L2:             CacheConfig{Name: "L2", SizeBytes: 256 << 10, Ways: 16, LineBytes: 64, LatencyCycles: 20},
+		L3:             CacheConfig{Name: "L3", SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, LatencyCycles: 40},
+		MSHRs:          16,
+		DRAMCycles:     100,
+		Mesh:           DefaultMesh(),
+		CoreNode:       0,
+		TLBEntries:     64,
+		PageBytes:      4 << 10,
+		PageWalkCycles: 50,
+	}
+}
+
+// HierarchyStats aggregates memory-system counters.
+type HierarchyStats struct {
+	DataAccesses    uint64
+	InstrAccesses   uint64
+	DRAMAccesses    uint64
+	MSHRStalls      uint64
+	MSHRMerges      uint64
+	InstrPrefetches uint64
+}
+
+// Hierarchy is the single-core memory system timing model. Latency is
+// computed synchronously: an access returns the cycle at which its data is
+// available. Outstanding misses occupy MSHRs until their completion cycle;
+// an access that needs a new MSHR when all are busy reports a structural
+// stall and must be retried.
+type Hierarchy struct {
+	cfg  HierarchyConfig
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	L3   *Cache
+	DTLB *TLB
+
+	// mshr maps outstanding miss line addresses to completion cycles.
+	mshr map[uint64]uint64
+
+	Stats HierarchyStats
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg:  cfg,
+		L1I:  NewCache(cfg.L1I),
+		L1D:  NewCache(cfg.L1D),
+		L2:   NewCache(cfg.L2),
+		L3:   NewCache(cfg.L3),
+		DTLB: NewTLB(cfg.TLBEntries, cfg.PageBytes, cfg.PageWalkCycles),
+		mshr: make(map[uint64]uint64, cfg.MSHRs),
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+func (h *Hierarchy) expireMSHRs(now uint64) {
+	for lineAddr, ready := range h.mshr {
+		if ready <= now {
+			delete(h.mshr, lineAddr)
+		}
+	}
+}
+
+// AccessData performs a data access at cycle now. It returns the cycle the
+// access completes and ok=false if the access could not start because all
+// MSHRs are busy (the caller must retry). The TLB translation latency is
+// included; protection policies must only call this once the access is
+// allowed to become visible.
+func (h *Hierarchy) AccessData(now uint64, addr uint64, write bool) (uint64, bool) {
+	h.expireMSHRs(now)
+	h.Stats.DataAccesses++
+
+	start := now + h.DTLB.Translate(addr)
+	lineAddr := h.L1D.LineAddr(addr)
+
+	if h.L1D.Access(addr, write) {
+		return start + h.cfg.L1D.LatencyCycles, true
+	}
+	// L1 miss: check for an in-flight miss to the same line.
+	if ready, ok := h.mshr[lineAddr]; ok {
+		h.Stats.MSHRMerges++
+		done := ready
+		if s := start + h.cfg.L1D.LatencyCycles; s > done {
+			done = s
+		}
+		return done, true
+	}
+	if len(h.mshr) >= h.cfg.MSHRs {
+		h.Stats.MSHRStalls++
+		return 0, false
+	}
+
+	latency := h.cfg.L1D.LatencyCycles
+	state := Exclusive
+	if write {
+		state = Modified
+	}
+	switch {
+	case h.L2.Access(addr, write):
+		latency += h.cfg.L2.LatencyCycles
+	case h.L3.Access(addr, write):
+		latency += h.cfg.L2.LatencyCycles + h.cfg.L3.LatencyCycles +
+			h.cfg.Mesh.TransferCycles(h.cfg.CoreNode, lineAddr)
+		h.fillL2(addr, write)
+	default:
+		latency += h.cfg.L2.LatencyCycles + h.cfg.L3.LatencyCycles +
+			h.cfg.Mesh.TransferCycles(h.cfg.CoreNode, lineAddr) + h.cfg.DRAMCycles
+		h.Stats.DRAMAccesses++
+		h.L3.Fill(addr, Exclusive)
+		h.fillL2(addr, write)
+	}
+	if victim, wb := h.L1D.Fill(addr, state); wb {
+		// Dirty victim writes back into L2 (inclusive hierarchy).
+		h.L2.Access(victim, true)
+	}
+	done := start + latency
+	h.mshr[lineAddr] = done
+	return done, true
+}
+
+func (h *Hierarchy) fillL2(addr uint64, write bool) {
+	if victim, wb := h.L2.Fill(addr, Exclusive); wb {
+		h.L3.Access(victim, true)
+	}
+	_ = write
+}
+
+// AccessInstr performs an instruction fetch at cycle now and returns the
+// completion cycle. Fetch misses do not consume data MSHRs.
+func (h *Hierarchy) AccessInstr(now uint64, addr uint64) uint64 {
+	h.Stats.InstrAccesses++
+	latency := h.cfg.L1I.LatencyCycles
+	hit := h.L1I.Access(addr, false)
+	// Next-line prefetch: sequential fetch is the overwhelmingly common
+	// case, so every access pulls the following line in behind it.
+	next := h.L1I.LineAddr(addr) + uint64(h.cfg.L1I.LineBytes)
+	if _, present := h.L1I.Probe(next); !present {
+		h.Stats.InstrPrefetches++
+		if !h.L2.Access(next, false) {
+			h.fillL2(next, false)
+		}
+		h.L1I.Fill(next, Exclusive)
+	}
+	if hit {
+		return now + latency
+	}
+	switch {
+	case h.L2.Access(addr, false):
+		latency += h.cfg.L2.LatencyCycles
+	case h.L3.Access(addr, false):
+		latency += h.cfg.L2.LatencyCycles + h.cfg.L3.LatencyCycles +
+			h.cfg.Mesh.TransferCycles(h.cfg.CoreNode, h.L1I.LineAddr(addr))
+		h.fillL2(addr, false)
+	default:
+		latency += h.cfg.L2.LatencyCycles + h.cfg.L3.LatencyCycles +
+			h.cfg.Mesh.TransferCycles(h.cfg.CoreNode, h.L1I.LineAddr(addr)) + h.cfg.DRAMCycles
+		h.Stats.DRAMAccesses++
+		h.L3.Fill(addr, Exclusive)
+		h.fillL2(addr, false)
+	}
+	h.L1I.Fill(addr, Exclusive)
+	return now + latency
+}
+
+// OutstandingMisses reports the number of busy MSHRs at cycle now.
+func (h *Hierarchy) OutstandingMisses(now uint64) int {
+	h.expireMSHRs(now)
+	return len(h.mshr)
+}
+
+// FlushAll empties every cache level and the TLB contents are kept (the
+// paper's receiver probes cache residency, not TLB state).
+func (h *Hierarchy) FlushAll() {
+	h.L1I.FlushAll()
+	h.L1D.FlushAll()
+	h.L2.FlushAll()
+	h.L3.FlushAll()
+	h.mshr = make(map[uint64]uint64, h.cfg.MSHRs)
+}

@@ -1,0 +1,50 @@
+package mem
+
+// Mesh models the paper's 4×2 mesh interconnect (Table 1: 128-bit links,
+// 1 cycle per hop). The L3 is banked across mesh nodes by line address; an
+// access from the core pays the round-trip hop latency to the bank.
+type Mesh struct {
+	Width, Height int
+	LinkCycles    uint64
+	LineBytes     int
+	FlitBytes     int // link width in bytes (128 b = 16 B)
+}
+
+// DefaultMesh returns the paper's 4×2 mesh.
+func DefaultMesh() Mesh {
+	return Mesh{Width: 4, Height: 2, LinkCycles: 1, LineBytes: 64, FlitBytes: 16}
+}
+
+// Nodes reports the number of mesh nodes.
+func (m Mesh) Nodes() int { return m.Width * m.Height }
+
+// Hops returns the Manhattan distance between two nodes.
+func (m Mesh) Hops(from, to int) int {
+	fx, fy := from%m.Width, from/m.Width
+	tx, ty := to%m.Width, to/m.Width
+	dx, dy := fx-tx, fy-ty
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// BankOf maps a line address to its L3 bank (mesh node).
+func (m Mesh) BankOf(lineAddr uint64) int {
+	return int(lineAddr/uint64(m.LineBytes)) % m.Nodes()
+}
+
+// TransferCycles returns the round-trip latency for moving one cache line
+// between the core node and the bank holding lineAddr: request hop latency
+// plus serialized response flits.
+func (m Mesh) TransferCycles(coreNode int, lineAddr uint64) uint64 {
+	bank := m.BankOf(lineAddr)
+	hops := uint64(m.Hops(coreNode, bank))
+	flits := uint64((m.LineBytes + m.FlitBytes - 1) / m.FlitBytes)
+	// Request traverses hops, response traverses hops with the line
+	// pipelined flit-by-flit behind the head.
+	return 2*hops*m.LinkCycles + (flits - 1)
+}

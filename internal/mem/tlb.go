@@ -1,0 +1,70 @@
+package mem
+
+// TLB is a fully associative translation lookaside buffer with LRU
+// replacement. The simulator runs a flat (identity) address space, so the
+// TLB exists purely for timing: misses cost a page-walk latency, and a
+// load/store that is delayed by a protection policy does not perform its
+// TLB lookup (TLB fills are an address-dependent covert channel).
+type TLB struct {
+	entries   int
+	pageShift uint
+	walkCost  uint64
+	pages     map[uint64]uint64 // page number -> last-touch stamp
+	stamp     uint64
+
+	Stats TLBStats
+}
+
+// TLBStats counts TLB events.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB with the given entry count, page size, and page-walk
+// latency in cycles.
+func NewTLB(entries int, pageBytes int, walkCycles uint64) *TLB {
+	shift := uint(0)
+	for s := pageBytes; s > 1; s >>= 1 {
+		shift++
+	}
+	return &TLB{
+		entries:   entries,
+		pageShift: shift,
+		walkCost:  walkCycles,
+		pages:     make(map[uint64]uint64, entries),
+	}
+}
+
+// Translate performs a lookup for addr and returns the added latency
+// (0 on hit, walk cost on miss). The entry is installed on miss.
+func (t *TLB) Translate(addr uint64) uint64 {
+	t.stamp++
+	t.Stats.Accesses++
+	page := addr >> t.pageShift
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.stamp
+		return 0
+	}
+	t.Stats.Misses++
+	if len(t.pages) >= t.entries {
+		// Evict LRU.
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for p, s := range t.pages {
+			if s < oldest {
+				oldest = s
+				victim = p
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.stamp
+	return t.walkCost
+}
+
+// Present reports whether addr's page is cached, without side effects.
+func (t *TLB) Present(addr uint64) bool {
+	_, ok := t.pages[addr>>t.pageShift]
+	return ok
+}

@@ -1,0 +1,434 @@
+// Package pipeline implements the cycle-level out-of-order core the SPT
+// paper's defenses are built into: an 8-wide machine with register renaming
+// (RAT + physical register file + free list), a 192-entry reorder buffer, a
+// unified reservation station, a split load/store queue with store-to-load
+// forwarding and memory-dependence speculation, branch prediction with
+// delayed (policy-gated) resolution effects, and in-order retirement.
+//
+// Protection schemes (SPT, STT, the secure baseline) plug in through the
+// Policy interface: they observe renames, visibility-point crossings, load
+// completions and store retirement, and they gate when transmitters may
+// execute and when control-flow resolution effects may become visible.
+package pipeline
+
+import (
+	"fmt"
+
+	"spt/internal/emu"
+	"spt/internal/isa"
+	"spt/internal/mem"
+	"spt/internal/predictor"
+)
+
+// AttackModel selects the visibility-point definition (paper §2.2.1).
+type AttackModel uint8
+
+const (
+	// Spectre covers control-flow speculation: an instruction reaches the
+	// visibility point when all older control-flow instructions have
+	// resolved.
+	Spectre AttackModel = iota
+	// Futuristic covers all speculation: an instruction reaches the
+	// visibility point when it can no longer be squashed.
+	Futuristic
+)
+
+func (m AttackModel) String() string {
+	if m == Spectre {
+		return "spectre"
+	}
+	return "futuristic"
+}
+
+// Config sizes the core (paper Table 1).
+type Config struct {
+	FetchWidth  int
+	RenameWidth int
+	IssueWidth  int
+	RetireWidth int
+
+	ROBSize  int
+	RSSize   int
+	LQSize   int
+	SQSize   int
+	PhysRegs int
+
+	// FrontendDepth is the fetch-to-rename latency in cycles.
+	FrontendDepth uint64
+	// FetchBufferSize bounds the decoupled fetch queue.
+	FetchBufferSize int
+
+	// Functional unit pool.
+	ALUs     int
+	MemPorts int
+
+	// Latencies by op class.
+	ALULatency uint64
+	MulLatency uint64
+	DivLatency uint64
+
+	Model AttackModel
+}
+
+// DefaultConfig returns the paper's Table 1 core: 8-wide, 192 ROB, 32/32
+// LQ/SQ.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:      8,
+		RenameWidth:     8,
+		IssueWidth:      8,
+		RetireWidth:     8,
+		ROBSize:         192,
+		RSSize:          96,
+		LQSize:          32,
+		SQSize:          32,
+		PhysRegs:        320,
+		FrontendDepth:   5,
+		FetchBufferSize: 48,
+		ALUs:            6,
+		MemPorts:        2,
+		ALULatency:      1,
+		MulLatency:      3,
+		DivLatency:      12,
+		Model:           Futuristic,
+	}
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	if c.PhysRegs < isa.NumRegs+c.ROBSize/2 {
+		return fmt.Errorf("pipeline: %d physical registers cannot cover %d architectural + in-flight", c.PhysRegs, isa.NumRegs)
+	}
+	if c.ROBSize <= 0 || c.RSSize <= 0 || c.LQSize <= 0 || c.SQSize <= 0 {
+		return fmt.Errorf("pipeline: queue sizes must be positive")
+	}
+	if c.FetchWidth <= 0 || c.RenameWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0 {
+		return fmt.Errorf("pipeline: widths must be positive")
+	}
+	return nil
+}
+
+// PhysReg indexes the physical register file; -1 means "none".
+type PhysReg int16
+
+// NoReg marks an absent register operand.
+const NoReg PhysReg = -1
+
+// DynInst is one in-flight dynamic instruction (a ROB entry).
+type DynInst struct {
+	Seq uint64
+	PC  uint64
+	Ins isa.Instruction
+
+	// Renamed operands. Unused slots are NoReg.
+	Src1, Src2 PhysReg
+	Dst        PhysReg
+	OldDst     PhysReg // previous mapping of the architectural dest
+
+	// Pipeline status.
+	Dispatched bool // occupies an RS slot (until issued)
+	Issued     bool
+	Done       bool // result available (DoneCycle reached)
+	DoneCycle  uint64
+	Squashed   bool
+	Retired    bool
+
+	// Control flow.
+	IsCF         bool
+	Resolved     bool // resolution effects applied (or none needed)
+	OutcomeKnown bool // execute computed the outcome
+	ActualTaken  bool
+	ActualTarget uint64
+	Cp           predictor.Checkpoint
+	Mispredicted bool
+
+	// Memory.
+	EffAddr   uint64
+	AddrKnown bool     // effective address computed (virtual, pre-translate)
+	MemIssued bool     // TLB/cache access started (the transmitting event)
+	FwdStore  *DynInst // store this load forwarded from (nil = memory)
+	Violation bool     // squash pending due to memory-dependence violation
+	ViolStore *DynInst // the older store the violating load conflicts with
+	violCheck bool     // store: younger loads were checked for violations
+
+	// Predictor snapshots taken at fetch, for squash recovery.
+	HistAt predictor.History
+	RasAt  predictor.RASSnapshot
+	HasCp  bool
+
+	// Value produced (for dst-writing instructions) and store data.
+	Val uint64
+
+	// AtVP: the instruction has reached the visibility point.
+	AtVP bool
+
+	// Oblivious: the memory access was performed data-obliviously (no
+	// speculative cache/TLB change); the real access replays at retire.
+	Oblivious bool
+
+	// DelayedByPolicy notes the instruction was blocked at least once.
+	DelayedByPolicy bool
+}
+
+// Stats aggregates core-level counters.
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+	Fetched uint64
+
+	BranchResolutions  uint64
+	BranchMispredicts  uint64
+	Squashes           uint64
+	SquashedInstrs     uint64
+	MemViolations      uint64
+	STLForwards        uint64
+	TransmitterDelays  uint64 // cycles a ready transmitter was policy-blocked
+	ResolutionDelays   uint64 // cycles an outcome-known branch waited for policy
+	RetireStallsMemory uint64
+	ObliviousExecs     uint64 // memory ops executed data-obliviously
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// ObliviousPolicy is an optional extension of Policy implementing the
+// paper's alternative protection (§6.3): instead of delaying a blocked
+// transmitter, execute it in a data-oblivious fashion — no speculative
+// TLB/cache state change and a fixed, operand-independent latency (in the
+// spirit of SDO, Yu et al. ISCA'20). The real cache access is replayed
+// non-speculatively at retirement.
+type ObliviousPolicy interface {
+	// ObliviousLatency returns the fixed completion latency for a blocked
+	// memory instruction and whether oblivious execution should be used.
+	ObliviousLatency(di *DynInst) (uint64, bool)
+}
+
+// STLQuery is an optional Policy extension: it reports whether the fact
+// that store st forwards to load ld is already public (the paper's
+// STLPublic condition, §6.7). When it holds — or on the unprotected
+// machine — the load skips the camouflage cache access and forwards fast;
+// otherwise the forwarded value is withheld until the cache access
+// completes, hiding the forwarding decision.
+type STLQuery interface {
+	STLForwardPublic(st, ld *DynInst) bool
+}
+
+// Tracer receives per-instruction lifecycle events for debugging and the
+// --track-insts output. Stage names: rename, issue, mem, complete,
+// resolve, mispredict, vp, retire, squash.
+type Tracer interface {
+	Event(cycle uint64, di *DynInst, stage string)
+}
+
+// Policy is the protection scheme hook. The zero policy (nil) is the
+// unsafe baseline: everything is always allowed.
+type Policy interface {
+	// Attach gives the policy access to the core. Called once.
+	Attach(c *Core)
+	// OnRename runs after di's registers are renamed, before dispatch.
+	OnRename(di *DynInst)
+	// OnSquash runs for every squashed instruction, youngest first.
+	OnSquash(di *DynInst)
+	// OnRetire runs when di retires (stores have written the cache).
+	OnRetire(di *DynInst)
+	// OnVP runs when di crosses the visibility point (declassification).
+	OnVP(di *DynInst)
+	// OnLoadComplete runs when a load's data arrives (di.FwdStore tells
+	// whether it was forwarded).
+	OnLoadComplete(di *DynInst)
+	// MayExecuteMem gates a load/store's TLB+cache access.
+	MayExecuteMem(di *DynInst) bool
+	// MayResolveCF gates a control-flow instruction's resolution effects.
+	MayResolveCF(di *DynInst) bool
+	// MaySquashOnViolation gates the memory-dependence-violation squash of
+	// load ld (an implicit branch over the involved store/load addresses).
+	MaySquashOnViolation(ld *DynInst) bool
+	// Tick runs once per cycle after retire/VP update (untaint propagation).
+	Tick()
+}
+
+// Core is the simulated processor.
+type Core struct {
+	Cfg   Config
+	Prog  *isa.Program
+	Mem   *emu.Memory // functional backing store
+	Hier  *mem.Hierarchy
+	Pred  *predictor.Unit
+	Pol   Policy
+	Stats Stats
+
+	// Observer, if non-nil, receives every microarchitecturally observable
+	// memory-system event: speculative and non-speculative load cache
+	// accesses ('L'), store address translations ('T'), and retirement
+	// cache writes ('W'). The security tests compare these traces across
+	// secret values (observational determinism).
+	Observer func(kind byte, cycle uint64, addr uint64)
+
+	// Tracer, if non-nil, receives per-instruction lifecycle events
+	// (rename, issue, mem, complete, resolve, mispredict, vp, retire,
+	// squash). internal/trace renders these; cmd/spt-sim exposes them as
+	// the artifact's --track-insts.
+	Tracer Tracer
+
+	// Golden-model oracle state is NOT kept here; tests construct their own
+	// emulator and compare after the run.
+
+	cycle uint64
+	seq   uint64
+
+	// Fetch.
+	fetchPC       uint64
+	fetchStallTil uint64
+	fetchBuf      []*fetchEntry
+	halted        bool // HALT fetched (stop fetching); sim ends when it retires
+	finished      bool // HALT retired
+
+	// Rename.
+	rat      [isa.NumRegs]PhysReg
+	freeList []PhysReg
+	prf      []uint64
+	prfReady []bool
+
+	// Windows.
+	rob []*DynInst // program order, head at index 0 (slice-based queue)
+	lq  []*DynInst
+	sq  []*DynInst
+
+	// rsCount tracks occupied RS slots (dispatched, not yet issued).
+	rsCount int
+
+	// Execution resources.
+	aluBusyUntil []uint64
+	memBusy      int // mem port uses this cycle
+
+	squashedThisCycle bool
+}
+
+// New builds a core for prog with the given memory system and policy
+// (nil for the unsafe baseline).
+func New(cfg Config, prog *isa.Program, hier *mem.Hierarchy, pol Policy) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	m := emu.NewMemory()
+	m.LoadSegments(prog.Data)
+	c := &Core{
+		Cfg:          cfg,
+		Prog:         prog,
+		Mem:          m,
+		Hier:         hier,
+		Pred:         predictor.NewUnit(),
+		Pol:          pol,
+		fetchPC:      prog.Entry,
+		prf:          make([]uint64, cfg.PhysRegs),
+		prfReady:     make([]bool, cfg.PhysRegs),
+		aluBusyUntil: make([]uint64, cfg.ALUs),
+	}
+	// Physical register 0 is the hardwired zero: always ready, never freed.
+	c.prfReady[0] = true
+	for r := 0; r < isa.NumRegs; r++ {
+		if r == 0 {
+			c.rat[r] = 0
+			continue
+		}
+		c.rat[r] = PhysReg(r)
+		c.prfReady[r] = true
+	}
+	for p := isa.NumRegs; p < cfg.PhysRegs; p++ {
+		c.freeList = append(c.freeList, PhysReg(p))
+	}
+	if pol != nil {
+		pol.Attach(c)
+	}
+	return c, nil
+}
+
+type fetchEntry struct {
+	pc         uint64
+	ins        isa.Instruction
+	readyCycle uint64
+	cp         predictor.Checkpoint
+	hasCp      bool
+	predTarget uint64
+	histAt     predictor.History
+	rasAt      predictor.RASSnapshot
+}
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Finished reports whether the program's HALT has retired.
+func (c *Core) Finished() bool { return c.finished }
+
+// ROB exposes the in-flight window, oldest first, for policies.
+func (c *Core) ROB() []*DynInst { return c.rob }
+
+// LQ and SQ expose the memory queues, oldest first, for policies.
+func (c *Core) LQ() []*DynInst { return c.lq }
+func (c *Core) SQ() []*DynInst { return c.sq }
+
+// PhysRegCount reports the size of the physical register file.
+func (c *Core) PhysRegCount() int { return c.Cfg.PhysRegs }
+
+// RegValue reads a physical register (for policies and tests).
+func (c *Core) RegValue(p PhysReg) uint64 { return c.prf[p] }
+
+// RegReady reports whether a physical register has been written.
+func (c *Core) RegReady(p PhysReg) bool { return p == NoReg || c.prfReady[p] }
+
+// ArchRegs returns the current architectural register values (valid when
+// the pipeline is drained, i.e. after Finished).
+func (c *Core) ArchRegs() [isa.NumRegs]uint64 {
+	var out [isa.NumRegs]uint64
+	for r := 0; r < isa.NumRegs; r++ {
+		out[r] = c.prf[c.rat[r]]
+	}
+	return out
+}
+
+// Step simulates one clock cycle.
+func (c *Core) Step() {
+	// Stage order within a cycle: older pipeline stages act on the state
+	// the younger stages produced in previous cycles.
+	c.squashedThisCycle = false
+	c.retire()
+	c.completeExecution()
+	c.memStage()
+	c.resolveBranches()
+	c.resolveViolations()
+	c.issue()
+	c.renameDispatch()
+	c.fetch()
+	c.updateVP()
+	if c.Pol != nil {
+		c.Pol.Tick()
+	}
+	c.cycle++
+	c.Stats.Cycles = c.cycle
+	c.memBusy = 0
+}
+
+// Run simulates until HALT retires, maxInstructions retire, or maxCycles
+// pass. It returns an error on livelock (no retirement for a long window).
+func (c *Core) Run(maxInstructions, maxCycles uint64) error {
+	lastRetired := c.Stats.Retired
+	lastProgress := c.cycle
+	for !c.finished && c.Stats.Retired < maxInstructions && c.cycle < maxCycles {
+		c.Step()
+		if c.Stats.Retired != lastRetired {
+			lastRetired = c.Stats.Retired
+			lastProgress = c.cycle
+		} else if c.cycle-lastProgress > 200_000 {
+			return fmt.Errorf("pipeline: livelock at cycle %d (pc=%d, rob=%d)", c.cycle, c.fetchPC, len(c.rob))
+		}
+	}
+	return nil
+}

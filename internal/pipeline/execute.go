@@ -1,0 +1,219 @@
+package pipeline
+
+import (
+	"spt/internal/emu"
+	"spt/internal/isa"
+)
+
+// opLatency returns the execution latency of a non-memory operation.
+func (c *Core) opLatency(op isa.Op) uint64 {
+	switch op {
+	case isa.MUL:
+		return c.Cfg.MulLatency
+	case isa.DIV, isa.REM:
+		return c.Cfg.DivLatency
+	}
+	return c.Cfg.ALULatency
+}
+
+// srcsReadyForIssue reports whether di can leave the RS. Stores only need
+// their address operand (Src1); the data operand is consumed later by
+// forwarding and retire.
+func (c *Core) srcsReadyForIssue(di *DynInst) bool {
+	if di.Ins.IsStore() {
+		return c.RegReady(di.Src1)
+	}
+	return c.RegReady(di.Src1) && c.RegReady(di.Src2)
+}
+
+// issue selects up to IssueWidth ready RS entries, oldest first, and starts
+// their execution. Loads and stores compute their effective address here
+// and then wait in the LSQ; the policy-gated memory access happens in
+// memStage.
+func (c *Core) issue() {
+	issued := 0
+	for _, di := range c.rob {
+		if issued >= c.Cfg.IssueWidth {
+			return
+		}
+		if !di.Dispatched || di.Issued || !c.srcsReadyForIssue(di) {
+			continue
+		}
+
+		if di.Ins.IsMem() {
+			// Address generation uses an LSU AGU; it does not contend with
+			// the ALU pool in this model.
+			if c.Tracer != nil {
+				c.Tracer.Event(c.cycle, di, "issue")
+			}
+			di.Issued = true
+			di.Dispatched = false
+			c.rsCount--
+			di.EffAddr = c.prf[di.Src1] + uint64(di.Ins.Imm)
+			di.AddrKnown = true
+			issued++
+			continue
+		}
+
+		// Find a free ALU. MUL is pipelined; DIV occupies its unit.
+		slot := -1
+		for i := range c.aluBusyUntil {
+			if c.aluBusyUntil[i] <= c.cycle {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			continue
+		}
+		lat := c.opLatency(di.Ins.Op)
+		if di.Ins.Op == isa.DIV || di.Ins.Op == isa.REM {
+			c.aluBusyUntil[slot] = c.cycle + lat // unpipelined
+		} else {
+			c.aluBusyUntil[slot] = c.cycle + 1
+		}
+
+		di.Issued = true
+		di.Dispatched = false
+		c.rsCount--
+		di.DoneCycle = c.cycle + lat
+		c.computeResult(di)
+		if c.Tracer != nil {
+			c.Tracer.Event(c.cycle, di, "issue")
+		}
+		issued++
+	}
+}
+
+// computeResult evaluates di functionally. Results become architecturally
+// visible (ready) at DoneCycle via completeExecution.
+func (c *Core) computeResult(di *DynInst) {
+	ins := di.Ins
+	a := c.val(di.Src1)
+	b := c.val(di.Src2)
+	switch {
+	case ins.IsCondBranch():
+		di.ActualTaken = emu.BranchTaken(ins.Op, a, b)
+		if di.ActualTaken {
+			di.ActualTarget = di.PC + uint64(ins.Imm)
+		} else {
+			di.ActualTarget = di.PC + 1
+		}
+		di.OutcomeKnown = true
+	case ins.Op == isa.JALR:
+		di.ActualTaken = true
+		di.ActualTarget = a + uint64(ins.Imm)
+		di.OutcomeKnown = true
+		di.Val = di.PC + 1
+	case ins.Op == isa.MOV:
+		di.Val = a
+	case ins.Op == isa.MOVI:
+		di.Val = uint64(ins.Imm)
+	default:
+		di.Val = emu.ALU(ins.Op, a, b, ins.Imm)
+	}
+}
+
+func (c *Core) val(p PhysReg) uint64 {
+	if p == NoReg {
+		return 0
+	}
+	return c.prf[p]
+}
+
+// completeExecution retires results whose latency has elapsed: the value
+// becomes visible in the PRF and dependents wake up.
+func (c *Core) completeExecution() {
+	for _, di := range c.rob {
+		if !di.Issued || di.Done || di.Ins.IsMem() {
+			continue
+		}
+		if di.DoneCycle > c.cycle {
+			continue
+		}
+		di.Done = true
+		if di.Dst != NoReg {
+			c.prf[di.Dst] = di.Val
+			c.prfReady[di.Dst] = true
+		}
+		if c.Tracer != nil {
+			c.Tracer.Event(c.cycle, di, "complete")
+		}
+	}
+	// Loads complete when their memory access finishes.
+	for _, di := range c.lq {
+		if !di.MemIssued || di.Done || di.DoneCycle > c.cycle {
+			continue
+		}
+		di.Done = true
+		if di.Dst != NoReg {
+			c.prf[di.Dst] = di.Val
+			c.prfReady[di.Dst] = true
+		}
+		if c.Tracer != nil {
+			c.Tracer.Event(c.cycle, di, "complete")
+		}
+		if c.Pol != nil {
+			c.Pol.OnLoadComplete(di)
+		}
+	}
+	// Stores complete when translated and their data is ready.
+	for _, di := range c.sq {
+		if di.Done || !di.MemIssued || di.DoneCycle > c.cycle {
+			continue
+		}
+		if !c.RegReady(di.Src2) {
+			continue
+		}
+		di.Val = c.val(di.Src2)
+		di.Done = true
+		if c.Tracer != nil {
+			c.Tracer.Event(c.cycle, di, "complete")
+		}
+	}
+}
+
+// resolveBranches applies resolution effects for executed control-flow
+// instructions, oldest first, when the policy permits. A misprediction
+// squashes younger instructions and redirects fetch (one squash per cycle).
+func (c *Core) resolveBranches() {
+	for _, di := range c.rob {
+		if di.Squashed || !di.IsCF || di.Resolved {
+			continue
+		}
+		if !di.OutcomeKnown {
+			return // resolve strictly in order
+		}
+		if c.Pol != nil && !c.Pol.MayResolveCF(di) {
+			di.DelayedByPolicy = true
+			c.Stats.ResolutionDelays++
+			return
+		}
+		// Train the predictor (resolution-time update keeps tainted data
+		// out of predictor state, since the policy gate already passed).
+		var misp bool
+		if di.Ins.IsCondBranch() {
+			misp = c.Pred.ResolveCond(di.Cp, di.ActualTaken, di.ActualTarget)
+		} else {
+			misp = c.Pred.ResolveJump(di.Cp, di.ActualTarget, di.Ins.Op == isa.JALR)
+		}
+		di.Resolved = true
+		di.Mispredicted = misp
+		if c.Tracer != nil {
+			stage := "resolve"
+			if misp {
+				stage = "mispredict"
+			}
+			c.Tracer.Event(c.cycle, di, stage)
+		}
+		c.Stats.BranchResolutions++
+		if misp {
+			c.Stats.BranchMispredicts++
+			c.Pred.Recover(di.Cp, di.ActualTaken)
+			c.squashAfter(di.Seq)
+			c.redirect(di.ActualTarget)
+			c.squashedThisCycle = true
+			return
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package pipeline
+
+import "spt/internal/isa"
+
+// fetch fills the decoupled fetch buffer along the predicted path. One
+// I-cache access covers a fetch group; a group ends at a predicted-taken
+// control transfer or an I-cache line boundary.
+func (c *Core) fetch() {
+	if c.halted || c.cycle < c.fetchStallTil {
+		return
+	}
+	if len(c.fetchBuf) >= c.Cfg.FetchBufferSize {
+		return
+	}
+	// Instruction storage is byte-addressed through the encoded form.
+	lineBytes := uint64(c.Hier.L1I.Config().LineBytes)
+	fetchAddr := c.fetchPC * isa.WordSize
+	done := c.Hier.AccessInstr(c.cycle, fetchAddr)
+	if done > c.cycle+c.Hier.Config().L1I.LatencyCycles {
+		// I-cache miss: stall the front end until the fill completes.
+		c.fetchStallTil = done
+		return
+	}
+	lineBase := fetchAddr / lineBytes
+
+	for n := 0; n < c.Cfg.FetchWidth && len(c.fetchBuf) < c.Cfg.FetchBufferSize; n++ {
+		pc := c.fetchPC
+		if pc*isa.WordSize/lineBytes != lineBase {
+			break // crossed into the next I-cache line
+		}
+		var ins isa.Instruction
+		if pc < uint64(len(c.Prog.Code)) {
+			ins = c.Prog.Code[pc]
+		} else {
+			// Wrong-path fetch beyond the program: synthesize a NOP; it is
+			// guaranteed to be squashed (a correct program halts).
+			ins = isa.Instruction{Op: isa.NOP}
+		}
+		fe := &fetchEntry{
+			pc:         pc,
+			ins:        ins,
+			readyCycle: done + c.Cfg.FrontendDepth,
+			histAt:     c.Pred.Hist,
+			rasAt:      c.Pred.Ras.Snapshot(),
+		}
+		c.Stats.Fetched++
+
+		nextPC := pc + 1
+		switch {
+		case ins.IsCondBranch():
+			fe.cp = c.Pred.PredictCond(pc)
+			fe.hasCp = true
+			nextPC = fe.cp.Target
+		case ins.Op == isa.JAL:
+			target := pc + uint64(ins.Imm)
+			fe.cp = c.Pred.PredictJump(pc, target, true, ins.IsCall(), false)
+			fe.hasCp = true
+			nextPC = fe.cp.Target
+		case ins.Op == isa.JALR:
+			fe.cp = c.Pred.PredictJump(pc, 0, false, ins.IsCall(), ins.IsReturn())
+			fe.hasCp = true
+			nextPC = fe.cp.Target
+		case ins.Op == isa.HALT:
+			c.halted = true
+		}
+		fe.predTarget = nextPC
+		c.fetchBuf = append(c.fetchBuf, fe)
+		c.fetchPC = nextPC
+		if c.halted {
+			break
+		}
+		if fe.hasCp && nextPC != pc+1 {
+			break // redirected: next group starts next cycle
+		}
+	}
+}
+
+// redirect points fetch at pc and drops everything in the front end.
+func (c *Core) redirect(pc uint64) {
+	c.fetchBuf = c.fetchBuf[:0]
+	c.fetchPC = pc
+	c.halted = false
+	// One bubble for the redirect itself; the refilled instructions then
+	// pay the frontend depth through their readyCycle.
+	c.fetchStallTil = c.cycle + 1
+}

@@ -1,0 +1,134 @@
+package pipeline
+
+import "fmt"
+
+// CheckInvariants validates the core's internal consistency. Tests call it
+// between cycles and after runs; it is not called on the hot path.
+//
+// Checked invariants:
+//   - physical register conservation: every register is exactly one of
+//     {architecturally mapped, in-flight destination, free};
+//   - the RAT maps the zero register to physical register 0 and every
+//     other architectural register to a unique physical register;
+//   - ROB/LQ/SQ are sequence-ordered and the memory queues are exactly the
+//     memory subsets of the ROB;
+//   - the RS occupancy counter matches the dispatched-not-issued count.
+func (c *Core) CheckInvariants() error {
+	// RAT validity and uniqueness.
+	if c.rat[0] != 0 {
+		return fmt.Errorf("invariant: zero register mapped to p%d", c.rat[0])
+	}
+	seen := make(map[PhysReg]string, c.Cfg.PhysRegs)
+	for r, p := range c.rat {
+		if p < 0 || int(p) >= c.Cfg.PhysRegs {
+			return fmt.Errorf("invariant: rat[r%d] = p%d out of range", r, p)
+		}
+		if r != 0 {
+			if prev, dup := seen[p]; dup {
+				return fmt.Errorf("invariant: p%d mapped by both %s and r%d", p, prev, r)
+			}
+			seen[p] = fmt.Sprintf("r%d", r)
+		}
+	}
+
+	// In-flight destinations are disjoint from the RAT-committed view only
+	// through OldDst chains; each in-flight Dst must be unique and not
+	// free.
+	for _, di := range c.rob {
+		if di.Dst == NoReg {
+			continue
+		}
+		if prev, dup := seen[di.Dst]; dup && prev != fmt.Sprintf("r%d", di.Ins.Rd) {
+			return fmt.Errorf("invariant: p%d owned by %s and seq %d", di.Dst, prev, di.Seq)
+		}
+		seen[di.Dst] = fmt.Sprintf("seq%d", di.Seq)
+	}
+	free := make(map[PhysReg]bool, len(c.freeList))
+	for _, p := range c.freeList {
+		if free[p] {
+			return fmt.Errorf("invariant: p%d on the free list twice", p)
+		}
+		free[p] = true
+		if owner, used := seen[p]; used && owner[0] == 's' {
+			return fmt.Errorf("invariant: p%d free but in flight (%s)", p, owner)
+		}
+	}
+
+	// Conservation: mapped + in-flight OldDst chain + free = all.
+	// Every physical register except p0 must be either free, RAT-mapped,
+	// an in-flight Dst, or an in-flight OldDst (awaiting retirement).
+	owned := make(map[PhysReg]bool, c.Cfg.PhysRegs)
+	owned[0] = true
+	for r := 1; r < len(c.rat); r++ {
+		owned[c.rat[r]] = true
+	}
+	for _, di := range c.rob {
+		if di.Dst != NoReg {
+			owned[di.Dst] = true
+		}
+		if di.OldDst != NoReg {
+			owned[di.OldDst] = true
+		}
+	}
+	for p := range free {
+		owned[p] = true
+	}
+	for p := 1; p < c.Cfg.PhysRegs; p++ {
+		if !owned[PhysReg(p)] {
+			return fmt.Errorf("invariant: p%d leaked (not mapped, in flight, or free)", p)
+		}
+	}
+
+	// Queue ordering and membership.
+	var lastSeq uint64
+	for i, di := range c.rob {
+		if i > 0 && di.Seq <= lastSeq {
+			return fmt.Errorf("invariant: ROB out of order at %d", i)
+		}
+		lastSeq = di.Seq
+		if di.Squashed {
+			return fmt.Errorf("invariant: squashed seq %d still in ROB", di.Seq)
+		}
+	}
+	li, si := 0, 0
+	for _, di := range c.rob {
+		if di.Ins.IsLoad() {
+			if li >= len(c.lq) || c.lq[li] != di {
+				return fmt.Errorf("invariant: LQ does not mirror ROB loads at seq %d", di.Seq)
+			}
+			li++
+		}
+		if di.Ins.IsStore() {
+			if si >= len(c.sq) || c.sq[si] != di {
+				return fmt.Errorf("invariant: SQ does not mirror ROB stores at seq %d", di.Seq)
+			}
+			si++
+		}
+	}
+	if li != len(c.lq) || si != len(c.sq) {
+		return fmt.Errorf("invariant: stale LQ/SQ entries (%d/%d extra)", len(c.lq)-li, len(c.sq)-si)
+	}
+
+	// RS accounting.
+	rs := 0
+	for _, di := range c.rob {
+		if di.Dispatched && !di.Issued {
+			rs++
+		}
+	}
+	if rs != c.rsCount {
+		return fmt.Errorf("invariant: rsCount %d, actual %d", c.rsCount, rs)
+	}
+
+	// VP monotonicity: AtVP entries form a prefix of the ROB.
+	prefix := true
+	for _, di := range c.rob {
+		if di.AtVP && !prefix {
+			return fmt.Errorf("invariant: AtVP not a ROB prefix at seq %d", di.Seq)
+		}
+		if !di.AtVP {
+			prefix = false
+		}
+	}
+	return nil
+}

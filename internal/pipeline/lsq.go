@@ -1,0 +1,259 @@
+package pipeline
+
+// memStage advances the load/store unit by one cycle: stores translate
+// their addresses (policy-gated) and check younger loads for
+// memory-dependence violations; loads perform their (policy-gated) cache
+// access, forwarding from the store queue when an older store matches.
+func (c *Core) memStage() {
+	ports := c.Cfg.MemPorts
+
+	for _, st := range c.sq {
+		if !st.AddrKnown {
+			continue
+		}
+		// Violation detection happens when the store's virtual address
+		// becomes known, independent of when the store is allowed to
+		// "execute" (translate): the LSQ compares virtual addresses.
+		if !st.violCheck {
+			st.violCheck = true
+			c.checkViolations(st)
+		}
+		if st.MemIssued {
+			continue
+		}
+		if c.Pol != nil && !c.Pol.MayExecuteMem(st) {
+			if lat, ok := c.obliviousLatency(st); ok {
+				if ports == 0 {
+					continue
+				}
+				ports--
+				// Oblivious store execution: no TLB lookup; the address
+				// stays architecturally hidden until retirement.
+				st.MemIssued = true
+				st.Oblivious = true
+				st.DoneCycle = c.cycle + lat
+				c.Stats.ObliviousExecs++
+				continue
+			}
+			st.DelayedByPolicy = true
+			c.Stats.TransmitterDelays++
+			continue
+		}
+		if ports == 0 {
+			continue
+		}
+		ports--
+		st.MemIssued = true
+		// Store execution is the address translation; the data write
+		// happens at retirement (TSO).
+		if c.Observer != nil {
+			c.Observer('T', c.cycle, st.EffAddr&^0xFFF)
+		}
+		if c.Tracer != nil {
+			c.Tracer.Event(c.cycle, st, "mem")
+		}
+		extra := c.Hier.DTLB.Translate(st.EffAddr)
+		st.DoneCycle = c.cycle + 1 + extra
+	}
+
+	for _, ld := range c.lq {
+		if !ld.AddrKnown || ld.MemIssued || ld.Violation {
+			continue
+		}
+		if c.Pol != nil && !c.Pol.MayExecuteMem(ld) {
+			if lat, ok := c.obliviousLatency(ld); ok && ports > 0 {
+				src, status := c.findStoreSource(ld)
+				if status == fwdWait {
+					continue
+				}
+				ports--
+				// Oblivious load execution: correct data, fixed latency,
+				// no speculative cache or TLB state change. The demand
+				// access replays non-speculatively at retirement.
+				ld.MemIssued = true
+				ld.Oblivious = true
+				ld.DoneCycle = c.cycle + lat
+				if status == fwdFrom {
+					ld.FwdStore = src
+					ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
+					c.Stats.STLForwards++
+				} else {
+					ld.Val = c.Mem.Read(ld.EffAddr, ld.Ins.MemSize())
+				}
+				c.Stats.ObliviousExecs++
+				continue
+			}
+			ld.DelayedByPolicy = true
+			c.Stats.TransmitterDelays++
+			continue
+		}
+		if ports == 0 {
+			return
+		}
+		src, status := c.findStoreSource(ld)
+		if status == fwdWait {
+			continue // partial overlap or source data not ready yet
+		}
+		if status == fwdFrom && c.stlForwardPublic(src, ld) {
+			// Fast forwarding: the forwarding decision is public (always,
+			// on the unprotected machine; under SPT/STT, when STLPublic
+			// holds), so the load reads the store queue directly with no
+			// cache access.
+			ports--
+			ld.MemIssued = true
+			ld.FwdStore = src
+			ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
+			ld.DoneCycle = c.cycle + c.Hier.Config().L1D.LatencyCycles
+			c.Stats.STLForwards++
+			if c.Tracer != nil {
+				c.Tracer.Event(c.cycle, ld, "mem")
+			}
+			continue
+		}
+		// Otherwise the load accesses the cache even when forwarding
+		// occurs (the paper's mechanism): the forwarded value is written
+		// only when the access completes, so the forwarding decision is
+		// not observable through cache state or timing.
+		done, ok := c.Hier.AccessData(c.cycle, ld.EffAddr, false)
+		if !ok {
+			continue // all MSHRs busy; retry next cycle
+		}
+		if c.Observer != nil {
+			c.Observer('L', c.cycle, ld.EffAddr&^63)
+		}
+		if c.Tracer != nil {
+			c.Tracer.Event(c.cycle, ld, "mem")
+		}
+		ports--
+		ld.MemIssued = true
+		ld.DoneCycle = done
+		if status == fwdFrom {
+			ld.FwdStore = src
+			ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
+			c.Stats.STLForwards++
+		} else {
+			ld.Val = c.Mem.Read(ld.EffAddr, ld.Ins.MemSize())
+		}
+	}
+}
+
+// stlForwardPublic reports whether forwarding from st to ld may happen
+// openly (fast, no camouflage cache access).
+func (c *Core) stlForwardPublic(st, ld *DynInst) bool {
+	if c.Pol == nil {
+		return true
+	}
+	if q, ok := c.Pol.(STLQuery); ok {
+		return q.STLForwardPublic(st, ld)
+	}
+	return false
+}
+
+type fwdStatus uint8
+
+const (
+	fwdNone fwdStatus = iota // read from memory
+	fwdFrom                  // forward from the returned store
+	fwdWait                  // must wait (partial overlap or data not ready)
+)
+
+// findStoreSource scans older stores, youngest first, for one overlapping
+// the load. Stores whose addresses are still unknown are speculated past
+// (memory-dependence speculation); checkViolations catches mistakes.
+func (c *Core) findStoreSource(ld *DynInst) (*DynInst, fwdStatus) {
+	for i := len(c.sq) - 1; i >= 0; i-- {
+		st := c.sq[i]
+		if st.Seq >= ld.Seq {
+			continue
+		}
+		if !st.AddrKnown {
+			continue // speculate: assume no alias
+		}
+		if !rangesOverlap(st, ld) {
+			continue
+		}
+		if !rangeContains(st, ld) {
+			return st, fwdWait // partial overlap: wait for the store to retire
+		}
+		if !c.RegReady(st.Src2) {
+			return st, fwdWait // store data not produced yet
+		}
+		return st, fwdFrom
+	}
+	return nil, fwdNone
+}
+
+func rangesOverlap(st, ld *DynInst) bool {
+	sa, sb := st.EffAddr, st.EffAddr+uint64(st.Ins.MemSize())
+	la, lb := ld.EffAddr, ld.EffAddr+uint64(ld.Ins.MemSize())
+	return sa < lb && la < sb
+}
+
+func rangeContains(st, ld *DynInst) bool {
+	return ld.EffAddr >= st.EffAddr &&
+		ld.EffAddr+uint64(ld.Ins.MemSize()) <= st.EffAddr+uint64(st.Ins.MemSize())
+}
+
+// extractStoreBytes pulls the load's bytes out of the (containing) store's
+// data value.
+func extractStoreBytes(stData uint64, st, ld *DynInst) uint64 {
+	shift := (ld.EffAddr - st.EffAddr) * 8
+	v := stData >> shift
+	if sz := ld.Ins.MemSize(); sz < 8 {
+		v &= (1 << (8 * uint(sz))) - 1
+	}
+	return v
+}
+
+// checkViolations marks younger loads that already got their data from
+// somewhere older than st even though st's address overlaps theirs.
+func (c *Core) checkViolations(st *DynInst) {
+	for _, ld := range c.lq {
+		if ld.Seq <= st.Seq || !ld.MemIssued || ld.Violation {
+			continue
+		}
+		if !rangesOverlap(st, ld) {
+			continue
+		}
+		if ld.FwdStore != nil && ld.FwdStore.Seq >= st.Seq {
+			continue // load already sourced from this store or a younger one
+		}
+		ld.Violation = true
+		ld.ViolStore = st
+	}
+}
+
+// resolveViolations applies at most one pending memory-dependence squash,
+// oldest load first, when the policy permits (the violation is an implicit
+// branch over the involved addresses).
+func (c *Core) resolveViolations() {
+	if c.squashedThisCycle {
+		return
+	}
+	for _, ld := range c.lq {
+		if !ld.Violation {
+			continue
+		}
+		if c.Pol != nil && !c.Pol.MaySquashOnViolation(ld) {
+			ld.DelayedByPolicy = true
+			c.Stats.ResolutionDelays++
+			return
+		}
+		c.Stats.MemViolations++
+		c.Pred.Hist = ld.HistAt
+		c.Pred.Ras.Restore(ld.RasAt)
+		c.squashFrom(ld.Seq)
+		c.redirect(ld.PC)
+		c.squashedThisCycle = true
+		return
+	}
+}
+
+// obliviousLatency consults the optional ObliviousPolicy extension.
+func (c *Core) obliviousLatency(di *DynInst) (uint64, bool) {
+	op, ok := c.Pol.(ObliviousPolicy)
+	if !ok {
+		return 0, false
+	}
+	return op.ObliviousLatency(di)
+}

@@ -1,0 +1,119 @@
+package pipeline
+
+import "spt/internal/isa"
+
+// renameDispatch moves instructions from the fetch buffer through rename
+// into the ROB, RS, and LSQ, stopping at any structural hazard.
+func (c *Core) renameDispatch() {
+	for n := 0; n < c.Cfg.RenameWidth; n++ {
+		if len(c.fetchBuf) == 0 {
+			return
+		}
+		fe := c.fetchBuf[0]
+		if fe.readyCycle > c.cycle {
+			return
+		}
+		if len(c.rob) >= c.Cfg.ROBSize {
+			return
+		}
+		ins := fe.ins
+		needsRS := opNeedsExecution(ins)
+		if needsRS && c.rsCount >= c.Cfg.RSSize {
+			return
+		}
+		if ins.IsLoad() && len(c.lq) >= c.Cfg.LQSize {
+			return
+		}
+		if ins.IsStore() && len(c.sq) >= c.Cfg.SQSize {
+			return
+		}
+		if ins.HasDest() && len(c.freeList) == 0 {
+			return
+		}
+		c.fetchBuf = c.fetchBuf[1:]
+
+		c.seq++
+		di := &DynInst{
+			Seq:    c.seq,
+			PC:     fe.pc,
+			Ins:    ins,
+			Src1:   NoReg,
+			Src2:   NoReg,
+			Dst:    NoReg,
+			OldDst: NoReg,
+			IsCF:   ins.IsControlFlow(),
+			Cp:     fe.cp,
+			HasCp:  fe.hasCp,
+			HistAt: fe.histAt,
+			RasAt:  fe.rasAt,
+		}
+
+		// Rename sources.
+		var srcs [2]isa.Reg
+		list := ins.SrcRegs(srcs[:0])
+		if len(list) > 0 {
+			di.Src1 = c.rat[list[0]]
+		}
+		if len(list) > 1 {
+			di.Src2 = c.rat[list[1]]
+		}
+
+		// Rename destination.
+		if ins.HasDest() {
+			p := c.freeList[len(c.freeList)-1]
+			c.freeList = c.freeList[:len(c.freeList)-1]
+			di.OldDst = c.rat[ins.Rd]
+			c.rat[ins.Rd] = p
+			di.Dst = p
+			c.prfReady[p] = false
+		}
+
+		// Instructions with no execution step complete at dispatch.
+		switch ins.Op {
+		case isa.NOP, isa.HALT:
+			di.Done = true
+			di.DoneCycle = c.cycle
+		case isa.JAL:
+			// Direct jump: target was known at fetch, the link value is
+			// PC+1. No execution or resolution effects are needed.
+			if di.Dst != NoReg {
+				c.prf[di.Dst] = fe.pc + 1
+				c.prfReady[di.Dst] = true
+			}
+			di.Done = true
+			di.DoneCycle = c.cycle
+			di.OutcomeKnown = true
+			di.ActualTaken = true
+			di.ActualTarget = fe.pc + uint64(ins.Imm)
+			di.Resolved = true
+		}
+
+		if needsRS {
+			di.Dispatched = true
+			c.rsCount++
+		}
+		if c.Tracer != nil {
+			c.Tracer.Event(c.cycle, di, "rename")
+		}
+		c.rob = append(c.rob, di)
+		if ins.IsLoad() {
+			c.lq = append(c.lq, di)
+		}
+		if ins.IsStore() {
+			c.sq = append(c.sq, di)
+		}
+		if c.Pol != nil {
+			c.Pol.OnRename(di)
+		}
+	}
+}
+
+// opNeedsExecution reports whether the op occupies an RS slot and an
+// execution unit.
+func opNeedsExecution(ins isa.Instruction) bool {
+	switch ins.Op {
+	case isa.NOP, isa.HALT, isa.JAL:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+package pipeline
+
+// squashAfter removes every instruction younger than seq (seq survives).
+func (c *Core) squashAfter(seq uint64) { c.squashFrom(seq + 1) }
+
+// squashFrom removes every instruction with sequence number >= seq from the
+// window, restoring the RAT and free list by walking the squashed region
+// youngest-to-oldest. The front end is NOT redirected here; callers follow
+// up with redirect().
+func (c *Core) squashFrom(seq uint64) {
+	cut := len(c.rob)
+	for cut > 0 && c.rob[cut-1].Seq >= seq {
+		cut--
+	}
+	if cut == len(c.rob) {
+		// Nothing in the ROB to squash; still drop the fetch buffer, which
+		// only ever holds instructions younger than anything renamed.
+		c.fetchBuf = c.fetchBuf[:0]
+		c.Stats.Squashes++
+		return
+	}
+	for j := len(c.rob) - 1; j >= cut; j-- {
+		di := c.rob[j]
+		di.Squashed = true
+		if c.Tracer != nil {
+			c.Tracer.Event(c.cycle, di, "squash")
+		}
+		if c.Pol != nil {
+			c.Pol.OnSquash(di)
+		}
+		if di.Dispatched {
+			c.rsCount--
+			di.Dispatched = false
+		}
+		if di.Dst != NoReg {
+			c.rat[di.Ins.Rd] = di.OldDst
+			c.freeList = append(c.freeList, di.Dst)
+		}
+		c.Stats.SquashedInstrs++
+	}
+	c.rob = c.rob[:cut]
+	c.lq = truncateQueue(c.lq, seq)
+	c.sq = truncateQueue(c.sq, seq)
+	c.fetchBuf = c.fetchBuf[:0]
+	c.Stats.Squashes++
+}
+
+func truncateQueue(q []*DynInst, seq uint64) []*DynInst {
+	cut := len(q)
+	for cut > 0 && q[cut-1].Seq >= seq {
+		cut--
+	}
+	return q[:cut]
+}
+
+// updateVP advances the visibility point for the configured attack model
+// and notifies the policy of every instruction crossing it
+// (declassification of transmitter/branch operands happens there).
+func (c *Core) updateVP() {
+	frontier := len(c.rob) - 1
+	switch c.Cfg.Model {
+	case Spectre:
+		// An instruction reaches the VP when all older control-flow
+		// instructions have resolved: everything up to and including the
+		// oldest unresolved control-flow instruction qualifies.
+		for i, di := range c.rob {
+			if di.IsCF && !di.Resolved {
+				frontier = i
+				break
+			}
+		}
+	case Futuristic:
+		// An instruction reaches the VP when it can no longer be squashed.
+		// Squash shadows are cast by: unresolved control-flow instructions
+		// (mispredict squash), incomplete loads/stores (they may fault —
+		// matching the paper's x86 machine, where memory instructions can
+		// raise exceptions until they complete; an unknown store address
+		// also threatens younger loads with a violation squash), and loads
+		// with a pending violation. ALU operations cannot fault in µRISC
+		// and cast no shadow, so the VP runs ahead of arithmetic latency.
+		for i, di := range c.rob {
+			shadowCaster := (di.IsCF && !di.Resolved) ||
+				(di.Ins.IsMem() && !di.Done) ||
+				di.Violation
+			if shadowCaster {
+				frontier = i
+				break
+			}
+		}
+	}
+	for i := 0; i <= frontier && i < len(c.rob); i++ {
+		di := c.rob[i]
+		if !di.AtVP {
+			di.AtVP = true
+			if c.Tracer != nil {
+				c.Tracer.Event(c.cycle, di, "vp")
+			}
+			if c.Pol != nil {
+				c.Pol.OnVP(di)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trainCond runs a direction sequence through PredictCond/ResolveCond and
+// reports the accuracy over the last half of the run.
+func trainCond(u *Unit, pc uint64, outcomes []bool) float64 {
+	correct, counted := 0, 0
+	for i, taken := range outcomes {
+		cp := u.PredictCond(pc)
+		target := pc + 10
+		if !taken {
+			target = pc + 1
+		}
+		misp := u.ResolveCond(cp, taken, target)
+		if misp {
+			u.Recover(cp, taken)
+		}
+		if i >= len(outcomes)/2 {
+			counted++
+			if !misp {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(counted)
+}
+
+func TestTAGELearnsAlwaysTaken(t *testing.T) {
+	u := NewUnit()
+	outcomes := make([]bool, 200)
+	for i := range outcomes {
+		outcomes[i] = true
+	}
+	if acc := trainCond(u, 100, outcomes); acc < 0.99 {
+		t.Fatalf("always-taken accuracy = %.2f", acc)
+	}
+}
+
+func TestTAGELearnsAlternating(t *testing.T) {
+	u := NewUnit()
+	outcomes := make([]bool, 400)
+	for i := range outcomes {
+		outcomes[i] = i%2 == 0
+	}
+	if acc := trainCond(u, 200, outcomes); acc < 0.95 {
+		t.Fatalf("alternating accuracy = %.2f", acc)
+	}
+}
+
+func TestTAGELearnsHistoryCorrelation(t *testing.T) {
+	// Pattern TTNTTN... requires 2 bits of history; bimodal alone can't
+	// exceed ~2/3 accuracy.
+	u := NewUnit()
+	outcomes := make([]bool, 600)
+	for i := range outcomes {
+		outcomes[i] = i%3 != 2
+	}
+	if acc := trainCond(u, 300, outcomes); acc < 0.9 {
+		t.Fatalf("period-3 accuracy = %.2f", acc)
+	}
+}
+
+func TestLoopPredictorLearnsTripCount(t *testing.T) {
+	lp := NewLoopPredictor(64)
+	pc := uint64(42)
+	// 8 visits of a 7-iteration loop (6 taken, 1 not-taken).
+	for visit := 0; visit < 8; visit++ {
+		for it := 0; it < 7; it++ {
+			lp.Update(pc, it < 6)
+		}
+	}
+	// Now confident: predicts taken for 6 iterations, not-taken on the 7th.
+	for it := 0; it < 7; it++ {
+		taken, confident := lp.Predict(pc)
+		if !confident {
+			t.Fatalf("iteration %d: not confident", it)
+		}
+		want := it < 6
+		if taken != want {
+			t.Fatalf("iteration %d: predict %v, want %v", it, taken, want)
+		}
+		lp.Update(pc, want)
+	}
+}
+
+func TestLoopPredictorLosesConfidenceOnIrregularity(t *testing.T) {
+	lp := NewLoopPredictor(64)
+	pc := uint64(7)
+	for visit := 0; visit < 5; visit++ {
+		for it := 0; it < 4; it++ {
+			lp.Update(pc, it < 3)
+		}
+	}
+	if _, confident := lp.Predict(pc); !confident {
+		t.Fatal("should be confident after regular visits")
+	}
+	// One irregular visit (different trip count).
+	for it := 0; it < 9; it++ {
+		lp.Update(pc, it < 8)
+	}
+	if _, confident := lp.Predict(pc); confident {
+		t.Fatal("should lose confidence after trip-count change")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(16)
+	if _, ok := b.Lookup(5); ok {
+		t.Fatal("cold BTB hit")
+	}
+	b.Insert(5, 99)
+	if target, ok := b.Lookup(5); !ok || target != 99 {
+		t.Fatalf("lookup = %d, %v", target, ok)
+	}
+	// Aliasing entry replaces.
+	b.Insert(5+16, 123)
+	if _, ok := b.Lookup(5); ok {
+		t.Fatal("aliased entry still hits old tag")
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(10)
+	r.Push(20)
+	if got := r.Pop(); got != 20 {
+		t.Fatalf("pop = %d, want 20", got)
+	}
+	if got := r.Pop(); got != 10 {
+		t.Fatalf("pop = %d, want 10", got)
+	}
+	if got := r.Pop(); got != 0 {
+		t.Fatalf("empty pop = %d, want 0", got)
+	}
+}
+
+func TestRASSnapshotRestore(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(1)
+	r.Push(2)
+	snap := r.Snapshot()
+	r.Pop()
+	r.Push(77)
+	r.Push(88)
+	r.Restore(snap)
+	if got := r.Pop(); got != 2 {
+		t.Fatalf("restored pop = %d, want 2", got)
+	}
+	if got := r.Pop(); got != 1 {
+		t.Fatalf("restored pop = %d, want 1", got)
+	}
+}
+
+func TestRASWrapAround(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if got := r.Pop(); got != 3 {
+		t.Fatalf("pop = %d, want 3", got)
+	}
+	if got := r.Pop(); got != 2 {
+		t.Fatalf("pop = %d, want 2", got)
+	}
+}
+
+func TestIndirectPredictorHistoryDisambiguation(t *testing.T) {
+	ip := NewIndirect(256)
+	pc := uint64(50)
+	h1 := History{G: 0b1010}
+	h2 := History{G: 0b0101}
+	ip.Update(pc, h1, 111)
+	ip.Update(pc, h2, 222)
+	if got, ok := ip.Lookup(pc, h1); !ok || got != 111 {
+		t.Fatalf("h1 target = %d, %v", got, ok)
+	}
+	if got, ok := ip.Lookup(pc, h2); !ok || got != 222 {
+		t.Fatalf("h2 target = %d, %v", got, ok)
+	}
+}
+
+func TestUnitJumpRASFlow(t *testing.T) {
+	u := NewUnit()
+	// Call at pc 10 to 100: RAS should hold 11.
+	cp := u.PredictJump(10, 100, true, true, false)
+	if cp.Target != 100 {
+		t.Fatalf("call target = %d", cp.Target)
+	}
+	// Return: predicted target is the pushed return address.
+	cp2 := u.PredictJump(105, 0, false, false, true)
+	if cp2.Target != 11 {
+		t.Fatalf("return target = %d, want 11", cp2.Target)
+	}
+}
+
+func TestUnitIndirectTrainsAfterMiss(t *testing.T) {
+	u := NewUnit()
+	cp := u.PredictJump(30, 0, false, false, false)
+	misp := u.ResolveJump(cp, 300, true)
+	if !misp {
+		t.Fatal("cold indirect should mispredict")
+	}
+	u.Recover(cp, true)
+	cp2 := u.PredictJump(30, 0, false, false, false)
+	if cp2.Target != 300 {
+		t.Fatalf("trained indirect target = %d, want 300", cp2.Target)
+	}
+}
+
+func TestUnitRecoverRestoresHistory(t *testing.T) {
+	u := NewUnit()
+	cp := u.PredictCond(77) // predicted not-taken initially
+	// History speculatively updated; suppose the branch was actually taken.
+	u.ResolveCond(cp, true, 99)
+	u.Recover(cp, true)
+	want := cp.HistBefore.Update(77, true)
+	if u.Hist != want {
+		t.Fatalf("history after recover = %+v, want %+v", u.Hist, want)
+	}
+}
+
+func TestTAGEStress(t *testing.T) {
+	// Many branches with per-PC biased outcomes: overall accuracy should be
+	// well above the bias floor.
+	u := NewUnit()
+	rng := rand.New(rand.NewSource(3))
+	bias := make(map[uint64]float64)
+	for pc := uint64(0); pc < 64; pc++ {
+		bias[pc] = rng.Float64()
+	}
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		pc := uint64(rng.Intn(64))
+		taken := rng.Float64() < bias[pc]
+		cp := u.PredictCond(pc)
+		misp := u.ResolveCond(cp, taken, pc+5)
+		if misp {
+			u.Recover(cp, taken)
+		}
+		if i > 10000 {
+			total++
+			if !misp {
+				correct++
+			}
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.65 {
+		t.Fatalf("stress accuracy = %.3f, want >= 0.65", acc)
+	}
+}
+
+func TestFoldBounds(t *testing.T) {
+	for _, hl := range []int{1, 7, 31, 63, 64} {
+		for _, ob := range []int{5, 10, 12} {
+			v := fold(^uint64(0), hl, ob)
+			if v >= 1<<uint(ob) {
+				t.Fatalf("fold(%d,%d) = %#x exceeds %d bits", hl, ob, v, ob)
+			}
+		}
+	}
+}

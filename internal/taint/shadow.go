@@ -1,0 +1,119 @@
+package taint
+
+// ShadowMode selects how far taint is tracked into the memory system
+// (paper Table 2).
+type ShadowMode uint8
+
+const (
+	// NoShadow: register taint only; every load from memory is tainted.
+	NoShadow ShadowMode = iota
+	// ShadowL1: byte-granularity taint for lines resident in the L1D,
+	// mirrored in an in-core shadow structure (§6.8, §7.5). Taint is lost
+	// on eviction: refills are fully tainted.
+	ShadowL1
+	// ShadowMem: idealized byte-granularity taint for all of memory.
+	ShadowMem
+)
+
+func (m ShadowMode) String() string {
+	switch m {
+	case NoShadow:
+		return "noshadow"
+	case ShadowL1:
+		return "shadowl1"
+	case ShadowMem:
+		return "shadowmem"
+	}
+	return "shadow(?)"
+}
+
+const lineBytes = 64
+
+// lineTaint is the per-byte taint of one cache line; true = tainted.
+type lineTaint [lineBytes]bool
+
+func allTainted() *lineTaint {
+	var lt lineTaint
+	for i := range lt {
+		lt[i] = true
+	}
+	return &lt
+}
+
+// shadow tracks byte-granularity memory taint under either shadow mode.
+type shadow struct {
+	mode  ShadowMode
+	lines map[uint64]*lineTaint
+}
+
+func newShadow(mode ShadowMode) *shadow {
+	return &shadow{mode: mode, lines: make(map[uint64]*lineTaint)}
+}
+
+func lineAddrOf(addr uint64) uint64 { return addr &^ (lineBytes - 1) }
+
+// onFill handles an L1D line installation. Under ShadowL1, a fill makes
+// the whole line tainted (taint is not tracked below the L1). Under
+// ShadowMem, memory taint is persistent and fills change nothing.
+func (s *shadow) onFill(lineAddr uint64) {
+	if s.mode != ShadowL1 {
+		return
+	}
+	s.lines[lineAddr] = allTainted()
+}
+
+// onEvict handles an L1D eviction: under ShadowL1 the taint is dropped
+// (the line's bytes become implicitly tainted).
+func (s *shadow) onEvict(lineAddr uint64) {
+	if s.mode != ShadowL1 {
+		return
+	}
+	delete(s.lines, lineAddr)
+}
+
+// rangeTainted reports whether any byte of [addr, addr+size) is tainted.
+func (s *shadow) rangeTainted(addr uint64, size int) bool {
+	if s.mode == NoShadow {
+		return true
+	}
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		lt, ok := s.lines[lineAddrOf(a)]
+		if !ok {
+			return true // absent line: all bytes tainted
+		}
+		if lt[a%lineBytes] {
+			return true
+		}
+	}
+	return false
+}
+
+// setRange sets the taint of [addr, addr+size) to tainted. Returns true if
+// any byte's taint changed.
+func (s *shadow) setRange(addr uint64, size int, tainted bool) bool {
+	if s.mode == NoShadow {
+		return false
+	}
+	changed := false
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		la := lineAddrOf(a)
+		lt, ok := s.lines[la]
+		if !ok {
+			if tainted {
+				continue // absent = already tainted
+			}
+			lt = allTainted()
+			s.lines[la] = lt
+		}
+		if lt[a%lineBytes] != tainted {
+			lt[a%lineBytes] = tainted
+			changed = true
+		}
+	}
+	return changed
+}
+
+// trackedLines reports the number of lines with explicit taint state.
+func (s *shadow) trackedLines() int { return len(s.lines) }

@@ -1,0 +1,97 @@
+package taint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShadowRoundTrip(t *testing.T) {
+	f := func(addrRaw uint64, size8 uint8, tainted bool) bool {
+		s := newShadow(ShadowMem)
+		addr := addrRaw % (1 << 30)
+		size := int(size8%8) + 1
+		s.setRange(addr, size, tainted)
+		return s.rangeTainted(addr, size) == tainted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowAbsentLineIsTainted(t *testing.T) {
+	s := newShadow(ShadowMem)
+	if !s.rangeTainted(0x1234, 8) {
+		t.Fatal("untracked memory must read as tainted")
+	}
+	if s.setRange(0x1234, 4, true) {
+		t.Fatal("tainting already-tainted bytes reported a change")
+	}
+}
+
+func TestShadowCrossLineRange(t *testing.T) {
+	s := newShadow(ShadowMem)
+	addr := uint64(lineBytes - 4) // spans two lines
+	if !s.setRange(addr, 8, false) {
+		t.Fatal("untaint reported no change")
+	}
+	if s.rangeTainted(addr, 8) {
+		t.Fatal("cross-line range still tainted")
+	}
+	// One byte past the range must still be tainted.
+	if !s.rangeTainted(addr+8, 1) {
+		t.Fatal("adjacent byte untainted")
+	}
+	if s.trackedLines() != 2 {
+		t.Fatalf("tracked lines = %d, want 2", s.trackedLines())
+	}
+}
+
+func TestShadowL1FillAndEvict(t *testing.T) {
+	s := newShadow(ShadowL1)
+	s.setRange(0x100, 8, false)
+	if s.rangeTainted(0x100, 8) {
+		t.Fatal("bytes should be untainted")
+	}
+	// A fill re-taints the whole line (taint is lost below the L1).
+	s.onFill(lineAddrOf(0x100))
+	if !s.rangeTainted(0x100, 1) {
+		t.Fatal("fill did not re-taint")
+	}
+	s.setRange(0x100, 8, false)
+	s.onEvict(lineAddrOf(0x100))
+	if !s.rangeTainted(0x100, 1) {
+		t.Fatal("evicted line should read tainted")
+	}
+	if s.trackedLines() != 0 {
+		t.Fatal("eviction leaked shadow state")
+	}
+}
+
+func TestShadowNoShadowAlwaysTainted(t *testing.T) {
+	s := newShadow(NoShadow)
+	s.setRange(0x40, 8, false)
+	if !s.rangeTainted(0x40, 8) {
+		t.Fatal("NoShadow must treat all memory as tainted")
+	}
+}
+
+func TestShadowPartialUntaintKeepsNeighborsTainted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		s := newShadow(ShadowMem)
+		base := uint64(rng.Intn(1 << 20))
+		size := 1 + rng.Intn(8)
+		s.setRange(base, size, false)
+		for off := -2; off < size+2; off++ {
+			a := base + uint64(off)
+			if off < 0 {
+				a = base - uint64(-off)
+			}
+			want := off >= 0 && off < size
+			if got := !s.rangeTainted(a, 1); got != want {
+				t.Fatalf("base=%#x size=%d off=%d: untainted=%v want %v", base, size, off, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package taint_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spt/internal/asm"
+	"spt/internal/emu"
+	"spt/internal/isa"
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+	"spt/internal/workloads"
+)
+
+func policies() map[string]func() pipeline.Policy {
+	return map[string]func() pipeline.Policy{
+		"unsafe": func() pipeline.Policy { return nil },
+		"secure": func() pipeline.Policy { return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintNone}) },
+		"spt-fwd": func() pipeline.Policy {
+			return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintFwd, BroadcastWidth: 3})
+		},
+		"spt-bwd": func() pipeline.Policy {
+			return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, BroadcastWidth: 3})
+		},
+		"spt-full": func() pipeline.Policy {
+			return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, Shadow: taint.ShadowL1, BroadcastWidth: 3})
+		},
+		"spt-shadowmem": func() pipeline.Policy {
+			return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, Shadow: taint.ShadowMem, BroadcastWidth: 3})
+		},
+		"spt-ideal": func() pipeline.Policy {
+			return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintIdeal, Shadow: taint.ShadowMem})
+		},
+		"stt": func() pipeline.Policy { return taint.NewSTT() },
+	}
+}
+
+func runWith(t *testing.T, p *isa.Program, model pipeline.AttackModel, pol pipeline.Policy) *pipeline.Core {
+	t.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.Model = model
+	c, err := pipeline.New(cfg, p, mem.NewHierarchy(mem.DefaultHierarchyConfig()), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(50_000_000, 500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Finished() {
+		t.Fatal("program did not finish")
+	}
+	return c
+}
+
+// TestAllPoliciesPreserveArchitecture is the central functional-correctness
+// property: no protection scheme may change what the program computes.
+func TestAllPoliciesPreserveArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	progs := make([]*isa.Program, 0, 12)
+	for i := 0; i < 12; i++ {
+		progs = append(progs, workloads.RandomProgram(rng, 30+rng.Intn(80)))
+	}
+	for name, mk := range policies() {
+		for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+			for pi, p := range progs {
+				e := emu.New(p)
+				if _, err := e.Run(60_000_000); err != nil {
+					t.Fatal(err)
+				}
+				c := runWith(t, p, model, mk())
+				regs := c.ArchRegs()
+				for r := 0; r < isa.NumRegs; r++ {
+					if regs[r] != e.State.Regs[r] {
+						t.Fatalf("%s/%v prog %d: r%d = %#x, want %#x", name, model, pi, r, regs[r], e.State.Regs[r])
+					}
+				}
+				if c.Stats.Retired != e.State.Retired {
+					t.Fatalf("%s/%v prog %d: retired %d, want %d", name, model, pi, c.Stats.Retired, e.State.Retired)
+				}
+			}
+		}
+	}
+}
+
+// TestOverheadOrdering checks the performance shape the paper reports:
+// Unsafe <= STT <= full SPT <= SPT{Fwd} <= SecureBaseline on a
+// memory-parallel workload (Figure 7's qualitative ordering).
+func TestOverheadOrdering(t *testing.T) {
+	// Strided loads with plenty of memory-level parallelism: delaying
+	// transmitters destroys MLP, so SecureBaseline suffers hugely.
+	b := asm.NewBuilder("mlp")
+	quads := make([]uint64, 8192)
+	for i := range quads {
+		quads[i] = uint64(i)
+	}
+	b.DataQuads(0x100000, quads)
+	b.Movi(1, 0x100000)
+	b.Movi(2, 0)
+	b.Movi(3, 8000)
+	b.Label("top")
+	for i := int64(0); i < 8; i++ {
+		b.Ld(isa.Reg(10+i), 1, i*8)
+	}
+	for i := int64(0); i < 8; i++ {
+		b.Add(2, 2, isa.Reg(10+i))
+	}
+	b.Addi(1, 1, 64)
+	b.Addi(3, 3, -8)
+	b.Bne(3, isa.Zero, "top")
+	b.Halt()
+	p := b.MustBuild()
+
+	cycles := map[string]uint64{}
+	for _, name := range []string{"unsafe", "stt", "spt-full", "spt-fwd", "secure"} {
+		c := runWith(t, p, pipeline.Futuristic, policies()[name]())
+		cycles[name] = c.Stats.Cycles
+	}
+	t.Logf("cycles: %v", cycles)
+	if !(cycles["unsafe"] <= cycles["stt"] && cycles["stt"] <= cycles["spt-full"]) {
+		t.Errorf("expected unsafe <= stt <= spt-full: %v", cycles)
+	}
+	if !(cycles["spt-full"] <= cycles["spt-fwd"] && cycles["spt-fwd"] <= cycles["secure"]) {
+		t.Errorf("expected spt-full <= spt-fwd <= secure: %v", cycles)
+	}
+	if cycles["secure"] < cycles["unsafe"]*3/2 {
+		t.Errorf("SecureBaseline should be much slower than unsafe on MLP code: %v", cycles)
+	}
+}
+
+// TestVPDeclassificationUnblocksReuse: a second load of the same (already
+// non-speculatively leaked) address register executes before reaching the
+// VP under SPT, but not under SecureBaseline.
+func TestVPDeclassificationUnblocks(t *testing.T) {
+	src := `
+  movi r1, 0x4000
+  ld r2, 0(r1)      ; r2 tainted
+  ld r3, 0(r2)      ; tainted address: delayed; declassifies r2 at its VP
+  ld r4, 8(r2)      ; same base: SPT executes it as soon as r2 is public
+  halt
+`
+	p := asm.MustAssemble("declass", src)
+	spt := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintFwd, BroadcastWidth: 3})
+	cS := runWith(t, p, pipeline.Futuristic, spt)
+	sec := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintNone})
+	cB := runWith(t, p, pipeline.Futuristic, sec)
+	if cS.Stats.Cycles > cB.Stats.Cycles {
+		t.Errorf("SPT (%d cycles) slower than SecureBaseline (%d)", cS.Stats.Cycles, cB.Stats.Cycles)
+	}
+	if spt.Stats.Events[taint.EvVPDeclass] == 0 {
+		t.Error("expected VP declassification events")
+	}
+	if spt.Stats.Events[taint.EvLoadImm] == 0 {
+		t.Error("expected rename-time public outputs (movi)")
+	}
+}
+
+// TestForwardUntaintEvents: chains of ALU ops over declassified data
+// produce forward untaint events.
+func TestForwardUntaintEvents(t *testing.T) {
+	// The dependents sit *after* the declassifying transmitter so they are
+	// still in flight (younger, unretired) when the declassification lands.
+	p := asm.MustAssemble("fwd", `
+  movi r1, 0x4000
+  ld r2, 0(r1)      ; r2 tainted
+  ld r5, 0(r2)      ; tainted address: waits for VP, then declassifies r2
+  add r4, r2, r2    ; younger dependent: forward-untaints after r2 declassifies
+  addi r6, r4, 1    ; second hop of the dataflow graph
+  halt
+`)
+	spt := taint.NewSPT(taint.DefaultSPTConfig())
+	runWith(t, p, pipeline.Futuristic, spt)
+	if spt.Stats.Events[taint.EvVPDeclass] == 0 {
+		t.Error("no VP declassifications")
+	}
+	if spt.Stats.Events[taint.EvForward] == 0 {
+		t.Error("no forward untaint events (r4 should untaint after r3 declassifies)")
+	}
+}
+
+// TestBackwardUntaintEvents: declassifying the output of an invertible op
+// untaints its remaining tainted input.
+func TestBackwardUntaintEvents(t *testing.T) {
+	// Backward untainting needs the producing instruction to still be in
+	// the ROB when its output is declassified. That happens when the VP
+	// runs ahead of retirement — which is exactly the Spectre model (the
+	// paper's Figure 8 notes backward untaints are more common there). A
+	// slow pointer chase at the head keeps retirement far behind.
+	p := asm.MustAssemble("bwd", `
+.data 0x7000
+.quad 0x7100
+.text
+  movi r8, 0x7000
+  ld r8, 0(r8)      ; slow head blocker (cold miss)
+  ld r8, 0(r8)      ; dependent chase: blocks retirement even longer
+  movi r1, 0x4000
+  ld r2, 0(r1)      ; r2 tainted
+  addi r3, r2, 4    ; r3 tainted, invertible in r2
+  ld r4, 0(r3)      ; reaches VP early under Spectre: declassifies r3
+  add r5, r3, r3
+  halt
+`)
+	spt := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, BroadcastWidth: 3})
+	runWith(t, p, pipeline.Spectre, spt)
+	if spt.Stats.Events[taint.EvBackward] == 0 {
+		t.Error("no backward untaint events (r2 inferable from declassified r3)")
+	}
+}
+
+// TestBroadcastWidthLimits: with width 1 and many simultaneous untaints,
+// some must be deferred; ideal mode never defers.
+func TestBroadcastWidthLimits(t *testing.T) {
+	b := asm.NewBuilder("wide")
+	b.DataQuads(0x8000, []uint64{0x8000})
+	b.Movi(1, 0x8000)
+	b.Ld(2, 1, 0) // r2 tainted
+	b.Ld(3, 2, 0) // tainted address: delayed; declassifies r2 at VP
+	// Many younger dependents of r2: when r2 untaints they all become
+	// forward-untaint candidates in the same cycle.
+	for i := int64(0); i < 12; i++ {
+		b.OpI(isa.ADDI, isa.Reg(10+i), 2, i)
+	}
+	b.Halt()
+	p := b.MustBuild()
+
+	narrow := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, BroadcastWidth: 1})
+	runWith(t, p, pipeline.Futuristic, narrow)
+	if narrow.Stats.BroadcastDeferred == 0 {
+		t.Error("width-1 broadcast never deferred an untaint")
+	}
+	ideal := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintIdeal, Shadow: taint.ShadowMem})
+	runWith(t, p, pipeline.Futuristic, ideal)
+	if ideal.Stats.BroadcastDeferred != 0 {
+		t.Error("ideal mode deferred an untaint")
+	}
+}
+
+// TestShadowL1StoreLoadUntaint: public data stored then reloaded is
+// untainted through the shadow L1 (§6.8), but tainted without it.
+func TestShadowL1StoreLoadUntaint(t *testing.T) {
+	src := `
+  movi r1, 0x4000
+  movi r2, 42
+  st r2, 0(r1)      ; public data written: bytes untaint
+  movi r9, 300
+warm:
+  addi r9, r9, -1
+  bne r9, r0, warm
+  ld r3, 0(r1)      ; reads untainted bytes -> r3 public
+  ld r4, 0(r3)      ; can execute speculatively only if r3 public
+  halt
+`
+	p := asm.MustAssemble("shadow", src)
+	with := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, Shadow: taint.ShadowL1, BroadcastWidth: 3})
+	runWith(t, p, pipeline.Futuristic, with)
+	if with.Stats.Events[taint.EvShadowLoad] == 0 {
+		t.Error("no shadow-load untaint events with shadow L1")
+	}
+	without := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, Shadow: taint.NoShadow, BroadcastWidth: 3})
+	runWith(t, p, pipeline.Futuristic, without)
+	if without.Stats.Events[taint.EvShadowLoad] != 0 {
+		t.Error("shadow-load events without a shadow structure")
+	}
+}
+
+// TestSTLForwardPropagation: a load forwarded from a store with public
+// data untaints once STLPublic holds.
+func TestSTLForwardPropagation(t *testing.T) {
+	p := asm.MustAssemble("stlf", `
+  movi r1, 0x4000
+  movi r2, 7
+  st r2, 0(r1)
+  ld r3, 0(r1)      ; forwarded from the store
+  ld r4, 0(r3)      ; usable speculatively once r3 untaints
+  halt
+`)
+	spt := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, BroadcastWidth: 3})
+	c := runWith(t, p, pipeline.Futuristic, spt)
+	if c.Stats.STLForwards == 0 {
+		t.Skip("no forwarding occurred (timing)")
+	}
+	if spt.Stats.Events[taint.EvSTLForward] == 0 {
+		t.Error("no STL forward untaint events")
+	}
+}
+
+// TestSTTLoadOutputUntaintsAtVP: STT s-untaints a load's output when the
+// load reaches the VP, and dependent transmitters then execute.
+func TestSTTSemantics(t *testing.T) {
+	p := asm.MustAssemble("stt", `
+  movi r1, 0x6000
+  ld r2, 0(r1)
+  ld r3, 0(r2)      ; dependent: delayed until r2 s-untaints
+  halt
+`)
+	stt := taint.NewSTT()
+	c := runWith(t, p, pipeline.Futuristic, stt)
+	if stt.Stats.Untaints == 0 {
+		t.Error("no s-untaint events")
+	}
+	_ = c
+}
+
+// TestSTTFasterThanSPTOnSecretReuse: STT does not protect
+// non-speculatively accessed data, so it runs constant-time-style code
+// faster than SPT (the price SPT pays for its broader protection scope).
+func TestSTTNarrowerScopeIsFaster(t *testing.T) {
+	// A loop whose loads' addresses come from architectural registers
+	// (non-speculative): STT never delays them; SPT must prove them public
+	// first.
+	b := asm.NewBuilder("scope")
+	quads := make([]uint64, 4096)
+	b.DataQuads(0x20000, quads)
+	b.Movi(1, 0x20000)
+	b.Movi(3, 2000)
+	b.Label("top")
+	b.Ld(4, 1, 0)
+	b.Ld(5, 1, 8)
+	b.Add(6, 4, 5)
+	b.Addi(1, 1, 16)
+	b.Addi(3, 3, -1)
+	b.Bne(3, isa.Zero, "top")
+	b.Halt()
+	p := b.MustBuild()
+
+	stt := runWith(t, p, pipeline.Futuristic, taint.NewSTT())
+	spt := runWith(t, p, pipeline.Futuristic, taint.NewSPT(taint.DefaultSPTConfig()))
+	if stt.Stats.Cycles > spt.Stats.Cycles {
+		t.Errorf("STT (%d cycles) should not be slower than SPT (%d)", stt.Stats.Cycles, spt.Stats.Cycles)
+	}
+}
+
+// TestTaintMonotonicityInFlight: within an instruction's lifetime a
+// register may go tainted -> untainted but never back (paper §6.6
+// convergence property). We sample a running core every cycle.
+func TestTaintMonotonicityInFlight(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := workloads.RandomProgram(rng, 80)
+	cfg := pipeline.DefaultConfig()
+	spt := taint.NewSPT(taint.DefaultSPTConfig())
+	c, err := pipeline.New(cfg, p, mem.NewHierarchy(mem.DefaultHierarchyConfig()), spt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track (seq, reg) -> was untainted.
+	type key struct {
+		seq uint64
+		reg pipeline.PhysReg
+	}
+	wasUntainted := make(map[key]bool)
+	for i := 0; i < 300_000 && !c.Finished(); i++ {
+		c.Step()
+		for _, di := range c.ROB() {
+			for _, r := range []pipeline.PhysReg{di.Src1, di.Src2, di.Dst} {
+				if r == pipeline.NoReg {
+					continue
+				}
+				k := key{di.Seq, r}
+				if spt.Tainted(r) {
+					if wasUntainted[k] {
+						t.Fatalf("register %d of seq %d was retainted", r, di.Seq)
+					}
+				} else {
+					wasUntainted[k] = true
+				}
+			}
+		}
+	}
+	if !c.Finished() {
+		t.Fatal("did not finish")
+	}
+}
+
+// TestFig9HistogramPopulated: the ideal configuration records per-cycle
+// untaint counts.
+func TestFig9HistogramPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := workloads.RandomProgram(rng, 100)
+	spt := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintIdeal, Shadow: taint.ShadowMem})
+	runWith(t, p, pipeline.Futuristic, spt)
+	if spt.Stats.UntaintingCycles == 0 {
+		t.Fatal("no untainting cycles recorded")
+	}
+	var total uint64
+	for _, v := range spt.Stats.UntaintHist {
+		total += v
+	}
+	if total != spt.Stats.UntaintingCycles {
+		t.Fatalf("histogram total %d != untainting cycles %d", total, spt.Stats.UntaintingCycles)
+	}
+}
+
+// TestSecureBaselineDelaysEverything: under the secure baseline every
+// speculative transmitter waits, so delays must be recorded and IPC must
+// drop versus unsafe.
+func TestSecureBaselineDelaysEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := workloads.RandomProgram(rng, 100)
+	unsafe := runWith(t, p, pipeline.Futuristic, nil)
+	secure := runWith(t, p, pipeline.Futuristic, taint.NewSPT(taint.SPTConfig{Method: taint.UntaintNone}))
+	if secure.Stats.TransmitterDelays == 0 {
+		t.Error("secure baseline recorded no transmitter delays")
+	}
+	if secure.Stats.Cycles < unsafe.Stats.Cycles {
+		t.Errorf("secure (%d) faster than unsafe (%d)", secure.Stats.Cycles, unsafe.Stats.Cycles)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := taint.EventKind(0); k < taint.NumEvents; k++ {
+		if k.String() == "" {
+			t.Fatalf("event %d has no name", k)
+		}
+	}
+	if taint.UntaintNone.String() != "none" || taint.UntaintIdeal.String() != "ideal" {
+		t.Fatal("method names wrong")
+	}
+	if taint.ShadowL1.String() != "shadowl1" {
+		t.Fatal("shadow names wrong")
+	}
+}

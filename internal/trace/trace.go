@@ -1,0 +1,174 @@
+// Package trace renders per-instruction pipeline activity: a flat event
+// log (one line per lifecycle event) and a gem5-O3-pipeview-style timeline
+// that shows, per dynamic instruction, the cycles at which it was renamed,
+// issued, performed its memory access, completed, crossed the visibility
+// point, and retired. cmd/spt-sim exposes it as the paper artifact's
+// --track-insts.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"spt/internal/pipeline"
+)
+
+// Recorder collects pipeline lifecycle events. It implements
+// pipeline.Tracer. The buffer is bounded: once Limit events are recorded,
+// further events are counted but dropped.
+type Recorder struct {
+	// Limit bounds the stored events (default 100_000 if zero).
+	Limit int
+
+	events  []Event
+	dropped uint64
+	insts   map[uint64]*InstTimeline
+	order   []uint64
+}
+
+// Event is one lifecycle event.
+type Event struct {
+	Cycle uint64
+	Seq   uint64
+	PC    uint64
+	Stage string
+	Disas string
+}
+
+// InstTimeline aggregates one dynamic instruction's stage cycles.
+type InstTimeline struct {
+	Seq      uint64
+	PC       uint64
+	Disas    string
+	Stages   map[string]uint64
+	Squashed bool
+	Retired  bool
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{insts: make(map[uint64]*InstTimeline)}
+}
+
+// Event implements pipeline.Tracer.
+func (r *Recorder) Event(cycle uint64, di *pipeline.DynInst, stage string) {
+	limit := r.Limit
+	if limit == 0 {
+		limit = 100_000
+	}
+	if len(r.events) >= limit {
+		r.dropped++
+		return
+	}
+	disas := di.Ins.String()
+	r.events = append(r.events, Event{Cycle: cycle, Seq: di.Seq, PC: di.PC, Stage: stage, Disas: disas})
+	tl := r.insts[di.Seq]
+	if tl == nil {
+		tl = &InstTimeline{Seq: di.Seq, PC: di.PC, Disas: disas, Stages: make(map[string]uint64, 8)}
+		r.insts[di.Seq] = tl
+		r.order = append(r.order, di.Seq)
+	}
+	if _, dup := tl.Stages[stage]; !dup {
+		tl.Stages[stage] = cycle
+	}
+	switch stage {
+	case "squash":
+		tl.Squashed = true
+	case "retire":
+		tl.Retired = true
+	}
+}
+
+// Events returns the recorded event log.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped reports how many events exceeded the buffer.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Timelines returns per-instruction timelines in program order.
+func (r *Recorder) Timelines() []*InstTimeline {
+	out := make([]*InstTimeline, 0, len(r.order))
+	for _, seq := range r.order {
+		out = append(out, r.insts[seq])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteLog writes the flat event log.
+func (r *Recorder) WriteLog(w io.Writer) error {
+	for _, e := range r.events {
+		if _, err := fmt.Fprintf(w, "cycle=%-8d seq=%-6d pc=%-5d %-10s %s\n",
+			e.Cycle, e.Seq, e.PC, e.Stage, e.Disas); err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(w, "... %d events dropped (buffer limit)\n", r.dropped)
+	}
+	return nil
+}
+
+// timelineColumns defines the column order of the pipeview output.
+var timelineColumns = []string{"rename", "issue", "mem", "complete", "resolve", "vp", "retire"}
+
+// WriteTimeline writes the per-instruction stage table.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-6s %-5s %-9s", "seq", "pc", "fate"); err != nil {
+		return err
+	}
+	for _, col := range timelineColumns {
+		fmt.Fprintf(w, " %9s", col)
+	}
+	fmt.Fprintln(w, "  instruction")
+	for _, tl := range r.Timelines() {
+		fate := "in-flight"
+		switch {
+		case tl.Retired:
+			fate = "retired"
+		case tl.Squashed:
+			fate = "squashed"
+		}
+		fmt.Fprintf(w, "%-6d %-5d %-9s", tl.Seq, tl.PC, fate)
+		for _, col := range timelineColumns {
+			key := col
+			if col == "resolve" {
+				if _, misp := tl.Stages["mispredict"]; misp {
+					key = "mispredict"
+				}
+			}
+			if cyc, ok := tl.Stages[key]; ok {
+				mark := ""
+				if key == "mispredict" {
+					mark = "!"
+				}
+				fmt.Fprintf(w, " %8d%1s", cyc, mark)
+			} else {
+				fmt.Fprintf(w, " %9s", ".")
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", tl.Disas)
+	}
+	return nil
+}
+
+// Summary returns quick aggregate facts about the trace (for tests and
+// logs): events by stage and squash count.
+func (r *Recorder) Summary() string {
+	byStage := map[string]int{}
+	for _, e := range r.events {
+		byStage[e.Stage]++
+	}
+	keys := make([]string, 0, len(byStage))
+	for k := range byStage {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d ", k, byStage[k])
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,177 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"spt/internal/asm"
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+	"spt/internal/trace"
+)
+
+func runTraced(t *testing.T, src string) *trace.Recorder {
+	t.Helper()
+	p := asm.MustAssemble("traced", src)
+	rec := trace.NewRecorder()
+	c, err := pipeline.New(pipeline.DefaultConfig(), p, mem.NewHierarchy(mem.DefaultHierarchyConfig()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tracer = rec
+	if err := c.Run(1_000_000, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Finished() {
+		t.Fatal("did not finish")
+	}
+	return rec
+}
+
+const tracedSrc = `
+  movi r1, 0x4000
+  movi r2, 5
+  st r2, 0(r1)
+  ld r3, 0(r1)
+  add r4, r3, r2
+  beq r4, r0, skip
+  addi r5, r4, 1
+skip:
+  halt
+`
+
+func TestStageOrderingPerInstruction(t *testing.T) {
+	rec := runTraced(t, tracedSrc)
+	for _, tl := range rec.Timelines() {
+		if !tl.Retired {
+			continue
+		}
+		order := []string{"rename", "issue", "mem", "complete", "retire"}
+		var prev uint64
+		var prevStage string
+		for _, s := range order {
+			cyc, ok := tl.Stages[s]
+			if !ok {
+				continue
+			}
+			if cyc < prev {
+				t.Errorf("seq %d (%s): %s@%d before %s@%d", tl.Seq, tl.Disas, s, cyc, prevStage, prev)
+			}
+			prev, prevStage = cyc, s
+		}
+	}
+}
+
+func TestEveryRetiredInstructionHasRenameAndRetire(t *testing.T) {
+	rec := runTraced(t, tracedSrc)
+	retired := 0
+	for _, tl := range rec.Timelines() {
+		if !tl.Retired {
+			continue
+		}
+		retired++
+		if _, ok := tl.Stages["rename"]; !ok {
+			t.Errorf("seq %d retired without rename event", tl.Seq)
+		}
+		if _, ok := tl.Stages["vp"]; !ok {
+			t.Errorf("seq %d retired without crossing the VP", tl.Seq)
+		}
+	}
+	if retired != 8 { // 7 instructions + halt
+		t.Fatalf("retired instructions traced = %d, want 8", retired)
+	}
+}
+
+func TestMemEventsOnlyForMemOps(t *testing.T) {
+	rec := runTraced(t, tracedSrc)
+	for _, e := range rec.Events() {
+		if e.Stage == "mem" && !strings.Contains(e.Disas, "(") {
+			t.Errorf("mem event for non-memory instruction %q", e.Disas)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	rec := runTraced(t, tracedSrc)
+	var log strings.Builder
+	if err := rec.WriteLog(&log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "rename") || !strings.Contains(log.String(), "retire") {
+		t.Fatal("event log missing stages")
+	}
+	var tlb strings.Builder
+	if err := rec.WriteTimeline(&tlb); err != nil {
+		t.Fatal(err)
+	}
+	out := tlb.String()
+	for _, want := range []string{"seq", "retired", "movi r1", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if rec.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestSquashedInstructionsMarked(t *testing.T) {
+	// A data-dependent branch that mispredicts at least once.
+	rec := runTraced(t, `
+  movi r1, 40
+  movi r5, 99
+top:
+  andi r2, r1, 3
+  beq r2, r0, skip
+  addi r5, r5, 1
+skip:
+  addi r1, r1, -1
+  bne r1, r0, top
+  halt
+`)
+	squashed := 0
+	for _, tl := range rec.Timelines() {
+		if tl.Squashed {
+			squashed++
+			if tl.Retired {
+				t.Errorf("seq %d both squashed and retired", tl.Seq)
+			}
+		}
+	}
+	if squashed == 0 {
+		t.Fatal("no squashed instructions traced (expected mispredictions)")
+	}
+}
+
+func TestBufferLimit(t *testing.T) {
+	p := asm.MustAssemble("big", `
+  movi r1, 2000
+top:
+  addi r1, r1, -1
+  bne r1, r0, top
+  halt
+`)
+	rec := trace.NewRecorder()
+	rec.Limit = 100
+	c, err := pipeline.New(pipeline.DefaultConfig(), p, mem.NewHierarchy(mem.DefaultHierarchyConfig()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tracer = rec
+	if err := c.Run(1_000_000, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) != 100 {
+		t.Fatalf("events = %d, want 100", len(rec.Events()))
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("no drops recorded")
+	}
+	var sb strings.Builder
+	if err := rec.WriteLog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dropped") {
+		t.Fatal("drop notice missing from log")
+	}
+}

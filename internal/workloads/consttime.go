@@ -1,0 +1,284 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"spt/internal/asm"
+	"spt/internal/isa"
+)
+
+// Constant-time kernels (paper §9.1: bitslice AES, BearSSL ChaCha20,
+// djbsort). All three are genuinely data-oblivious µRISC programs: no
+// secret-dependent branch predicates or memory addresses. The dedicated
+// test TestConstTimeKernelsAreDataOblivious verifies this by comparing
+// observation traces across different secret inputs on the *unprotected*
+// machine.
+
+// Memory layout shared by the constant-time kernels.
+const (
+	ctStateBase = 0x40000 // initial state / key material
+	ctOutBase   = 0x41000 // output (keystream / ciphertext / sorted data)
+)
+
+func init() {
+	register(Workload{
+		Name:     "chacha20",
+		Class:    ConstTime,
+		Behavior: "ChaCha20 block function (RFC 8439): 20 rounds of ADDW/XOR/ROLW per block",
+		Build:    BuildChaCha20,
+	})
+	register(Workload{
+		Name:     "aes-bitslice",
+		Class:    ConstTime,
+		Behavior: "bitsliced AES-style rounds: XOR/AND/OR gate network over 8 bit-planes",
+		Build:    buildBitsliceAES,
+	})
+	register(Workload{
+		Name:     "djbsort",
+		Class:    ConstTime,
+		Behavior: "djbsort-style constant-time sorting network (Batcher odd-even merge, MIN/MAX)",
+		Build:    buildDjbsort,
+	})
+}
+
+// DefaultChaChaKey is the kernel's embedded key: bytes 00 01 02 ... 1f.
+func DefaultChaChaKey() [32]byte {
+	var k [32]byte
+	for i := range k {
+		k[i] = byte(i)
+	}
+	return k
+}
+
+// ChaChaInitialState returns the RFC 8439 initial state for the given key
+// with the kernel's embedded nonce and counter (used by the test's
+// reference implementation).
+func ChaChaInitialState() [16]uint32 { return ChaChaInitialStateKeyed(DefaultChaChaKey()) }
+
+// ChaChaInitialStateKeyed builds the initial state for an arbitrary key.
+func ChaChaInitialStateKeyed(key [32]byte) [16]uint32 {
+	var st [16]uint32
+	st[0], st[1], st[2], st[3] = 0x61707865, 0x3320646e, 0x79622d32, 0x6b206574
+	for i := 0; i < 8; i++ {
+		st[4+i] = uint32(key[4*i]) | uint32(key[4*i+1])<<8 | uint32(key[4*i+2])<<16 | uint32(key[4*i+3])<<24
+	}
+	st[12] = 1          // block counter
+	st[13] = 0x09000000 // nonce
+	st[14] = 0x4a000000
+	st[15] = 0
+	return st
+}
+
+// BuildChaCha20 emits the ChaCha20 block function with the default key.
+func BuildChaCha20(iters int64) *isa.Program {
+	return BuildChaCha20Keyed(iters, DefaultChaChaKey())
+}
+
+// BuildChaCha20Keyed emits the ChaCha20 block function for a specific
+// (secret) key. Each outer iteration produces one 64-byte keystream block
+// at ctOutBase and increments the block counter in the state. Register
+// plan: r5-r20 hold the 16 state words, r23-r26 hold the rotation amounts,
+// r21 points at the stored initial state.
+func BuildChaCha20Keyed(iters int64, key [32]byte) *isa.Program {
+	b := asm.NewBuilder("chacha20")
+	init := ChaChaInitialStateKeyed(key)
+	stBytes := make([]byte, 64)
+	for i, w := range init {
+		stBytes[4*i] = byte(w)
+		stBytes[4*i+1] = byte(w >> 8)
+		stBytes[4*i+2] = byte(w >> 16)
+		stBytes[4*i+3] = byte(w >> 24)
+	}
+	b.Data(ctStateBase, stBytes)
+
+	st := func(i int) isa.Reg { return isa.Reg(5 + i) } // r5..r20
+	b.Movi(21, ctStateBase)
+	b.Movi(22, ctOutBase)
+	b.Movi(23, 16)
+	b.Movi(24, 12)
+	b.Movi(25, 8)
+	b.Movi(26, 7)
+
+	quarter := func(a, c, d, e int) {
+		A, B, C, D := st(a), st(c), st(d), st(e)
+		b.Op3(isa.ADDW, A, A, B)
+		b.Xor(D, D, A)
+		b.Op3(isa.ROLW, D, D, 23) // 16
+		b.Op3(isa.ADDW, C, C, D)
+		b.Xor(B, B, C)
+		b.Op3(isa.ROLW, B, B, 24) // 12
+		b.Op3(isa.ADDW, A, A, B)
+		b.Xor(D, D, A)
+		b.Op3(isa.ROLW, D, D, 25) // 8
+		b.Op3(isa.ADDW, C, C, D)
+		b.Xor(B, B, C)
+		b.Op3(isa.ROLW, B, B, 26) // 7
+	}
+
+	outer(b, iters, func() {
+		// Load the working state.
+		for i := 0; i < 16; i++ {
+			b.Ldw(st(i), 21, int64(4*i))
+		}
+		for round := 0; round < 10; round++ {
+			// Column rounds.
+			quarter(0, 4, 8, 12)
+			quarter(1, 5, 9, 13)
+			quarter(2, 6, 10, 14)
+			quarter(3, 7, 11, 15)
+			// Diagonal rounds.
+			quarter(0, 5, 10, 15)
+			quarter(1, 6, 11, 12)
+			quarter(2, 7, 8, 13)
+			quarter(3, 4, 9, 14)
+		}
+		// Add the initial state back in and emit the keystream block.
+		for i := 0; i < 16; i++ {
+			b.Ldw(tmpA, 21, int64(4*i))
+			b.Op3(isa.ADDW, st(i), st(i), tmpA)
+			b.Stw(st(i), 22, int64(4*i))
+		}
+		// Increment the block counter (word 12).
+		b.Ldw(tmpA, 21, 48)
+		b.OpI(isa.ADDI, tmpA, tmpA, 1)
+		b.Stw(tmpA, 21, 48)
+	})
+	return b.MustBuild()
+}
+
+// buildBitsliceAES emits a bitsliced AES-style cipher: 8 bit-plane
+// registers (64 blocks in parallel), ten rounds of a nonlinear XOR/AND/OR
+// gate network (the op mix of ctaes's Boyar–Peralta S-box), a rotate-based
+// linear layer, and per-round key XORs from memory. The exact ctaes
+// circuit is unavailable offline; this network preserves the structure
+// that matters for the paper's evaluation: dense straight-line logic ops,
+// no secret-dependent branches or addresses.
+func buildBitsliceAES(iters int64) *isa.Program { return BuildBitsliceAESSeeded(iters, 77) }
+
+// BuildBitsliceAESSeeded builds the bitslice kernel with key material and
+// plaintext drawn from seed (the secret input for obliviousness tests).
+func BuildBitsliceAESSeeded(iters int64, seed int64) *isa.Program {
+	const keyBase = ctStateBase
+	b := asm.NewBuilder("aes-bitslice")
+	rng := rand.New(rand.NewSource(seed))
+	// 10 round keys x 8 planes.
+	keys := make([]uint64, 80)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.DataQuads(keyBase, keys)
+	// Plaintext planes.
+	pt := make([]uint64, 8)
+	for i := range pt {
+		pt[i] = rng.Uint64()
+	}
+	b.DataQuads(ctOutBase, pt)
+
+	plane := func(i int) isa.Reg { return isa.Reg(5 + i) } // r5..r12
+	b.Movi(20, keyBase)
+	b.Movi(21, ctOutBase)
+
+	outer(b, iters, func() {
+		for i := 0; i < 8; i++ {
+			b.Ld(plane(i), 21, int64(8*i))
+		}
+		for round := 0; round < 10; round++ {
+			// AddRoundKey.
+			for i := 0; i < 8; i++ {
+				b.Ld(tmpA, 20, int64(8*(round*8+i)))
+				b.Xor(plane(i), plane(i), tmpA)
+			}
+			// Nonlinear layer: a Toffoli-style mixing network
+			// (t = a AND b; c ^= t; ...) over plane triples.
+			for i := 0; i < 8; i++ {
+				a, c, d := plane(i), plane((i+1)&7), plane((i+3)&7)
+				b.And(tmpA, a, c)
+				b.Xor(d, d, tmpA)
+				b.Or(tmpB, a, d)
+				b.Xor(c, c, tmpB)
+			}
+			// Linear layer: rotate each plane (ShiftRows analogue).
+			for i := 0; i < 8; i++ {
+				b.Shli(tmpA, plane(i), int64(8*(i&3)+1))
+				b.Shri(tmpB, plane(i), int64(64-(8*(i&3)+1)))
+				b.Or(plane(i), tmpA, tmpB)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			b.St(plane(i), 21, int64(8*i))
+		}
+	})
+	return b.MustBuild()
+}
+
+// DjbsortN is the array length sorted by the djbsort kernel.
+const DjbsortN = 64
+
+// buildDjbsort emits the sorting network over default (seed 88) data.
+func buildDjbsort(iters int64) *isa.Program { return BuildDjbsortSeeded(iters, 88) }
+
+// BuildDjbsortSeeded emits a Batcher odd-even merge sorting network over
+// DjbsortN 64-bit values drawn from seed: a fixed sequence of MIN/MAX
+// compare-exchanges, exactly djbsort's approach to constant-time sorting.
+// The comparator sequence — and therefore every observable event — is
+// independent of the (secret) data being sorted.
+func BuildDjbsortSeeded(iters int64, seed int64) *isa.Program {
+	b := asm.NewBuilder("djbsort")
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]uint64, DjbsortN)
+	for i := range vals {
+		vals[i] = uint64(rng.Int63())
+	}
+	b.DataQuads(ctOutBase, vals)
+	b.Movi(20, ctOutBase)
+
+	outer(b, iters, func() {
+		for _, pair := range OddEvenMergeSortNetwork(DjbsortN) {
+			i, j := int64(pair[0]), int64(pair[1])
+			b.Ld(5, 20, 8*i)
+			b.Ld(6, 20, 8*j)
+			b.Op3(isa.MIN, 7, 5, 6)
+			b.Op3(isa.MAX, 8, 5, 6)
+			b.St(7, 20, 8*i)
+			b.St(8, 20, 8*j)
+		}
+	})
+	return b.MustBuild()
+}
+
+// OddEvenMergeSortNetwork returns Batcher's odd-even merge sort
+// comparator sequence for n (a power of two): applying
+// (min,max) to each [i,j] pair in order sorts any input.
+func OddEvenMergeSortNetwork(n int) [][2]int {
+	var pairs [][2]int
+	var mergeRange func(lo, cnt, r int)
+	mergeRange = func(lo, cnt, r int) {
+		m := r * 2
+		if m < cnt {
+			mergeRange(lo, cnt, m)
+			mergeRange(lo+r, cnt, m)
+			for i := lo + r; i+r < lo+cnt; i += m {
+				pairs = append(pairs, [2]int{i, i + r})
+			}
+		} else {
+			pairs = append(pairs, [2]int{lo, lo + r})
+		}
+	}
+	var sortRange func(lo, cnt int)
+	sortRange = func(lo, cnt int) {
+		if cnt > 1 {
+			m := cnt / 2
+			sortRange(lo, m)
+			sortRange(lo+m, m)
+			mergeRange(lo, cnt, 1)
+		}
+	}
+	sortRange(0, n)
+	return pairs
+}
+
+// CTOutBase exposes the output buffer address for tests.
+const CTOutBase = ctOutBase
+
+// CTStateBase exposes the state buffer address for tests.
+const CTStateBase = ctStateBase

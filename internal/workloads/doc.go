@@ -1,0 +1,53 @@
+// Package workloads: benchmark inventory.
+//
+// The paper evaluates SPEC CPU2017 (reference inputs, SimPoint phases) and
+// three constant-time kernels. SPEC sources and inputs are proprietary and
+// a SimPoint toolchain needs the real binaries, so this package supplies
+// behavior-matched synthetic kernels written in µRISC. Each kernel is
+// sized so its working set lands in the cache level that dominates the
+// real benchmark's behavior, and each reproduces the dominant
+// microarchitectural pattern the real benchmark stresses — which is what
+// drives SPT's costs (taint-delayed memory-level parallelism and delayed
+// branch resolution). A fixed retired-instruction budget per run stands in
+// for SimPoint phases.
+//
+// SPEC-like integer kernels:
+//
+//	perlbench  hash-table probing with data-dependent update branches;
+//	           updated slots hold public values, so re-probes exercise the
+//	           shadow L1 (the paper calls out perlbench's shadow-L1 win)
+//	gcc        opcode dispatch over an IR array (branchy integer code)
+//	mcf        pointer chasing over 512 KiB of 32-byte nodes with
+//	           derived-pointer field accesses (exercises backward
+//	           untainting, the paper's headline mcf observation)
+//	omnetpp    binary-heap event queue with unpredictable comparisons
+//	xalancbmk  byte scanning/matching with early-exit branches
+//	x264       block SAD with branch-free MIN/MAX absolute differences
+//	deepsjeng  bitboard shift/mask chains with bit-test branches
+//	leela      randomized board walks (loads at unpredictable addresses)
+//	xz         hashed LZ match finding (public positions stored into the
+//	           hash table, exercising shadow-L1 untainting of reloads)
+//	exchange2  recursive search with stack spills of public values
+//
+// SPEC-like floating-point kernels (µRISC has no FP unit; fixed-point
+// arithmetic reproduces the memory/branch structure):
+//
+//	bwaves     streaming 1-D stencil over a DRAM-resident array
+//	lbm        lattice streaming across three wide arrays
+//	namd       multiply-dense pair forces on an L1-resident set
+//	parest     sparse matrix-vector with dependent scattered loads
+//	povray     MUL/DIV discriminants with a sign-test branch
+//	fotonik3d  3-D stencil sweep with plane-strided accesses
+//
+// Constant-time kernels (genuinely data-oblivious: no secret-dependent
+// branches or addresses; verified by the data-obliviousness tests):
+//
+//	chacha20      the exact RFC 8439 block function, validated against an
+//	              independent Go implementation
+//	aes-bitslice  bitsliced AES-style rounds over 8 bit-planes (the exact
+//	              ctaes circuit is unavailable offline; the op mix and
+//	              obliviousness are preserved)
+//	djbsort       Batcher odd-even merge sorting network with MIN/MAX,
+//	              djbsort's constant-time approach (zero-one-principle
+//	              property-tested)
+package workloads

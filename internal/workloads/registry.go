@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"spt/internal/isa"
+)
+
+// Class groups workloads the way the paper's figures do.
+type Class uint8
+
+const (
+	// SPECInt mimics a SPEC CPU2017 integer benchmark.
+	SPECInt Class = iota
+	// SPECFP mimics a SPEC CPU2017 floating-point benchmark (µRISC has no
+	// FP unit, so the kernels reproduce the memory/branch behavior with
+	// fixed-point arithmetic).
+	SPECFP
+	// ConstTime is a data-oblivious (constant-time) kernel.
+	ConstTime
+)
+
+func (c Class) String() string {
+	switch c {
+	case SPECInt:
+		return "int"
+	case SPECFP:
+		return "fp"
+	case ConstTime:
+		return "const-time"
+	}
+	return "class(?)"
+}
+
+// Workload is one benchmark in the suite.
+type Workload struct {
+	Name  string
+	Class Class
+	// Behavior summarizes the dominant behavior being mimicked.
+	Behavior string
+	// Build constructs the program. iters scales the outer loop; pass a
+	// small value to run to completion in tests, or a huge value and stop
+	// on a retired-instruction budget (the SimPoint stand-in) in benches.
+	Build func(iters int64) *isa.Program
+}
+
+var registry []Workload
+
+func register(w Workload) { registry = append(registry, w) }
+
+// All returns every workload: the SPEC-like suite followed by the
+// constant-time kernels, each in a stable order.
+func All() []Workload {
+	out := make([]Workload, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SPECLike returns the SPEC-CPU2017-like kernels.
+func SPECLike() []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Class != ConstTime {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ConstTimeKernels returns the data-oblivious kernels (bitslice AES-style,
+// ChaCha20, djbsort-style sorting network).
+func ConstTimeKernels() []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Class == ConstTime {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}

@@ -1,0 +1,710 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"spt/internal/asm"
+	"spt/internal/isa"
+)
+
+// Register conventions used by the kernels:
+//
+//	r30      outer-loop counter (iters)
+//	r28/r29  scratch temporaries
+//	r20..r27 kernel bases and state
+//	r5..r15  data values
+const (
+	iterReg = isa.Reg(30)
+	tmpA    = isa.Reg(28)
+	tmpB    = isa.Reg(29)
+)
+
+// outer wraps a kernel body in the standard outer loop.
+func outer(b *asm.Builder, iters int64, body func()) {
+	b.Movi(iterReg, iters)
+	b.Label("outer")
+	body()
+	b.OpI(isa.ADDI, iterReg, iterReg, -1)
+	b.Bne(iterReg, isa.Zero, "outer")
+	b.Halt()
+}
+
+// emitXorshift emits x = xorshift64(x), clobbering t.
+func emitXorshift(b *asm.Builder, x, t isa.Reg) {
+	b.Shli(t, x, 13)
+	b.Xor(x, x, t)
+	b.Shri(t, x, 7)
+	b.Xor(x, x, t)
+	b.Shli(t, x, 17)
+	b.Xor(x, x, t)
+}
+
+func randQuads(seed int64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	q := make([]uint64, n)
+	for i := range q {
+		q[i] = rng.Uint64()
+	}
+	return q
+}
+
+func init() {
+	register(Workload{
+		Name:     "perlbench",
+		Class:    SPECInt,
+		Behavior: "hash-table probing: hashed indexed loads/stores, data-dependent branches",
+		Build:    buildPerlbench,
+	})
+	register(Workload{
+		Name:     "gcc",
+		Class:    SPECInt,
+		Behavior: "opcode dispatch over an IR array: branchy integer code, moderate footprint",
+		Build:    buildGCC,
+	})
+	register(Workload{
+		Name:     "mcf",
+		Class:    SPECInt,
+		Behavior: "pointer chasing over a large permuted ring: latency-bound dependent loads",
+		Build:    buildMCF,
+	})
+	register(Workload{
+		Name:     "omnetpp",
+		Class:    SPECInt,
+		Behavior: "binary-heap event queue: sift-down with unpredictable comparisons",
+		Build:    buildOmnetpp,
+	})
+	register(Workload{
+		Name:     "xalancbmk",
+		Class:    SPECInt,
+		Behavior: "byte scanning and matching: LDB-heavy loops with early-exit branches",
+		Build:    buildXalancbmk,
+	})
+	register(Workload{
+		Name:     "x264",
+		Class:    SPECInt,
+		Behavior: "block SAD: streaming byte loads, MIN/MAX absolute differences",
+		Build:    buildX264,
+	})
+	register(Workload{
+		Name:     "deepsjeng",
+		Class:    SPECInt,
+		Behavior: "bitboard evaluation: shift/mask chains with bit-test branches",
+		Build:    buildDeepsjeng,
+	})
+	register(Workload{
+		Name:     "leela",
+		Class:    SPECInt,
+		Behavior: "random playouts over a board: randomized loads and branches",
+		Build:    buildLeela,
+	})
+	register(Workload{
+		Name:     "xz",
+		Class:    SPECInt,
+		Behavior: "LZ match finding: hashed position lookups with byte-compare loops",
+		Build:    buildXZ,
+	})
+	register(Workload{
+		Name:     "exchange2",
+		Class:    SPECInt,
+		Behavior: "recursive puzzle search: call-heavy with dense small-array accesses",
+		Build:    buildExchange2,
+	})
+	register(Workload{
+		Name:     "bwaves",
+		Class:    SPECFP,
+		Behavior: "streaming 1-D stencil over a DRAM-resident array",
+		Build:    buildBwaves,
+	})
+	register(Workload{
+		Name:     "lbm",
+		Class:    SPECFP,
+		Behavior: "lattice streaming: multiple wide arrays read and written per site",
+		Build:    buildLBM,
+	})
+	register(Workload{
+		Name:     "namd",
+		Class:    SPECFP,
+		Behavior: "particle pair forces: multiply-dense arithmetic on an L1-resident set",
+		Build:    buildNAMD,
+	})
+	register(Workload{
+		Name:     "parest",
+		Class:    SPECFP,
+		Behavior: "sparse matrix-vector product: index load then dependent data load",
+		Build:    buildParest,
+	})
+	register(Workload{
+		Name:     "povray",
+		Class:    SPECFP,
+		Behavior: "ray-intersection arithmetic: MUL/DIV mixes with taken/not-taken branches",
+		Build:    buildPovray,
+	})
+	register(Workload{
+		Name:     "fotonik3d",
+		Class:    SPECFP,
+		Behavior: "3-D stencil sweep: strided accesses across planes",
+		Build:    buildFotonik,
+	})
+}
+
+// buildPerlbench: hash table of 2^14 slots (128 KiB), xorshift keys,
+// probe + conditional update.
+func buildPerlbench(iters int64) *isa.Program {
+	const base, slots = 0x100000, 1 << 14
+	b := asm.NewBuilder("perlbench")
+	b.DataQuads(base, randQuads(1, slots))
+	b.Movi(20, base)
+	b.Movi(5, 0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF) // key state
+	b.Movi(6, 0)                                     // hit counter
+	outer(b, iters, func() {
+		emitXorshift(b, 5, tmpA)
+		// idx = (key ^ key>>33) & (slots-1)
+		b.Shri(tmpA, 5, 33)
+		b.Xor(tmpA, 5, tmpA)
+		b.OpI(isa.ANDI, tmpA, tmpA, slots-1)
+		b.Shli(tmpA, tmpA, 3)
+		b.Add(tmpA, tmpA, 20)
+		b.Ld(7, tmpA, 0) // probe
+		// if (slot & 1) overwrite the slot with the (public) key, else
+		// count a hit. Re-probes of updated slots read public bytes, which
+		// is where the shadow L1 pays off (paper §9.3, perlbench).
+		b.OpI(isa.ANDI, tmpB, 7, 1)
+		b.Beq(tmpB, isa.Zero, "even")
+		b.St(5, tmpA, 0)
+		b.Jump("next")
+		b.Label("even")
+		b.OpI(isa.ADDI, 6, 6, 1)
+		b.Label("next")
+	})
+	return b.MustBuild()
+}
+
+// buildGCC: IR array of (opcode, operand) pairs; dispatch on opcode.
+func buildGCC(iters int64) *isa.Program {
+	const base, nodes = 0x100000, 1 << 13
+	b := asm.NewBuilder("gcc")
+	rng := rand.New(rand.NewSource(2))
+	q := make([]uint64, nodes)
+	for i := range q {
+		q[i] = uint64(rng.Intn(4))<<32 | uint64(rng.Intn(1<<16))
+	}
+	b.DataQuads(base, q)
+	b.Movi(20, base)
+	b.Movi(5, 0) // accumulator
+	b.Movi(6, 0) // cursor
+	outer(b, iters, func() {
+		b.Shli(tmpA, 6, 3)
+		b.Add(tmpA, tmpA, 20)
+		b.Ld(7, tmpA, 0)
+		b.Shri(8, 7, 32)              // opcode
+		b.OpI(isa.ANDI, 9, 7, 0xFFFF) // operand: constant-pool index
+		// Dereference the constant pool (address depends on loaded data).
+		b.OpI(isa.ANDI, 10, 9, nodes-1)
+		b.Shli(10, 10, 3)
+		b.Add(10, 10, 20)
+		b.Ld(9, 10, 0)
+		b.OpI(isa.ANDI, 9, 9, 0xFFFF)
+		b.OpI(isa.SLTI, tmpB, 8, 1)
+		b.Bne(tmpB, isa.Zero, "op0")
+		b.OpI(isa.SLTI, tmpB, 8, 2)
+		b.Bne(tmpB, isa.Zero, "op1")
+		b.OpI(isa.SLTI, tmpB, 8, 3)
+		b.Bne(tmpB, isa.Zero, "op2")
+		b.Xor(5, 5, 9) // op3
+		b.Jump("dispatchdone")
+		b.Label("op0")
+		b.Add(5, 5, 9)
+		b.Jump("dispatchdone")
+		b.Label("op1")
+		b.Sub(5, 5, 9)
+		b.Jump("dispatchdone")
+		b.Label("op2")
+		b.Op3(isa.MUL, 5, 5, 9)
+		b.Label("dispatchdone")
+		b.OpI(isa.ADDI, 6, 6, 1)
+		b.OpI(isa.ANDI, 6, 6, nodes-1)
+	})
+	return b.MustBuild()
+}
+
+// buildMCF: pointer chase over a 512 KiB permuted ring.
+func buildMCF(iters int64) *isa.Program {
+	const base, n = 0x200000, 1 << 14 // 16K nodes * 32 B = 512 KiB
+	b := asm.NewBuilder("mcf")
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(n)
+	// Nodes are 32 bytes: {next, cost, flow, pad}, like mcf's arcs.
+	q := make([]uint64, n*4)
+	for i := 0; i < n; i++ {
+		q[perm[i]*4] = base + uint64(perm[(i+1)%n])*32
+		q[perm[i]*4+1] = uint64(i) * 3
+		q[perm[i]*4+2] = uint64(i) * 7
+	}
+	b.DataQuads(base, q)
+	b.Movi(20, base)
+	b.Mov(5, 20)
+	b.Movi(6, 0)
+	outer(b, iters, func() {
+		b.Ld(5, 5, 0) // chase node->next
+		// Field accesses through derived pointers. When the cost load
+		// reaches the VP it declassifies r8; the backward ADDI rule then
+		// untaints r5 and the forward rule untaints r9, letting the flow
+		// load execute before its own VP — the paper's "mcf benefits the
+		// most from backward untainting" effect.
+		b.OpI(isa.ADDI, 8, 5, 8)
+		b.OpI(isa.ADDI, 9, 5, 16)
+		b.Ld(10, 8, 0) // node->cost
+		b.Ld(11, 9, 0) // node->flow
+		b.Add(6, 6, 10)
+		b.Add(6, 6, 11)
+	})
+	return b.MustBuild()
+}
+
+// buildOmnetpp: binary heap of 8K keys; pop-min then push a new pseudo
+// random key (sift operations are branch-heavy).
+func buildOmnetpp(iters int64) *isa.Program {
+	const base, n = 0x100000, 1 << 13
+	b := asm.NewBuilder("omnetpp")
+	b.DataQuads(base, randQuads(4, n))
+	b.Movi(20, base)
+	b.Movi(5, 0xABCDEF12345)
+	outer(b, iters, func() {
+		// Replace the root with a new key and sift down 3 levels.
+		emitXorshift(b, 5, tmpA)
+		b.St(5, 20, 0)
+		b.Movi(6, 0) // index
+		for level := 0; level < 3; level++ {
+			lvl := "sift_" + string(rune('a'+level))
+			// left child = 2i+1, right = 2i+2
+			b.Shli(7, 6, 1)
+			b.OpI(isa.ADDI, 7, 7, 1)
+			b.Shli(tmpA, 7, 3)
+			b.Add(tmpA, tmpA, 20)
+			b.Ld(8, tmpA, 0) // left key
+			b.Ld(9, tmpA, 8) // right key
+			b.Shli(tmpB, 6, 3)
+			b.Add(tmpB, tmpB, 20)
+			b.Ld(10, tmpB, 0) // parent key
+			// pick smaller child
+			b.Op3(isa.SLTU, 11, 8, 9)
+			b.Bne(11, isa.Zero, lvl+"_left")
+			b.Mov(8, 9) // child key = right
+			b.OpI(isa.ADDI, 7, 7, 1)
+			b.Label(lvl + "_left")
+			// if child < parent: swap
+			b.Op3(isa.SLTU, 11, 8, 10)
+			b.Beq(11, isa.Zero, lvl+"_done")
+			b.Shli(tmpA, 7, 3)
+			b.Add(tmpA, tmpA, 20)
+			b.St(10, tmpA, 0)
+			b.St(8, tmpB, 0)
+			b.Mov(6, 7)
+			b.Label(lvl + "_done")
+			// Dereference the winning key as an event-object pointer
+			// (loaded-data-dependent address, like omnetpp's event call).
+			b.OpI(isa.ANDI, 12, 8, (n-1)*8)
+			b.Add(12, 12, 20)
+			b.Ld(13, 12, 0)
+			b.Add(15, 15, 13)
+		}
+	})
+	return b.MustBuild()
+}
+
+// buildXalancbmk: scan a 256 KiB byte buffer counting pattern matches.
+func buildXalancbmk(iters int64) *isa.Program {
+	const base, n = 0x100000, 1 << 18
+	b := asm.NewBuilder("xalancbmk")
+	rng := rand.New(rand.NewSource(5))
+	bytes := make([]byte, n)
+	rng.Read(bytes)
+	b.Data(base, bytes)
+	b.Movi(20, base)
+	b.Movi(5, 0) // cursor
+	b.Movi(6, 0) // matches
+	outer(b, iters, func() {
+		b.Add(tmpA, 20, 5)
+		b.Ldb(7, tmpA, 0)
+		b.Ldb(8, tmpA, 1)
+		b.OpI(isa.XORI, 9, 7, '<')
+		b.Bne(9, isa.Zero, "nomatch")
+		b.OpI(isa.XORI, 9, 8, '/')
+		b.Bne(9, isa.Zero, "nomatch")
+		b.OpI(isa.ADDI, 6, 6, 1)
+		b.Label("nomatch")
+		// DOM-style hop: the scanned byte pair selects the next subtree
+		// (a loaded-data-dependent address, like following a child link).
+		b.Shli(10, 7, 8)
+		b.Or(10, 10, 8)
+		b.Shli(10, 10, 2)
+		b.OpI(isa.ANDI, 10, 10, n-8)
+		b.Add(10, 10, 20)
+		b.Ld(11, 10, 0)
+		b.Add(6, 6, 11)
+		b.OpI(isa.ADDI, 5, 5, 2)
+		b.OpI(isa.ANDI, 5, 5, n-4)
+	})
+	return b.MustBuild()
+}
+
+// buildX264: 8-byte SAD over two frame rows.
+func buildX264(iters int64) *isa.Program {
+	const refBase, curBase, n = 0x100000, 0x180000, 1 << 16
+	b := asm.NewBuilder("x264")
+	rng := rand.New(rand.NewSource(6))
+	ref := make([]byte, n)
+	cur := make([]byte, n)
+	rng.Read(ref)
+	rng.Read(cur)
+	b.Data(refBase, ref)
+	b.Data(curBase, cur)
+	b.Movi(20, refBase)
+	b.Movi(21, curBase)
+	b.Movi(5, 0) // offset
+	b.Movi(6, 0) // SAD accumulator
+	outer(b, iters, func() {
+		for i := int64(0); i < 4; i++ {
+			b.Add(tmpA, 20, 5)
+			b.Add(tmpB, 21, 5)
+			b.Ldb(7, tmpA, i)
+			b.Ldb(8, tmpB, i)
+			// |a-b| via MAX-MIN (branch-free, like SIMD SAD)
+			b.Op3(isa.MAXU, 9, 7, 8)
+			b.Op3(isa.MINU, 10, 7, 8)
+			b.Sub(9, 9, 10)
+			b.Add(6, 6, 9)
+		}
+		b.OpI(isa.ADDI, 5, 5, 4)
+		b.OpI(isa.ANDI, 5, 5, n-8)
+	})
+	return b.MustBuild()
+}
+
+// buildDeepsjeng: bitboard manipulation with bit-test branches.
+func buildDeepsjeng(iters int64) *isa.Program {
+	const base, n = 0x100000, 1 << 12
+	b := asm.NewBuilder("deepsjeng")
+	b.DataQuads(base, randQuads(7, n))
+	b.Movi(20, base)
+	b.Movi(5, 0x0F0F0F0F0F0F0F0F)
+	b.Movi(6, 0) // index
+	b.Movi(11, 0)
+	outer(b, iters, func() {
+		b.Shli(tmpA, 6, 3)
+		b.Add(tmpA, tmpA, 20)
+		b.Ld(7, tmpA, 0) // bitboard
+		// attacks = (bb << 9 | bb >> 7) & mask
+		b.Shli(8, 7, 9)
+		b.Shri(9, 7, 7)
+		b.Or(8, 8, 9)
+		b.And(8, 8, 5)
+		// if (bb & attacks) capture++
+		b.And(9, 7, 8)
+		b.Beq(9, isa.Zero, "nocap")
+		b.OpI(isa.ADDI, 11, 11, 1)
+		b.Xor(7, 7, 9)
+		b.St(7, tmpA, 0)
+		b.Label("nocap")
+		b.OpI(isa.ADDI, 6, 6, 1)
+		b.OpI(isa.ANDI, 6, 6, n-1)
+	})
+	return b.MustBuild()
+}
+
+// buildLeela: random walk over a 64 KiB "board" with occasional writes.
+func buildLeela(iters int64) *isa.Program {
+	const base, n = 0x100000, 1 << 13
+	b := asm.NewBuilder("leela")
+	b.DataQuads(base, randQuads(8, n))
+	b.Movi(20, base)
+	b.Movi(5, 0x123456789)
+	b.Movi(6, 0)
+	b.Movi(12, 0) // walk position, fed by loaded data (tainted addresses)
+	outer(b, iters, func() {
+		emitXorshift(b, 5, tmpA)
+		// Half the steps walk through loaded data (the playout follows the
+		// board state), half jump to a fresh pseudo-random position.
+		b.OpI(isa.ANDI, 9, 5, 1)
+		b.Beq(9, isa.Zero, "fresh")
+		b.OpI(isa.ANDI, 7, 12, n-1)
+		b.Jump("step")
+		b.Label("fresh")
+		b.OpI(isa.ANDI, 7, 5, n-1)
+		b.Label("step")
+		b.Shli(7, 7, 3)
+		b.Add(7, 7, 20)
+		b.Ld(8, 7, 0) // board cell: next position lives in the data
+		b.Mov(12, 8)
+		b.Add(6, 6, 8)
+		// ~25% of visits update the cell with a public value
+		b.OpI(isa.ANDI, 9, 5, 3)
+		b.Bne(9, isa.Zero, "nowrite")
+		b.St(5, 7, 0)
+		b.Label("nowrite")
+	})
+	return b.MustBuild()
+}
+
+// buildXZ: hashed match-finder over a byte history buffer.
+func buildXZ(iters int64) *isa.Program {
+	const histBase, n = 0x100000, 1 << 17
+	const hashBase, hslots = 0x200000, 1 << 12
+	b := asm.NewBuilder("xz")
+	rng := rand.New(rand.NewSource(9))
+	hist := make([]byte, n)
+	rng.Read(hist)
+	// Plant repeats so matches actually occur.
+	for i := 0; i+32 < n; i += 512 {
+		copy(hist[i+256:i+288], hist[i:i+32])
+	}
+	b.Data(histBase, hist)
+	b.DataQuads(hashBase, make([]uint64, hslots))
+	b.Movi(20, histBase)
+	b.Movi(21, hashBase)
+	b.Movi(5, 0) // position
+	b.Movi(6, 0) // total match length
+	outer(b, iters, func() {
+		// h = hash of 4 bytes at pos
+		b.Add(tmpA, 20, 5)
+		b.Ldw(7, tmpA, 0)
+		b.OpI(isa.ORI, 7, 7, 1)
+		b.Movi(tmpB, 2654435761)
+		b.Op3(isa.MUL, 7, 7, tmpB)
+		b.Shri(7, 7, 20)
+		b.OpI(isa.ANDI, 7, 7, hslots-1)
+		b.Shli(7, 7, 3)
+		b.Add(7, 7, 21)
+		b.Ld(8, 7, 0) // candidate position
+		b.St(5, 7, 0) // update hash head
+		// compare up to 4 bytes at candidate vs pos
+		b.Add(9, 20, 8)
+		b.Movi(10, 0) // match length
+		for i := int64(0); i < 4; i++ {
+			b.Ldb(11, tmpA, i)
+			b.Ldb(12, 9, i)
+			b.Bne(11, 12, "mismatch")
+			b.OpI(isa.ADDI, 10, 10, 1)
+		}
+		b.Label("mismatch")
+		b.Add(6, 6, 10)
+		b.OpI(isa.ADDI, 5, 5, 5)
+		b.OpI(isa.ANDI, 5, 5, n-16)
+	})
+	return b.MustBuild()
+}
+
+// buildExchange2: recursive permutation-style search, call heavy.
+func buildExchange2(iters int64) *isa.Program {
+	const base = 0x100000
+	b := asm.NewBuilder("exchange2")
+	b.DataQuads(base, randQuads(10, 64))
+	b.Movi(20, base)
+	b.Movi(isa.SP, 0x300000)
+	b.Movi(6, 0)
+	b.Jump("start")
+
+	// recurse(depth=r10): sums grid cells, recursing twice until depth 0.
+	b.Label("recurse")
+	b.Beq(10, isa.Zero, "base_case")
+	// push ra, depth
+	b.OpI(isa.ADDI, isa.SP, isa.SP, -16)
+	b.St(isa.RA, isa.SP, 0)
+	b.St(10, isa.SP, 8)
+	b.OpI(isa.ADDI, 10, 10, -1)
+	b.Call("recurse")
+	b.Ld(10, isa.SP, 8)
+	b.OpI(isa.ADDI, 10, 10, -1)
+	b.Call("recurse")
+	b.Ld(isa.RA, isa.SP, 0)
+	b.OpI(isa.ADDI, isa.SP, isa.SP, 16)
+	b.Ret()
+	b.Label("base_case")
+	b.OpI(isa.ANDI, tmpA, 6, 63)
+	b.Shli(tmpA, tmpA, 3)
+	b.Add(tmpA, tmpA, 20)
+	b.Ld(7, tmpA, 0)
+	b.Add(6, 6, 7)
+	b.Ret()
+
+	b.Label("start")
+	outer(b, iters, func() {
+		b.Movi(10, 5) // depth 5: 2^5 calls per outer iteration
+		b.Call("recurse")
+	})
+	return b.MustBuild()
+}
+
+// buildBwaves: streaming 3-point stencil over a 4 MiB array.
+func buildBwaves(iters int64) *isa.Program {
+	const base, n = 0x400000, 1 << 19 // 512K quads = 4 MiB
+	b := asm.NewBuilder("bwaves")
+	b.DataQuads(base, randQuads(11, 1<<12)) // seed only the first 32 KiB
+	b.Movi(20, base)
+	b.Movi(5, 0)
+	b.Movi(6, 0)
+	outer(b, iters, func() {
+		b.Shli(tmpA, 5, 3)
+		b.Add(tmpA, tmpA, 20)
+		b.Ld(7, tmpA, 0)
+		b.Ld(8, tmpA, 8)
+		b.Ld(9, tmpA, 16)
+		b.Add(10, 7, 9)
+		b.Shri(10, 10, 1)
+		b.Add(10, 10, 8)
+		b.St(10, tmpA, 8)
+		b.Add(6, 6, 10)
+		b.OpI(isa.ADDI, 5, 5, 4)
+		b.OpI(isa.ANDI, 5, 5, n-8)
+	})
+	return b.MustBuild()
+}
+
+// buildLBM: lattice update reading three distributions, writing two.
+func buildLBM(iters int64) *isa.Program {
+	const aBase, bBase, cBase, n = 0x400000, 0x500000, 0x600000, 1 << 14
+	b := asm.NewBuilder("lbm")
+	b.DataQuads(aBase, randQuads(12, n))
+	b.DataQuads(bBase, randQuads(13, n))
+	b.DataQuads(cBase, randQuads(14, n))
+	b.Movi(20, aBase)
+	b.Movi(21, bBase)
+	b.Movi(22, cBase)
+	b.Movi(5, 0)
+	outer(b, iters, func() {
+		b.Shli(tmpA, 5, 3)
+		b.Add(6, tmpA, 20)
+		b.Add(7, tmpA, 21)
+		b.Add(8, tmpA, 22)
+		b.Ld(9, 6, 0)
+		b.Ld(10, 7, 0)
+		b.Ld(11, 8, 0)
+		b.Add(12, 9, 10)
+		b.Sub(13, 12, 11)
+		b.Shri(14, 13, 2)
+		b.St(13, 6, 0)
+		b.St(14, 7, 0)
+		b.OpI(isa.ADDI, 5, 5, 1)
+		b.OpI(isa.ANDI, 5, 5, n-1)
+	})
+	return b.MustBuild()
+}
+
+// buildNAMD: multiply-dense pairwise "force" arithmetic on an L1-resident
+// particle set.
+func buildNAMD(iters int64) *isa.Program {
+	const base, n = 0x100000, 1 << 9 // 4 KiB: L1 resident
+	b := asm.NewBuilder("namd")
+	b.DataQuads(base, randQuads(15, n))
+	b.Movi(20, base)
+	b.Movi(5, 0)
+	b.Movi(6, 1)
+	outer(b, iters, func() {
+		b.Shli(tmpA, 5, 3)
+		b.Add(tmpA, tmpA, 20)
+		b.Ld(7, tmpA, 0)
+		b.Ld(8, tmpA, 8)
+		b.Sub(9, 7, 8)
+		b.Op3(isa.MUL, 10, 9, 9) // r^2
+		b.OpI(isa.ORI, 10, 10, 1)
+		b.Op3(isa.MUL, 11, 10, 9)  // r^3
+		b.Op3(isa.MUL, 12, 11, 10) // r^5
+		b.Add(6, 6, 12)
+		b.Op3(isa.MUL, 6, 6, 10)
+		b.OpI(isa.ADDI, 5, 5, 1)
+		b.OpI(isa.ANDI, 5, 5, n-4)
+	})
+	return b.MustBuild()
+}
+
+// buildParest: sparse matrix-vector: index array then dependent data load.
+func buildParest(iters int64) *isa.Program {
+	const idxBase, valBase, vecBase = 0x100000, 0x200000, 0x300000
+	const nnz, cols = 1 << 14, 1 << 15
+	b := asm.NewBuilder("parest")
+	rng := rand.New(rand.NewSource(16))
+	idx := make([]uint64, nnz)
+	for i := range idx {
+		idx[i] = uint64(rng.Intn(cols))
+	}
+	b.DataQuads(idxBase, idx)
+	b.DataQuads(valBase, randQuads(17, nnz))
+	b.DataQuads(vecBase, randQuads(18, cols))
+	b.Movi(20, idxBase)
+	b.Movi(21, valBase)
+	b.Movi(22, vecBase)
+	b.Movi(5, 0)
+	b.Movi(6, 0)
+	outer(b, iters, func() {
+		b.Shli(tmpA, 5, 3)
+		b.Add(7, tmpA, 20)
+		b.Ld(8, 7, 0) // column index
+		b.Add(9, tmpA, 21)
+		b.Ld(10, 9, 0) // matrix value
+		b.Shli(8, 8, 3)
+		b.Add(8, 8, 22)
+		b.Ld(11, 8, 0) // x[col] — dependent, scattered
+		b.Op3(isa.MUL, 12, 10, 11)
+		b.Add(6, 6, 12)
+		b.OpI(isa.ADDI, 5, 5, 1)
+		b.OpI(isa.ANDI, 5, 5, nnz-1)
+	})
+	return b.MustBuild()
+}
+
+// buildPovray: MUL/DIV-heavy discriminant evaluation with a branch on the
+// sign.
+func buildPovray(iters int64) *isa.Program {
+	const base, n = 0x100000, 1 << 11
+	b := asm.NewBuilder("povray")
+	b.DataQuads(base, randQuads(19, n))
+	b.Movi(20, base)
+	b.Movi(5, 0)
+	b.Movi(6, 0)
+	outer(b, iters, func() {
+		b.Shli(tmpA, 5, 3)
+		b.Add(tmpA, tmpA, 20)
+		b.Ld(7, tmpA, 0)        // a
+		b.Ld(8, tmpA, 8)        // c
+		b.Op3(isa.MUL, 9, 7, 7) // b^2-ish
+		b.Op3(isa.MUL, 10, 7, 8)
+		b.Sub(11, 9, 10) // discriminant
+		b.Blt(11, isa.Zero, "miss")
+		b.OpI(isa.ORI, 12, 7, 1)
+		b.Op3(isa.DIV, 13, 11, 12) // hit distance
+		b.Add(6, 6, 13)
+		b.Label("miss")
+		b.OpI(isa.ADDI, 5, 5, 2)
+		b.OpI(isa.ANDI, 5, 5, n-2)
+	})
+	return b.MustBuild()
+}
+
+// buildFotonik: 3-D stencil: plane-strided loads over a 2 MiB grid.
+func buildFotonik(iters int64) *isa.Program {
+	const base = 0x400000
+	const dim = 64 // 64^3 quads = 2 MiB
+	const n = dim * dim * dim
+	b := asm.NewBuilder("fotonik3d")
+	b.DataQuads(base, randQuads(20, 1<<12))
+	b.Movi(20, base)
+	b.Movi(5, dim*dim+dim) // start inside the grid
+	b.Movi(6, 0)
+	outer(b, iters, func() {
+		b.Shli(tmpA, 5, 3)
+		b.Add(tmpA, tmpA, 20)
+		b.Ld(7, tmpA, 0)
+		b.Ld(8, tmpA, 8)          // +x
+		b.Ld(9, tmpA, dim*8)      // +y
+		b.Ld(10, tmpA, dim*dim*8) // +z
+		b.Add(11, 8, 9)
+		b.Add(11, 11, 10)
+		b.Shri(11, 11, 1)
+		b.Sub(11, 11, 7)
+		b.St(11, tmpA, 0)
+		b.Add(6, 6, 11)
+		b.OpI(isa.ADDI, 5, 5, 7) // stride through the volume
+		b.OpI(isa.ANDI, 5, 5, n-dim*dim-dim-2)
+	})
+	return b.MustBuild()
+}

@@ -1,0 +1,219 @@
+package workloads_test
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"spt/internal/emu"
+	"spt/internal/isa"
+	"spt/internal/pipeline"
+	"spt/internal/workloads"
+
+	"spt/internal/mem"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := workloads.All()
+	if len(all) != 19 {
+		t.Fatalf("expected 19 workloads (16 SPEC-like + 3 const-time), got %d", len(all))
+	}
+	if got := len(workloads.SPECLike()); got != 16 {
+		t.Fatalf("SPEC-like count = %d", got)
+	}
+	if got := len(workloads.ConstTimeKernels()); got != 3 {
+		t.Fatalf("const-time count = %d", got)
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Behavior == "" {
+			t.Errorf("%s: missing behavior description", w.Name)
+		}
+	}
+	if _, err := workloads.ByName("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workloads.ByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestAllKernelsRunToCompletion executes every kernel (few iterations) on
+// the functional emulator: they must be valid programs that halt.
+func TestAllKernelsRunToCompletion(t *testing.T) {
+	for _, w := range workloads.All() {
+		p := w.Build(3)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		e := emu.New(p)
+		if _, err := e.Run(10_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if !e.State.Halted {
+			t.Fatalf("%s: did not halt", w.Name)
+		}
+	}
+}
+
+// TestAllKernelsMatchPipeline runs every kernel on the OoO core with the
+// full SPT policy and checks architectural equivalence with the emulator.
+func TestAllKernelsMatchPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full-suite pipeline equivalence")
+	}
+	for _, w := range workloads.All() {
+		p := w.Build(2)
+		e := emu.New(p)
+		if _, err := e.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		cfg := pipeline.DefaultConfig()
+		c, err := pipeline.New(cfg, p, mem.NewHierarchy(mem.DefaultHierarchyConfig()), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(20_000_000, 200_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if !c.Finished() {
+			t.Fatalf("%s: pipeline did not finish", w.Name)
+		}
+		regs := c.ArchRegs()
+		for r := 0; r < isa.NumRegs; r++ {
+			if regs[r] != e.State.Regs[r] {
+				t.Fatalf("%s: r%d = %#x, emulator %#x", w.Name, r, regs[r], e.State.Regs[r])
+			}
+		}
+	}
+}
+
+// chachaRef is an independent Go implementation of the ChaCha20 block
+// function used as the oracle for the µRISC kernel.
+func chachaRef(st [16]uint32) [16]uint32 {
+	x := st
+	qr := func(a, b, c, d int) {
+		x[a] += x[b]
+		x[d] = bits.RotateLeft32(x[d]^x[a], 16)
+		x[c] += x[d]
+		x[b] = bits.RotateLeft32(x[b]^x[c], 12)
+		x[a] += x[b]
+		x[d] = bits.RotateLeft32(x[d]^x[a], 8)
+		x[c] += x[d]
+		x[b] = bits.RotateLeft32(x[b]^x[c], 7)
+	}
+	for i := 0; i < 10; i++ {
+		qr(0, 4, 8, 12)
+		qr(1, 5, 9, 13)
+		qr(2, 6, 10, 14)
+		qr(3, 7, 11, 15)
+		qr(0, 5, 10, 15)
+		qr(1, 6, 11, 12)
+		qr(2, 7, 8, 13)
+		qr(3, 4, 9, 14)
+	}
+	for i := range x {
+		x[i] += st[i]
+	}
+	return x
+}
+
+// TestChaCha20MatchesReference: the µRISC kernel's keystream equals an
+// independent Go implementation's, block by block.
+func TestChaCha20MatchesReference(t *testing.T) {
+	p := workloads.BuildChaCha20(2)
+	e := emu.New(p)
+	if _, err := e.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// After 2 iterations the output buffer holds block for counter=2.
+	st := workloads.ChaChaInitialState()
+	st[12] = 2
+	want := chachaRef(st)
+	for i := 0; i < 16; i++ {
+		got := uint32(e.State.Mem.Read(workloads.CTOutBase+uint64(4*i), 4))
+		if got != want[i] {
+			t.Fatalf("keystream word %d = %#x, want %#x", i, got, want[i])
+		}
+	}
+}
+
+// TestDjbsortSorts: one pass of the network sorts the embedded data.
+func TestDjbsortSorts(t *testing.T) {
+	w, err := workloads.ByName("djbsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(1)
+	e := emu.New(p)
+	if _, err := e.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for i := 0; i < workloads.DjbsortN; i++ {
+		v := e.State.Mem.Read(workloads.CTOutBase+uint64(8*i), 8)
+		if i > 0 && v < prev {
+			t.Fatalf("output not sorted at %d: %d < %d", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestOddEvenNetworkSortsAnything: property test of the comparator
+// network itself.
+func TestOddEvenNetworkSortsAnything(t *testing.T) {
+	check := func(n int, arr []int) {
+		net := workloads.OddEvenMergeSortNetwork(n)
+		for _, pr := range net {
+			if arr[pr[0]] > arr[pr[1]] {
+				arr[pr[0]], arr[pr[1]] = arr[pr[1]], arr[pr[0]]
+			}
+		}
+		for i := 1; i < n; i++ {
+			if arr[i-1] > arr[i] {
+				t.Fatalf("n=%d: not sorted: %v", n, arr)
+			}
+		}
+	}
+	// Zero-one principle: a network that sorts every 0/1 input sorts all
+	// inputs. Exhaustive up to n=16, randomized 0/1 vectors for n=64.
+	for _, n := range []int{2, 4, 8, 16} {
+		for x := 0; x < 1<<n; x++ {
+			arr := make([]int, n)
+			for i := 0; i < n; i++ {
+				arr[i] = (x >> i) & 1
+			}
+			check(n, arr)
+		}
+	}
+	rng := newRand()
+	for trial := 0; trial < 4096; trial++ {
+		arr := make([]int, 64)
+		for i := range arr {
+			arr[i] = rng.Intn(2)
+		}
+		check(64, arr)
+	}
+}
+
+// TestRandomProgramsTerminate: the generator must always produce halting
+// programs.
+func TestRandomProgramsTerminate(t *testing.T) {
+	rng := newRand()
+	for i := 0; i < 30; i++ {
+		p := workloads.RandomProgram(rng, 150)
+		e := emu.New(p)
+		if _, err := e.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if !e.State.Halted {
+			t.Fatal("random program did not halt")
+		}
+	}
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(123)) }

@@ -1,0 +1,129 @@
+package spt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+	"spt/internal/predictor"
+	"spt/internal/taint"
+)
+
+// Result holds everything a simulation run measured.
+type Result struct {
+	Workload     string
+	Scheme       Scheme
+	Model        AttackModel
+	Cycles       uint64
+	Instructions uint64
+
+	Pipeline  pipeline.Stats
+	Memory    mem.HierarchyStats
+	L1D       mem.CacheStats
+	L2        mem.CacheStats
+	L3        mem.CacheStats
+	TLBMisses uint64
+	Predictor predictor.UnitStats
+
+	// Taint is non-nil for protected schemes.
+	Taint *TaintStats
+}
+
+// TaintStats summarizes the taint engine's activity.
+type TaintStats struct {
+	// Events maps untaint-event kind (see EventNames) to count.
+	Events map[string]uint64
+	// UntaintHist[i] counts untainting cycles with i+1 register untaints
+	// (last bucket: 10 or more) — paper Figure 9.
+	UntaintHist       [10]uint64
+	UntaintingCycles  uint64
+	BroadcastDeferred uint64
+	MemUntaints       uint64
+}
+
+// EventName returns the stable name of untaint-event kind k.
+func EventName(k int) string { return taint.EventKind(k).String() }
+
+// EventNames lists the untaint-event kinds in breakdown order (Figure 8).
+func EventNames() []string {
+	out := make([]string, taint.NumEvents)
+	for k := 0; k < int(taint.NumEvents); k++ {
+		out[k] = EventName(k)
+	}
+	return out
+}
+
+// IPC returns retired instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// CPI returns cycles per retired instruction (the unit the paper's
+// Figure 7 normalizes: execution time for a fixed instruction budget).
+func (r *Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// NormalizedTo returns this run's execution time relative to a baseline
+// run of the same workload (Figure 7's y-axis).
+func (r *Result) NormalizedTo(base *Result) float64 {
+	if base == nil || base.CPI() == 0 {
+		return 0
+	}
+	return r.CPI() / base.CPI()
+}
+
+// StatsText renders the run in the artifact's stats.txt style: one counter
+// per line with a short description.
+func (r *Result) StatsText() string {
+	var b strings.Builder
+	w := func(name string, v interface{}, desc string) {
+		fmt.Fprintf(&b, "%-34s %14v  # %s\n", name, v, desc)
+	}
+	fmt.Fprintf(&b, "---------- Begin Simulation Statistics ----------\n")
+	fmt.Fprintf(&b, "# workload=%s scheme=%s model=%s\n", r.Workload, r.Scheme, r.Model)
+	w("numCycles", r.Cycles, "total cycles simulated")
+	w("committedInsts", r.Instructions, "instructions retired")
+	w("ipc", fmt.Sprintf("%.4f", r.IPC()), "retired instructions per cycle")
+	w("fetchedInsts", r.Pipeline.Fetched, "instructions fetched (incl. wrong path)")
+	w("branchResolutions", r.Pipeline.BranchResolutions, "control-flow resolutions")
+	w("branchMispredicts", r.Pipeline.BranchMispredicts, "mispredicted control flow")
+	w("squashes", r.Pipeline.Squashes, "pipeline squashes")
+	w("squashedInsts", r.Pipeline.SquashedInstrs, "instructions squashed")
+	w("memOrderViolations", r.Pipeline.MemViolations, "memory-dependence squashes")
+	w("stlForwards", r.Pipeline.STLForwards, "store-to-load forwards")
+	w("transmitterDelayCycles", r.Pipeline.TransmitterDelays, "load/store cycles delayed by protection")
+	w("resolutionDelayCycles", r.Pipeline.ResolutionDelays, "branch-resolution cycles delayed by protection")
+	w("l1dAccesses", r.L1D.Accesses, "L1D accesses")
+	w("l1dMisses", r.L1D.Misses, "L1D misses")
+	w("l2Misses", r.L2.Misses, "L2 misses")
+	w("l3Misses", r.L3.Misses, "L3 misses")
+	w("dramAccesses", r.Memory.DRAMAccesses, "DRAM accesses")
+	w("dtlbMisses", r.TLBMisses, "data TLB misses")
+	if r.Taint != nil {
+		var total uint64
+		names := make([]string, 0, len(r.Taint.Events))
+		for k := range r.Taint.Events {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			total += r.Taint.Events[k]
+			w("untaint."+k, r.Taint.Events[k], "register untaint events ("+k+")")
+		}
+		w("untaint.total", total, "all register untaint events")
+		w("untaint.cycles", r.Taint.UntaintingCycles, "cycles with >=1 untaint")
+		w("untaint.deferred", r.Taint.BroadcastDeferred, "untaints deferred by broadcast width")
+		w("untaint.memBytesOps", r.Taint.MemUntaints, "shadow L1/memory untaint operations")
+	}
+	fmt.Fprintf(&b, "---------- End Simulation Statistics   ----------\n")
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package spt
+
+import (
+	"fmt"
+
+	"spt/internal/asm"
+	"spt/internal/isa"
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+	"spt/internal/workloads"
+)
+
+// WorkloadInfo describes one benchmark available to Run.
+type WorkloadInfo struct {
+	Name string
+	// Class is "int", "fp", or "const-time".
+	Class string
+	// Behavior summarizes the SPEC CPU2017 behavior the kernel mimics.
+	Behavior string
+}
+
+// Workloads lists the benchmark suite: the SPEC-CPU2017-like kernels and
+// the constant-time kernels the paper evaluates.
+func Workloads() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, w := range workloads.All() {
+		out = append(out, WorkloadInfo{Name: w.Name, Class: w.Class.String(), Behavior: w.Behavior})
+	}
+	return out
+}
+
+// Run simulates the named workload under the given options.
+func Run(workload string, opt Options) (*Result, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	o := opt.withDefaults()
+	return runProgram(w.Build(o.WorkloadIters), o)
+}
+
+// RunAssembly assembles µRISC source text and simulates it. The assembly
+// syntax is documented on internal/asm.Assemble; see the examples/
+// directory for complete programs.
+func RunAssembly(name, source string, opt Options) (*Result, error) {
+	p, err := asm.Assemble(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return runProgram(p, opt.withDefaults())
+}
+
+func runProgram(p *isa.Program, o Options) (*Result, error) {
+	model, err := o.Model.internal()
+	if err != nil {
+		return nil, err
+	}
+	pol, sptPol, sttPol, err := o.policy()
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Model = model
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	core, err := pipeline.New(cfg, p, hier, pol)
+	if err != nil {
+		return nil, err
+	}
+	var warmCycles, warmInsts uint64
+	if o.WarmupInstructions > 0 {
+		if err := core.Run(o.WarmupInstructions, o.MaxCycles); err != nil {
+			return nil, fmt.Errorf("spt: warmup: %w", err)
+		}
+		warmCycles, warmInsts = core.Stats.Cycles, core.Stats.Retired
+	}
+	if err := core.Run(warmInsts+o.MaxInstructions, o.MaxCycles); err != nil {
+		return nil, fmt.Errorf("spt: %s under %s/%s: %w", p.Name, o.Scheme, o.Model, err)
+	}
+	if !core.Finished() && core.Stats.Retired < warmInsts+o.MaxInstructions {
+		return nil, fmt.Errorf("spt: %s under %s/%s: hit the cycle bound (%d cycles, %d retired)",
+			p.Name, o.Scheme, o.Model, core.Stats.Cycles, core.Stats.Retired)
+	}
+
+	res := &Result{
+		Workload:     p.Name,
+		Scheme:       o.Scheme,
+		Model:        o.Model,
+		Cycles:       core.Stats.Cycles - warmCycles,
+		Instructions: core.Stats.Retired - warmInsts,
+		Pipeline:     core.Stats,
+		Memory:       hier.Stats,
+		L1D:          hier.L1D.Stats(),
+		L2:           hier.L2.Stats(),
+		L3:           hier.L3.Stats(),
+		TLBMisses:    hier.DTLB.Stats.Misses,
+		Predictor:    core.Pred.Stats,
+	}
+	if sptPol != nil {
+		res.Taint = &TaintStats{Events: map[string]uint64{}}
+		for k, v := range sptPol.Stats.Events {
+			res.Taint.Events[EventName(k)] = v
+		}
+		res.Taint.UntaintingCycles = sptPol.Stats.UntaintingCycles
+		res.Taint.UntaintHist = sptPol.Stats.UntaintHist
+		res.Taint.BroadcastDeferred = sptPol.Stats.BroadcastDeferred
+		res.Taint.MemUntaints = sptPol.Stats.MemUntaints
+	}
+	if sttPol != nil {
+		res.Taint = &TaintStats{Events: map[string]uint64{"stt-untaint": sttPol.Stats.Untaints}}
+	}
+	if res.Taint != nil && res.Taint.Events == nil {
+		res.Taint.Events = map[string]uint64{}
+	}
+	return res, nil
+}

@@ -1,0 +1,253 @@
+package spt_test
+
+import (
+	"strings"
+	"testing"
+
+	"spt"
+)
+
+func TestRunAllSchemesOnOneWorkload(t *testing.T) {
+	for _, scheme := range spt.Schemes() {
+		for _, model := range spt.AttackModels() {
+			res, err := spt.Run("gcc", spt.Options{
+				Scheme:          scheme,
+				Model:           model,
+				MaxInstructions: 20_000,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", scheme, model, err)
+			}
+			if res.Cycles == 0 || res.Instructions < 20_000 {
+				t.Fatalf("%s/%s: empty result %+v", scheme, model, res)
+			}
+			if res.IPC() <= 0 || res.CPI() <= 0 {
+				t.Fatalf("%s/%s: bad rates", scheme, model)
+			}
+			isProtected := scheme != spt.UnsafeBaseline
+			if (res.Taint != nil) != isProtected {
+				t.Fatalf("%s: taint stats presence mismatch", scheme)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := spt.Run("no-such-workload", spt.Options{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := spt.Run("gcc", spt.Options{Scheme: "bogus"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := spt.Run("gcc", spt.Options{Model: "bogus"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := spt.RunAssembly("bad", "not a program", spt.Options{}); err == nil {
+		t.Fatal("invalid assembly accepted")
+	}
+}
+
+func TestRunAssembly(t *testing.T) {
+	res, err := spt.RunAssembly("loop", `
+  movi r1, 200
+top:
+  addi r1, r1, -1
+  bne r1, r0, top
+  halt
+`, spt.Options{Scheme: spt.SPTFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 402 {
+		t.Fatalf("instructions = %d, want 402", res.Instructions)
+	}
+}
+
+func TestWorkloadsListing(t *testing.T) {
+	ws := spt.Workloads()
+	if len(ws) != 19 {
+		t.Fatalf("workloads = %d, want 19", len(ws))
+	}
+	classes := map[string]int{}
+	for _, w := range ws {
+		classes[w.Class]++
+	}
+	if classes["const-time"] != 3 || classes["int"]+classes["fp"] != 16 {
+		t.Fatalf("class split wrong: %v", classes)
+	}
+}
+
+func TestStatsText(t *testing.T) {
+	res, err := spt.Run("namd", spt.Options{Scheme: spt.SPTFull, MaxInstructions: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.StatsText()
+	for _, want := range []string{"numCycles", "committedInsts", "untaint.total", "l1dAccesses"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats.txt missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMachineAndSchemeTables(t *testing.T) {
+	mt := spt.MachineTable()
+	for _, want := range []string{"192 ROB", "32 KB", "256 KB", "2 MB", "4x2 mesh", "MESI"} {
+		if !strings.Contains(mt, want) {
+			t.Errorf("machine table missing %q", want)
+		}
+	}
+	st := spt.SchemeTable()
+	for _, s := range spt.Schemes() {
+		if !strings.Contains(st, string(s)) {
+			t.Errorf("scheme table missing %q", s)
+		}
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	names := spt.EventNames()
+	if len(names) < 7 {
+		t.Fatalf("event kinds = %d", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("bad event name list: %v", names)
+		}
+		seen[n] = true
+	}
+}
+
+// TestFigure7Shape runs a reduced Figure 7 and asserts the paper's
+// qualitative result: protection ordering and the constant-time story.
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fig, err := spt.RunFigure7(spt.Futuristic, spt.EvalOptions{
+		Budget:    30_000,
+		Workloads: []string{"perlbench", "parest", "djbsort", "chacha20"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.MeanSpec[spt.SecureBaseline] < fig.MeanSpec[spt.SPTFull] {
+		t.Errorf("SecureBaseline (%.2f) should cost more than SPT (%.2f)",
+			fig.MeanSpec[spt.SecureBaseline], fig.MeanSpec[spt.SPTFull])
+	}
+	if fig.MeanSpec[spt.SPTFull] < 0.95 {
+		t.Errorf("SPT normalized mean %.2f below baseline", fig.MeanSpec[spt.SPTFull])
+	}
+	if fig.MeanCT[spt.SPTFull] > fig.MeanCT[spt.SecureBaseline] {
+		t.Errorf("const-time: SPT (%.2f) should beat SecureBaseline (%.2f)",
+			fig.MeanCT[spt.SPTFull], fig.MeanCT[spt.SecureBaseline])
+	}
+}
+
+// TestFigure8And9Smoke exercises the breakdown and histogram harnesses.
+func TestFigure8And9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opt := spt.EvalOptions{Budget: 20_000, Workloads: []string{"mcf", "perlbench"}}
+	rows8, err := spt.RunFigure8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows8) != 4 { // 2 workloads x 2 models
+		t.Fatalf("fig8 rows = %d", len(rows8))
+	}
+	var any uint64
+	for _, r := range rows8 {
+		any += r.Total
+	}
+	if any == 0 {
+		t.Fatal("no untaint events recorded in fig8")
+	}
+	if s := spt.Figure8Text(rows8); !strings.Contains(s, "mcf") {
+		t.Fatal("fig8 text missing workload")
+	}
+
+	rows9, err := spt.RunFigure9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows9) != 2 {
+		t.Fatalf("fig9 rows = %d", len(rows9))
+	}
+	for _, r := range rows9 {
+		if r.CumulativePct[9] < 99.9 {
+			t.Errorf("%s: cumulative distribution does not reach 100%%: %v", r.Workload, r.CumulativePct)
+		}
+	}
+	if s := spt.Figure9Text(rows9); !strings.Contains(s, "width 3") {
+		t.Fatal("fig9 text missing coverage line")
+	}
+}
+
+// TestWidthSweepMonotonicTrend: wider broadcast never costs performance
+// (modulo small timing noise).
+func TestWidthSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := spt.RunWidthSweep([]int{1, 3, -1}, spt.EvalOptions{
+		Budget:    20_000,
+		Workloads: []string{"mcf"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byWidth := map[int]uint64{}
+	for _, r := range rows {
+		byWidth[r.Width] = r.Cycles
+	}
+	if byWidth[1] < byWidth[0] {
+		t.Errorf("width 1 (%d cycles) faster than unbounded (%d)", byWidth[1], byWidth[0])
+	}
+	if s := spt.WidthSweepText(rows); !strings.Contains(s, "w=1") {
+		t.Fatal("sweep text missing width column")
+	}
+}
+
+// TestObliviousScheme: the SDO-style extension runs correctly and can beat
+// delay-based SPT on workloads where the visibility point lags far behind
+// (e.g. dependent scattered loads), at the price of fixed-latency accesses.
+func TestObliviousScheme(t *testing.T) {
+	res, err := spt.Run("parest", spt.Options{Scheme: spt.SPTOblivious, MaxInstructions: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.ObliviousExecs == 0 {
+		t.Error("no oblivious executions recorded")
+	}
+	delay, err := spt.Run("parest", spt.Options{Scheme: spt.SPTFull, MaxInstructions: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("parest: delay=%d cycles, oblivious=%d cycles", delay.Cycles, res.Cycles)
+	if res.Cycles > delay.Cycles*2 {
+		t.Errorf("oblivious execution (%d cycles) should be in the same league as delay (%d)", res.Cycles, delay.Cycles)
+	}
+}
+
+// TestWarmup: warmed-up measurement excludes cold-start effects.
+func TestWarmup(t *testing.T) {
+	cold, err := spt.Run("namd", spt.Options{Scheme: spt.UnsafeBaseline, MaxInstructions: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := spt.Run("namd", spt.Options{
+		Scheme: spt.UnsafeBaseline, MaxInstructions: 20_000, WarmupInstructions: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Instructions < 20_000 || warm.Instructions > 20_000+16 {
+		t.Fatalf("measured instructions = %d, want ~20000 (retire-width slack)", warm.Instructions)
+	}
+	if warm.CPI() >= cold.CPI() {
+		t.Errorf("warm CPI %.3f should beat cold CPI %.3f (cold misses excluded)", warm.CPI(), cold.CPI())
+	}
+}
