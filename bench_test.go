@@ -71,6 +71,32 @@ func benchFigure7(b *testing.B, model spt.AttackModel) {
 // overhead, 3.6x below SecureBaseline; const-time 2.8x -> 1.10x).
 func BenchmarkFigure7Futuristic(b *testing.B) { benchFigure7(b, spt.Futuristic) }
 
+// benchFigure7Jobs runs the same Figure 7 grid at a fixed worker count, so
+// the sequential/parallel pair below exposes the evaluation engine's
+// wall-clock scaling in the bench trajectory. Output is identical at any
+// worker count; only scheduling differs.
+func benchFigure7Jobs(b *testing.B, jobs int) {
+	subset := []string{"perlbench", "mcf", "parest", "namd", "xz", "chacha20"}
+	for i := 0; i < b.N; i++ {
+		fig, err := spt.RunFigure7(spt.Futuristic, spt.EvalOptions{
+			Budget: benchBudget, Workloads: subset, Jobs: jobs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.MeanSpec[spt.SPTFull], "spt-norm-spec")
+	}
+}
+
+// BenchmarkFigure7Sequential pins the pre-engine behavior: the whole
+// workload x scheme grid on one worker.
+func BenchmarkFigure7Sequential(b *testing.B) { benchFigure7Jobs(b, 1) }
+
+// BenchmarkFigure7Parallel runs the identical grid with one worker per
+// core (EvalOptions.Jobs = 0 default). On a 4-core runner this should be
+// >= 2x faster than BenchmarkFigure7Sequential.
+func BenchmarkFigure7Parallel(b *testing.B) { benchFigure7Jobs(b, 0) }
+
 // BenchmarkFigure7Spectre regenerates Figure 7 (bottom graph): the Spectre
 // attack model (paper: SPT 11% overhead, 3x below SecureBaseline).
 func BenchmarkFigure7Spectre(b *testing.B) { benchFigure7(b, spt.Spectre) }

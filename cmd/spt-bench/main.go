@@ -10,7 +10,10 @@
 //	spt-bench -what all       # everything
 //
 // -budget scales the per-run retired-instruction count (the SimPoint
-// stand-in); -workloads restricts the suite.
+// stand-in); -workloads restricts the suite; -jobs sets how many
+// simulations run concurrently (0 = one per core, 1 = sequential — the
+// figures are bit-identical either way); -progress reports grid completion
+// on stderr.
 package main
 
 import (
@@ -30,12 +33,22 @@ func main() {
 		what      = flag.String("what", "all", "machine|configs|fig7|fig8|fig9|width|pentest|all")
 		budget    = flag.Uint64("budget", 120_000, "retired instructions per run")
 		workloads = flag.String("workloads", "", "comma-separated subset (default: all)")
+		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = one per core, 1 = sequential)")
+		progress  = flag.Bool("progress", false, "report per-simulation grid progress on stderr")
 	)
 	flag.Parse()
 
-	opt := spt.EvalOptions{Budget: *budget}
+	opt := spt.EvalOptions{Budget: *budget, Jobs: *jobs}
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	if *progress {
+		opt.Progress = func(done, total int, j spt.Job) {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] %s\033[K", done, total, j)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 
 	run := func(name string, f func() error) {

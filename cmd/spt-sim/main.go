@@ -3,8 +3,13 @@
 // equivalent of the paper artifact's run_spt.py helper:
 //
 //	spt-sim -workload mcf -scheme spt -threat-model futuristic
+//	spt-sim -workload mcf,gcc,xz -jobs 0 -output-dir out   # parallel batch
 //	spt-sim -asm prog.s -scheme secure -max-insts 500000
 //	spt-sim -list
+//
+// -workload accepts a comma-separated list; multiple workloads run as a
+// job grid on -jobs workers (0 = one per core) and print their stats in
+// list order.
 //
 // Scheme names follow the artifact's configurations (Table 2): unsafe,
 // secure, spt-fwd, spt-bwd, spt (= SPT{Bwd,ShadowL1}), spt-shadowmem,
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"spt"
 	"spt/internal/asm"
@@ -27,7 +33,8 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "workload name (see -list)")
+		workload = flag.String("workload", "", "workload name or comma-separated list (see -list)")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations for a workload list (0 = one per core)")
 		asmFile  = flag.String("asm", "", "µRISC assembly file to run instead of a workload")
 		scheme   = flag.String("scheme", "unsafe", "processor configuration (Table 2)")
 		model    = flag.String("threat-model", "futuristic", "spectre or futuristic")
@@ -72,6 +79,11 @@ func main() {
 			return
 		}
 		res, err = spt.RunAssembly(filepath.Base(*asmFile), string(src), opt)
+	case strings.Contains(*workload, ","):
+		if err := runBatch(strings.Split(*workload, ","), opt, *jobs, *outDir); err != nil {
+			fatal(err)
+		}
+		return
 	case *workload != "":
 		res, err = spt.Run(*workload, opt)
 	default:
@@ -98,6 +110,44 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "spt-sim:", err)
 	os.Exit(1)
+}
+
+// runBatch simulates several workloads under one configuration as a job
+// grid, then emits each stats.txt in the order the workloads were named
+// (results do not depend on the worker count).
+func runBatch(names []string, opt spt.Options, jobs int, outDir string) error {
+	grid := make([]spt.Job, len(names))
+	for i, name := range names {
+		grid[i] = spt.Job{
+			Workload: name,
+			Scheme:   opt.Scheme,
+			Model:    opt.Model,
+			Width:    opt.UntaintBroadcastWidth,
+			Budget:   opt.MaxInstructions,
+		}
+	}
+	results, err := spt.RunJobs(grid, spt.EvalOptions{Jobs: jobs})
+	if err != nil {
+		return err
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, j := range grid {
+		text := results[j].StatsText()
+		if outDir == "" {
+			fmt.Print(text)
+			continue
+		}
+		path := filepath.Join(outDir, j.Workload+".stats.txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
 }
 
 // runTracked executes an assembly program with the per-instruction tracer

@@ -1,0 +1,105 @@
+// Determinism diff-tests for the parallel evaluation engine: every figure
+// and sweep harness must produce deeply-equal rows/means and byte-identical
+// text renderings whether the grid runs on one worker or eight. This is the
+// guarantee that lets CI compare golden fixtures produced at any -jobs
+// setting.
+package spt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"spt"
+)
+
+func determinismOpt(jobs int) spt.EvalOptions {
+	return spt.EvalOptions{
+		Budget:    8_000,
+		Workloads: []string{"mcf", "gcc", "chacha20"},
+		Jobs:      jobs,
+	}
+}
+
+func TestFigure7Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	seq, err := spt.RunFigure7(spt.Futuristic, determinismOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := spt.RunFigure7(spt.Futuristic, determinismOpt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Figure7 rows/means differ between Jobs:1 and Jobs:8\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.Text() != par.Text() {
+		t.Errorf("Figure7 text differs between Jobs:1 and Jobs:8\n--- Jobs:1\n%s\n--- Jobs:8\n%s", seq.Text(), par.Text())
+	}
+}
+
+func TestFigure8Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	seq, err := spt.RunFigure8(determinismOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := spt.RunFigure8(determinismOpt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Figure8 rows differ between Jobs:1 and Jobs:8")
+	}
+	if spt.Figure8Text(seq) != spt.Figure8Text(par) {
+		t.Errorf("Figure8 text differs between Jobs:1 and Jobs:8\n--- Jobs:1\n%s\n--- Jobs:8\n%s",
+			spt.Figure8Text(seq), spt.Figure8Text(par))
+	}
+}
+
+func TestFigure9Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	seq, err := spt.RunFigure9(determinismOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := spt.RunFigure9(determinismOpt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Figure9 rows differ between Jobs:1 and Jobs:8")
+	}
+	if spt.Figure9Text(seq) != spt.Figure9Text(par) {
+		t.Errorf("Figure9 text differs between Jobs:1 and Jobs:8\n--- Jobs:1\n%s\n--- Jobs:8\n%s",
+			spt.Figure9Text(seq), spt.Figure9Text(par))
+	}
+}
+
+func TestWidthSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	widths := []int{1, 3, -1}
+	seq, err := spt.RunWidthSweep(widths, determinismOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := spt.RunWidthSweep(widths, determinismOpt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("width sweep rows differ between Jobs:1 and Jobs:8")
+	}
+	if spt.WidthSweepText(seq) != spt.WidthSweepText(par) {
+		t.Errorf("width sweep text differs between Jobs:1 and Jobs:8\n--- Jobs:1\n%s\n--- Jobs:8\n%s",
+			spt.WidthSweepText(seq), spt.WidthSweepText(par))
+	}
+}

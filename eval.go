@@ -1,6 +1,7 @@
 package spt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -14,10 +15,23 @@ type EvalOptions struct {
 	// Budget is the retired-instruction budget per run (the SimPoint
 	// stand-in). Default 120,000.
 	Budget uint64
-	// Workloads restricts the suite (nil = all).
+	// Workloads restricts the suite (nil = all). Names are validated before
+	// any simulation starts; an unknown name is an error.
 	Workloads []string
 	// Width is the untaint broadcast width for SPT runs. Default 3.
 	Width int
+	// Jobs is the number of simulations run concurrently. 0 (the default)
+	// uses runtime.GOMAXPROCS(0); 1 runs the grid strictly sequentially.
+	// Aggregation is always a sequential pass in grid order, so every figure
+	// and sweep produces bit-identical output regardless of Jobs.
+	Jobs int
+	// Context, if non-nil, cancels an in-flight evaluation between
+	// simulations (an individual simulation is not interruptible).
+	Context context.Context
+	// Progress, if non-nil, is called after each completed simulation with
+	// the number done so far, the grid total, and the finished job. Calls
+	// are serialized; completion order depends on scheduling when Jobs > 1.
+	Progress func(done, total int, j Job)
 }
 
 func (o EvalOptions) withDefaults() EvalOptions {
@@ -30,15 +44,23 @@ func (o EvalOptions) withDefaults() EvalOptions {
 	return o
 }
 
-func (o EvalOptions) names() []string {
+// names returns the workload list for the run, validating any explicit
+// subset so a typo fails fast with a descriptive error instead of flowing
+// through the grid as an unknown class.
+func (o EvalOptions) names() ([]string, error) {
 	if len(o.Workloads) > 0 {
-		return o.Workloads
+		for _, name := range o.Workloads {
+			if _, err := workloads.ByName(name); err != nil {
+				return nil, fmt.Errorf("spt: invalid EvalOptions.Workloads: %w (spt-sim -list names the suite)", err)
+			}
+		}
+		return o.Workloads, nil
 	}
 	var names []string
 	for _, w := range workloads.All() {
 		names = append(names, w.Name)
 	}
-	return names
+	return names, nil
 }
 
 func classOf(name string) string {
@@ -69,14 +91,35 @@ type Figure7 struct {
 }
 
 // RunFigure7 measures normalized execution time for every workload and
-// scheme under the given attack model.
+// scheme under the given attack model. The |workloads| x |schemes| grid
+// runs on opt.Jobs workers; the unsafe baseline is an ordinary grid cell
+// joined during aggregation.
 func RunFigure7(model AttackModel, opt EvalOptions) (*Figure7, error) {
 	opt = opt.withDefaults()
+	names, err := opt.names()
+	if err != nil {
+		return nil, err
+	}
 	fig := &Figure7{
 		Model:   model,
 		Schemes: Schemes(),
 		Mean:    map[Scheme]float64{}, MeanSpec: map[Scheme]float64{}, MeanCT: map[Scheme]float64{},
 	}
+
+	cell := func(name string, s Scheme) Job {
+		return Job{Workload: name, Scheme: s, Model: model, Width: opt.Width, Budget: opt.Budget}
+	}
+	var jobs []Job
+	for _, name := range names {
+		for _, s := range fig.Schemes {
+			jobs = append(jobs, cell(name, s))
+		}
+	}
+	results, err := runGrid(jobs, opt, runJob)
+	if err != nil {
+		return nil, err
+	}
+
 	type acc struct {
 		logSum float64
 		n      int
@@ -88,33 +131,16 @@ func RunFigure7(model AttackModel, opt EvalOptions) (*Figure7, error) {
 		accAll[s], accSpec[s], accCT[s] = &acc{}, &acc{}, &acc{}
 	}
 
-	for _, name := range opt.names() {
+	for _, name := range names {
 		row := Figure7Row{
 			Workload:   name,
 			Class:      classOf(name),
 			Cycles:     map[Scheme]uint64{},
 			Normalized: map[Scheme]float64{},
 		}
-		base, err := Run(name, Options{
-			Scheme: UnsafeBaseline, Model: model,
-			MaxInstructions: opt.Budget, UntaintBroadcastWidth: opt.Width,
-		})
-		if err != nil {
-			return nil, err
-		}
+		base := results[cell(name, UnsafeBaseline)]
 		for _, s := range fig.Schemes {
-			var res *Result
-			if s == UnsafeBaseline {
-				res = base
-			} else {
-				res, err = Run(name, Options{
-					Scheme: s, Model: model,
-					MaxInstructions: opt.Budget, UntaintBroadcastWidth: opt.Width,
-				})
-				if err != nil {
-					return nil, err
-				}
-			}
+			res := results[cell(name, s)]
 			row.Cycles[s] = res.Cycles
 			norm := res.NormalizedTo(base)
 			row.Normalized[s] = norm
@@ -204,19 +230,32 @@ type Figure8Row struct {
 }
 
 // RunFigure8 reproduces the untaint-event breakdown (full SPT design,
-// both attack models).
+// both attack models). The |workloads| x |models| grid runs on opt.Jobs
+// workers.
 func RunFigure8(opt EvalOptions) ([]Figure8Row, error) {
 	opt = opt.withDefaults()
-	var rows []Figure8Row
-	for _, name := range opt.names() {
+	names, err := opt.names()
+	if err != nil {
+		return nil, err
+	}
+	cell := func(name string, model AttackModel) Job {
+		return Job{Workload: name, Scheme: SPTFull, Model: model, Width: opt.Width, Budget: opt.Budget}
+	}
+	var jobs []Job
+	for _, name := range names {
 		for _, model := range AttackModels() {
-			res, err := Run(name, Options{
-				Scheme: SPTFull, Model: model,
-				MaxInstructions: opt.Budget, UntaintBroadcastWidth: opt.Width,
-			})
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, cell(name, model))
+		}
+	}
+	results, err := runGrid(jobs, opt, runJob)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Figure8Row
+	for _, name := range names {
+		for _, model := range AttackModels() {
+			res := results[cell(name, model)]
 			row := Figure8Row{
 				Workload:  name,
 				Model:     model,
@@ -272,21 +311,36 @@ type Figure9Row struct {
 }
 
 // RunFigure9 measures, for each untainting cycle, how many registers were
-// untainted (paper Figure 9; justifies broadcast width 3).
+// untainted (paper Figure 9; justifies broadcast width 3). The per-workload
+// runs execute on opt.Jobs workers.
 func RunFigure9(opt EvalOptions) ([]Figure9Row, error) {
 	opt = opt.withDefaults()
-	var rows []Figure9Row
-	for _, name := range opt.names() {
+	all, err := opt.names()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, name := range all {
 		if classOf(name) == "const-time" {
 			continue // the paper runs Figure 9 on SPEC only
 		}
-		res, err := Run(name, Options{
-			Scheme: SPTIdealShadowMem, Model: Futuristic,
-			MaxInstructions: opt.Budget,
-		})
-		if err != nil {
-			return nil, err
-		}
+		names = append(names, name)
+	}
+	cell := func(name string) Job {
+		return Job{Workload: name, Scheme: SPTIdealShadowMem, Model: Futuristic, Width: opt.Width, Budget: opt.Budget}
+	}
+	var jobs []Job
+	for _, name := range names {
+		jobs = append(jobs, cell(name))
+	}
+	results, err := runGrid(jobs, opt, runJob)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Figure9Row
+	for _, name := range names {
+		res := results[cell(name)]
 		row := Figure9Row{Workload: name, UntaintingCycles: res.Taint.UntaintingCycles}
 		var cum uint64
 		for i, v := range res.Taint.UntaintHist {
@@ -340,23 +394,36 @@ type WidthSweepRow struct {
 }
 
 // RunWidthSweep measures sensitivity to the untaint broadcast width
-// (paper §9.4).
+// (paper §9.4). The |workloads| x |widths| grid runs on opt.Jobs workers.
 func RunWidthSweep(widths []int, opt EvalOptions) ([]WidthSweepRow, error) {
 	opt = opt.withDefaults()
 	if len(widths) == 0 {
 		widths = []int{1, 2, 3, 4, 6, 8, -1}
 	}
-	var rows []WidthSweepRow
-	for _, name := range opt.names() {
-		base := map[int]uint64{}
+	names, err := opt.names()
+	if err != nil {
+		return nil, err
+	}
+	cell := func(name string, w int) Job {
+		return Job{Workload: name, Scheme: SPTFull, Model: Futuristic, Width: w, Budget: opt.Budget}
+	}
+	var jobs []Job
+	for _, name := range names {
 		for _, w := range widths {
-			res, err := Run(name, Options{
-				Scheme: SPTFull, Model: Futuristic,
-				MaxInstructions: opt.Budget, UntaintBroadcastWidth: w,
-			})
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, cell(name, w))
+		}
+	}
+	results, err := runGrid(jobs, opt, runJob)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []WidthSweepRow
+	for _, name := range names {
+		base := map[int]uint64{}
+		start := len(rows)
+		for _, w := range widths {
+			res := results[cell(name, w)]
 			wKey := w
 			if w < 0 {
 				wKey = 0
@@ -365,10 +432,8 @@ func RunWidthSweep(widths []int, opt EvalOptions) ([]WidthSweepRow, error) {
 			rows = append(rows, WidthSweepRow{Workload: name, Width: wKey, Cycles: res.Cycles})
 		}
 		if unb, ok := base[0]; ok && unb > 0 {
-			for i := range rows {
-				if rows[i].Workload == name {
-					rows[i].Normalized = float64(rows[i].Cycles) / float64(unb)
-				}
+			for i := start; i < len(rows); i++ {
+				rows[i].Normalized = float64(rows[i].Cycles) / float64(unb)
 			}
 		}
 	}

@@ -1,0 +1,35 @@
+package spt_test
+
+import (
+	"strings"
+	"testing"
+
+	"spt"
+)
+
+// TestUnknownWorkloadValidation: a typo in EvalOptions.Workloads must fail
+// fast with an error naming the bad workload, from every figure entry
+// point — previously it flowed through classification as class "?" and
+// either failed later or silently landed in the wrong aggregate.
+func TestUnknownWorkloadValidation(t *testing.T) {
+	bad := spt.EvalOptions{Budget: 1_000, Workloads: []string{"mcf", "no-such-workload"}}
+	entries := []struct {
+		name string
+		run  func() error
+	}{
+		{"RunFigure7", func() error { _, err := spt.RunFigure7(spt.Futuristic, bad); return err }},
+		{"RunFigure8", func() error { _, err := spt.RunFigure8(bad); return err }},
+		{"RunFigure9", func() error { _, err := spt.RunFigure9(bad); return err }},
+		{"RunWidthSweep", func() error { _, err := spt.RunWidthSweep([]int{1}, bad); return err }},
+	}
+	for _, e := range entries {
+		err := e.run()
+		if err == nil {
+			t.Errorf("%s: unknown workload accepted", e.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "no-such-workload") {
+			t.Errorf("%s: error should name the unknown workload, got: %v", e.name, err)
+		}
+	}
+}

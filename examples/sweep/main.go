@@ -7,13 +7,27 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 
 	"spt"
 )
 
 func main() {
 	workloadSubset := []string{"mcf", "perlbench", "xz", "exchange2"}
-	opt := spt.EvalOptions{Budget: 60_000, Workloads: workloadSubset}
+	opt := spt.EvalOptions{
+		Budget:    60_000,
+		Workloads: workloadSubset,
+		// The sweep grid is embarrassingly parallel; run one simulation per
+		// core. Results are bit-identical to Jobs: 1.
+		Jobs: runtime.GOMAXPROCS(0),
+		Progress: func(done, total int, j spt.Job) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d simulations\033[K", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	}
 
 	rows, err := spt.RunWidthSweep([]int{1, 2, 3, 4, 8, -1}, opt)
 	if err != nil {

@@ -1,0 +1,98 @@
+// Golden-output tests for the four text renderers. The fixtures under
+// testdata/ pin both the numeric results (the simulator is deterministic)
+// and the exact formatting, so map-ordering or layout regressions are
+// caught byte-for-byte. The grids run with Jobs: 8 on purpose: the
+// determinism tests prove the worker count cannot change the bytes, so
+// these fixtures double as an end-to-end check of the parallel path.
+//
+// Regenerate after an intentional change with:
+//
+//	go test -run TestGolden -update
+package spt_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spt"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func goldenOpt() spt.EvalOptions {
+	return spt.EvalOptions{
+		Budget:    6_000,
+		Workloads: []string{"mcf", "xz", "chacha20"},
+		Jobs:      8,
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go test -run TestGolden -update`): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("%s: first difference at line %d:\n got: %q\nwant: %q", name, i+1, g, w)
+			break
+		}
+	}
+	t.Errorf("%s: output diverged from golden fixture (regenerate with `go test -run TestGolden -update` if intentional)", name)
+}
+
+func TestGoldenFigure7(t *testing.T) {
+	fig, err := spt.RunFigure7(spt.Futuristic, goldenOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure7_futuristic.golden", fig.Text())
+}
+
+func TestGoldenFigure8(t *testing.T) {
+	rows, err := spt.RunFigure8(goldenOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure8.golden", spt.Figure8Text(rows))
+}
+
+func TestGoldenFigure9(t *testing.T) {
+	rows, err := spt.RunFigure9(goldenOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure9.golden", spt.Figure9Text(rows))
+}
+
+func TestGoldenWidthSweep(t *testing.T) {
+	rows, err := spt.RunWidthSweep([]int{1, 3, -1}, goldenOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "width_sweep.golden", spt.WidthSweepText(rows))
+}

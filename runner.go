@@ -1,0 +1,189 @@
+package spt
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job identifies one cell of an evaluation grid: one simulation of one
+// workload under one (scheme, attack model, broadcast width) point at a
+// fixed instruction budget. The figure harnesses (RunFigure7, RunFigure8,
+// RunFigure9, RunWidthSweep) enumerate their full grid as []Job up front,
+// execute it on a worker pool, and then aggregate sequentially in grid
+// order — which is what makes their output independent of EvalOptions.Jobs.
+type Job struct {
+	Workload string
+	Scheme   Scheme
+	Model    AttackModel
+	// Width is passed through as Options.UntaintBroadcastWidth: 0 means the
+	// default (3), negative means unbounded.
+	Width  int
+	Budget uint64
+}
+
+// String names the job for errors and progress reporting.
+func (j Job) String() string {
+	width := fmt.Sprintf("w=%d", j.Width)
+	if j.Width < 0 {
+		width = "w=unbounded"
+	}
+	return fmt.Sprintf("%s/%s/%s %s budget=%d", j.Workload, j.Scheme, j.Model, width, j.Budget)
+}
+
+// options translates the grid cell into simulation options.
+func (j Job) options() Options {
+	return Options{
+		Scheme:                j.Scheme,
+		Model:                 j.Model,
+		UntaintBroadcastWidth: j.Width,
+		MaxInstructions:       j.Budget,
+	}
+}
+
+// RunJobs executes an evaluation grid on a worker pool and returns the
+// results keyed by Job. Execution honors opt.Jobs (worker count), opt.Context
+// (cancellation between simulations; an individual simulation is not
+// interruptible), and opt.Progress; opt.Budget, opt.Width, and opt.Workloads
+// are ignored here — they only matter when a figure harness enumerates its
+// grid. Duplicate jobs are simulated once. On error the first failure in
+// grid order is returned and the partial results are discarded.
+func RunJobs(jobs []Job, opt EvalOptions) (map[Job]*Result, error) {
+	return runGrid(jobs, opt, runJob)
+}
+
+// runJob simulates one grid cell.
+func runJob(j Job) (*Result, error) { return Run(j.Workload, j.options()) }
+
+// safeRun converts a panicking simulation into a structured error naming
+// the job, so one crashed cell fails the grid cleanly instead of killing
+// the process from a worker goroutine.
+func safeRun(j Job, run func(Job) (*Result, error)) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("spt: job %s panicked: %v", j, r)
+		}
+	}()
+	return run(j)
+}
+
+// runGrid is the evaluation engine: it executes the deduplicated job list
+// on opt.Jobs workers (default runtime.GOMAXPROCS(0); 1 reproduces the old
+// strictly sequential harness) and collects results into a map keyed by
+// Job. Only scheduling is concurrent — callers aggregate from the map in
+// their own grid order, so figure output is bit-identical for any worker
+// count.
+func runGrid(jobs []Job, opt EvalOptions, run func(Job) (*Result, error)) (map[Job]*Result, error) {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Deduplicate while preserving first-occurrence order; figure grids may
+	// join one cell (e.g. the unsafe baseline) into several aggregates.
+	order := make([]Job, 0, len(jobs))
+	seen := make(map[Job]bool, len(jobs))
+	for _, j := range jobs {
+		if !seen[j] {
+			seen[j] = true
+			order = append(order, j)
+		}
+	}
+	total := len(order)
+	if total == 0 {
+		return map[Job]*Result{}, nil
+	}
+
+	workers := opt.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	results := make([]*Result, total)
+	errs := make([]error, total)
+
+	// Progress calls are serialized; done counts completions, not grid
+	// positions, so it increases monotonically under any worker count.
+	var progressMu sync.Mutex
+	done := 0
+	report := func(k int) {
+		if opt.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		opt.Progress(done, total, order[k])
+		progressMu.Unlock()
+	}
+	exec := func(k int) {
+		results[k], errs[k] = safeRun(order[k], run)
+		if errs[k] == nil {
+			report(k)
+		}
+	}
+
+	if workers == 1 {
+		for k := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			exec(k)
+			if errs[k] != nil {
+				return nil, errs[k]
+			}
+		}
+	} else {
+		gctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for k := range idx {
+					if gctx.Err() != nil {
+						continue // drain the queue without simulating
+					}
+					exec(k)
+					if errs[k] != nil {
+						cancel() // first failure stops the feed; in-flight jobs finish
+					}
+				}
+			}()
+		}
+	feed:
+		for k := range order {
+			if gctx.Err() != nil {
+				break
+			}
+			select {
+			case idx <- k:
+			case <-gctx.Done():
+				break feed
+			}
+		}
+		close(idx)
+		wg.Wait()
+		// Report the earliest failure in grid order, not in completion
+		// order, so the error does not depend on scheduling.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make(map[Job]*Result, total)
+	for k, j := range order {
+		out[j] = results[k]
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package spt
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testJob(i int) Job {
+	return Job{Workload: fmt.Sprintf("w%02d", i), Scheme: SPTFull, Model: Futuristic, Width: 3, Budget: 1_000}
+}
+
+func testGrid(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	return jobs
+}
+
+func stubResult(j Job) *Result {
+	return &Result{Workload: j.Workload, Scheme: j.Scheme, Model: j.Model, Cycles: 1, Instructions: 1}
+}
+
+func TestRunGridDedupe(t *testing.T) {
+	// Three logical references to two unique cells: the duplicate (the
+	// "baseline joined twice" pattern) must simulate once.
+	jobs := []Job{testJob(0), testJob(1), testJob(0)}
+	var calls atomic.Int64
+	res, err := runGrid(jobs, EvalOptions{Jobs: 4}, func(j Job) (*Result, error) {
+		calls.Add(1)
+		return stubResult(j), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("runs = %d, want 2 (dedupe)", calls.Load())
+	}
+	if len(res) != 2 {
+		t.Errorf("results = %d, want 2", len(res))
+	}
+	for _, j := range jobs {
+		if res[j] == nil || res[j].Workload != j.Workload {
+			t.Errorf("missing or wrong result for %s", j)
+		}
+	}
+}
+
+func TestRunGridEmpty(t *testing.T) {
+	res, err := runGrid(nil, EvalOptions{}, func(j Job) (*Result, error) {
+		t.Error("run called for empty grid")
+		return nil, nil
+	})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty grid: res=%v err=%v", res, err)
+	}
+}
+
+func TestRunGridPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		jobs := testGrid(6)
+		_, err := runGrid(jobs, EvalOptions{Jobs: workers}, func(j Job) (*Result, error) {
+			if j == jobs[3] {
+				panic("simulated crash")
+			}
+			return stubResult(j), nil
+		})
+		if err == nil {
+			t.Fatalf("Jobs=%d: panic not converted to error", workers)
+		}
+		if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), jobs[3].Workload) {
+			t.Errorf("Jobs=%d: panic error should name the job: %v", workers, err)
+		}
+	}
+}
+
+func TestRunGridSequentialOrderAndFirstError(t *testing.T) {
+	jobs := testGrid(8)
+	var ran []string
+	wantErr := fmt.Errorf("cell failed")
+	_, err := runGrid(jobs, EvalOptions{Jobs: 1}, func(j Job) (*Result, error) {
+		ran = append(ran, j.Workload)
+		if j == jobs[2] {
+			return nil, wantErr
+		}
+		return stubResult(j), nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want the job's error", err)
+	}
+	// Jobs: 1 runs in grid order and stops at the first failure.
+	if want := []string{"w00", "w01", "w02"}; !reflect.DeepEqual(ran, want) {
+		t.Errorf("sequential run order = %v, want %v", ran, want)
+	}
+}
+
+func TestRunGridParallelErrorPropagation(t *testing.T) {
+	jobs := testGrid(32)
+	wantErr := fmt.Errorf("cell failed")
+	var calls atomic.Int64
+	_, err := runGrid(jobs, EvalOptions{Jobs: 4}, func(j Job) (*Result, error) {
+		calls.Add(1)
+		if j == jobs[0] {
+			return nil, wantErr
+		}
+		time.Sleep(time.Millisecond) // keep other workers busy past the cancel
+		return stubResult(j), nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want the job's error", err)
+	}
+	if calls.Load() >= int64(len(jobs)) {
+		t.Errorf("first error should stop the grid early, but all %d jobs ran", len(jobs))
+	}
+}
+
+func TestRunGridContextCancel(t *testing.T) {
+	// Pre-cancelled context: nothing simulates.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	run := func(j Job) (*Result, error) {
+		calls.Add(1)
+		return stubResult(j), nil
+	}
+	for _, workers := range []int{1, 4} {
+		calls.Store(0)
+		_, err := runGrid(testGrid(16), EvalOptions{Jobs: workers, Context: ctx}, run)
+		if err != context.Canceled {
+			t.Fatalf("Jobs=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if calls.Load() != 0 {
+			t.Errorf("Jobs=%d: %d jobs ran under a cancelled context", workers, calls.Load())
+		}
+	}
+
+	// Cancellation mid-grid stops the remaining feed.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	calls.Store(0)
+	_, err := runGrid(testGrid(64), EvalOptions{Jobs: 2, Context: ctx2}, func(j Job) (*Result, error) {
+		if calls.Add(1) == 3 {
+			cancel2()
+		}
+		return stubResult(j), nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("mid-grid cancel: err = %v, want context.Canceled", err)
+	}
+	if calls.Load() >= 64 {
+		t.Error("mid-grid cancel did not stop the feed")
+	}
+}
+
+func TestRunGridProgress(t *testing.T) {
+	const n = 24
+	var mu sync.Mutex
+	var dones []int
+	var totals []int
+	_, err := runGrid(testGrid(n), EvalOptions{
+		Jobs: 8,
+		Progress: func(done, total int, j Job) {
+			mu.Lock()
+			dones = append(dones, done)
+			totals = append(totals, total)
+			mu.Unlock()
+		},
+	}, func(j Job) (*Result, error) { return stubResult(j), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != n {
+		t.Fatalf("progress calls = %d, want %d", len(dones), n)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done sequence not monotonic: %v", dones)
+		}
+		if totals[i] != n {
+			t.Fatalf("total = %d at call %d, want %d", totals[i], i, n)
+		}
+	}
+}
+
+// TestRunJobsReal exercises the public API end to end on tiny real
+// simulations and checks a parallel grid result matches a direct Run.
+func TestRunJobsReal(t *testing.T) {
+	jobs := []Job{
+		{Workload: "gcc", Scheme: SPTFull, Model: Futuristic, Width: 3, Budget: 3_000},
+		{Workload: "mcf", Scheme: UnsafeBaseline, Model: Spectre, Width: 3, Budget: 3_000},
+		{Workload: "gcc", Scheme: SPTFull, Model: Futuristic, Width: 3, Budget: 3_000}, // duplicate
+	}
+	res, err := RunJobs(jobs, EvalOptions{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2 (dedupe)", len(res))
+	}
+	direct, err := Run(jobs[0].Workload, jobs[0].options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res[jobs[0]], direct) {
+		t.Error("grid result differs from a direct Run of the same cell")
+	}
+}
