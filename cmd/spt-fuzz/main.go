@@ -1,0 +1,117 @@
+// Command spt-fuzz runs a differential leakage-fuzzing campaign: generated
+// speculation gadgets are checked by the SPECTECTOR-style oracle (same
+// architectural execution, diffed observation traces) under every requested
+// (scheme, threat-model) cell, and leaking programs are minimized into
+// .urisc reproducers.
+//
+//	spt-fuzz -seed 1 -count 64                      # full Table 2 grid
+//	spt-fuzz -schemes stt,spt -models futuristic    # the paper's §3 gap
+//	spt-fuzz -count 32 -minimize 4 -corpus out/     # write reproducers
+//	spt-fuzz -json > report.json
+//
+// The report is deterministic in (seed, count, schemes, models, minimize):
+// -jobs changes only the wall-clock time, never a byte of output. The exit
+// status is the campaign verdict — 0 when every leak is a true-positive
+// control (unsafe baseline, STT on non-speculative secrets, memory
+// speculation outside the Spectre threat model), 1 when any defense failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spt"
+	"spt/internal/fuzz"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "base RNG seed; program i uses seed+i")
+		count    = flag.Int("count", 32, "number of generated programs")
+		jobs     = flag.Int("jobs", 0, "concurrent oracle checks (0 = one per core)")
+		schemes  = flag.String("schemes", "", "comma-separated schemes (default: all eight Table 2 configs)")
+		models   = flag.String("models", "", "comma-separated threat models (default: futuristic,spectre)")
+		minimize = flag.Int("minimize", 2, "minimize up to this many distinct leaking programs")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON instead of text")
+		corpus   = flag.String("corpus", "", "write minimized reproducers as .urisc files into this directory")
+		quiet    = flag.Bool("q", false, "suppress the progress meter")
+	)
+	flag.Parse()
+
+	opt := spt.FuzzOptions{
+		Seed:     *seed,
+		Count:    *count,
+		Jobs:     *jobs,
+		Minimize: *minimize,
+	}
+	for _, name := range splitList(*schemes) {
+		if _, err := fuzz.PolicyByName(name); err != nil {
+			fatal(err)
+		}
+		opt.Schemes = append(opt.Schemes, spt.Scheme(name))
+	}
+	for _, name := range splitList(*models) {
+		if _, err := fuzz.ModelByName(name); err != nil {
+			fatal(err)
+		}
+		opt.Models = append(opt.Models, spt.AttackModel(name))
+	}
+	if !*quiet {
+		opt.Progress = func(done, total int, j spt.FuzzJob) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d oracle checks\033[K", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	rep, err := spt.RunFuzz(opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *corpus != "" {
+		for _, m := range rep.Minimized {
+			e, perr := fuzz.ParseCorpusEntry(m.Name, m.Corpus)
+			if perr != nil {
+				fatal(perr)
+			}
+			path, werr := fuzz.WriteCorpusEntry(*corpus, e)
+			if werr != nil {
+				fatal(werr)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d instructions)\n", path, m.After)
+		}
+	}
+
+	if *jsonOut {
+		js, jerr := rep.JSON()
+		if jerr != nil {
+			fatal(jerr)
+		}
+		fmt.Print(js)
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if len(rep.Unexpected()) > 0 {
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag value, ignoring empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spt-fuzz:", err)
+	os.Exit(1)
+}

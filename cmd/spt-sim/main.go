@@ -5,6 +5,7 @@
 //	spt-sim -workload mcf -scheme spt -threat-model futuristic
 //	spt-sim -workload mcf,gcc,xz -jobs 0 -output-dir out   # parallel batch
 //	spt-sim -asm prog.s -scheme secure -max-insts 500000
+//	spt-sim -random 80 -seed 42                            # reproducible random program
 //	spt-sim -list
 //
 // -workload accepts a comma-separated list; multiple workloads run as a
@@ -29,6 +30,7 @@ import (
 	"spt/internal/pipeline"
 	"spt/internal/taint"
 	"spt/internal/trace"
+	"spt/internal/workloads"
 )
 
 func main() {
@@ -40,6 +42,8 @@ func main() {
 		model    = flag.String("threat-model", "futuristic", "spectre or futuristic")
 		width    = flag.Int("untaint-width", 3, "untaint broadcast width (SPT only; <0 = unbounded)")
 		maxInsts = flag.Uint64("max-insts", 200_000, "retired-instruction budget")
+		randSize = flag.Int("random", 0, "generate and run a random program of this many grammar steps")
+		seed     = flag.Int64("seed", 1, "RNG seed for -random (printed, so runs are reproducible)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		outDir   = flag.String("output-dir", "", "write stats.txt here instead of stdout")
 		track    = flag.Bool("track-insts", false, "print a per-instruction pipeline timeline (assembly input only)")
@@ -67,6 +71,17 @@ func main() {
 		err error
 	)
 	switch {
+	case *randSize > 0:
+		prog := workloads.RandomProgram(*seed, *randSize)
+		src := asm.Disassemble(prog)
+		fmt.Printf("# %s (seed %d, %d instructions)\n", prog.Name, *seed, len(prog.Code))
+		if *track {
+			if err := runTracked(prog.Name, src, opt, *trackMax); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		res, err = spt.RunAssembly(prog.Name, src, opt)
 	case *asmFile != "":
 		src, rerr := os.ReadFile(*asmFile)
 		if rerr != nil {

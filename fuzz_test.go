@@ -1,0 +1,129 @@
+// Campaign-level tests for the differential leakage fuzzer: determinism
+// across worker counts, and the paper's expected security results over a
+// fixed-seed campaign (the same assertions the CI smoke job enforces).
+package spt_test
+
+import (
+	"strings"
+	"testing"
+
+	"spt"
+)
+
+func fuzzOpt() spt.FuzzOptions {
+	return spt.FuzzOptions{Seed: 1, Count: 24, Jobs: 8, Minimize: 2}
+}
+
+// TestFuzzCampaignDeterministic: the JSON report is byte-identical at
+// jobs=1 and jobs=8.
+func TestFuzzCampaignDeterministic(t *testing.T) {
+	seq := fuzzOpt()
+	seq.Jobs = 1
+	par := fuzzOpt()
+	par.Jobs = 8
+
+	rs, err := spt.RunFuzz(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := spt.RunFuzz(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := rs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := rp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js != jp {
+		t.Fatal("campaign report depends on the worker count")
+	}
+	if rs.Text() != rp.Text() {
+		t.Fatal("campaign text rendering depends on the worker count")
+	}
+}
+
+// TestFuzzCampaignExpectations: the fixed-seed campaign reproduces the
+// paper's security results.
+func TestFuzzCampaignExpectations(t *testing.T) {
+	rep, err := spt.RunFuzz(fuzzOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bad := rep.Unexpected(); len(bad) != 0 {
+		for _, f := range bad {
+			t.Errorf("unexpected leak: %s under %s/%s (%s)", f.Name, f.Scheme, f.Model, f.Divergence)
+		}
+	}
+
+	cell := func(s spt.Scheme, m spt.AttackModel) spt.FuzzCellStats {
+		for _, c := range rep.Cells {
+			if c.Scheme == s && c.Model == m {
+				return c
+			}
+		}
+		t.Fatalf("cell %s/%s missing from report", s, m)
+		return spt.FuzzCellStats{}
+	}
+
+	// The unsafe baseline leaks every generated gadget.
+	for _, m := range spt.AttackModels() {
+		c := cell(spt.UnsafeBaseline, m)
+		if c.Leaks < 1 || c.Leaks != c.Cases {
+			t.Errorf("unsafe/%s: %d/%d leaks, want all", m, c.Leaks, c.Cases)
+		}
+	}
+
+	// STT leaks at least one non-speculatively-accessed secret (the
+	// paper's motivating gap).
+	sttNonSpec := 0
+	for _, f := range rep.Findings {
+		if f.Scheme == spt.STT && f.Class == "nonspec-secret" {
+			sttNonSpec++
+		}
+	}
+	if sttNonSpec == 0 {
+		t.Error("no STT leak on a non-speculative secret found")
+	}
+
+	// Full SPT and the secure baseline are clean under the futuristic
+	// model; under the Spectre model their only (expected) leaks are
+	// memory speculation, which that threat model does not cover.
+	for _, s := range []spt.Scheme{spt.SPTFull, spt.SecureBaseline} {
+		if c := cell(s, spt.Futuristic); c.Leaks != 0 {
+			t.Errorf("%s/futuristic: %d leaks, want 0", s, c.Leaks)
+		}
+		if c := cell(s, spt.Spectre); c.Unexpected != 0 {
+			t.Errorf("%s/spectre: %d unexpected leaks, want 0", s, c.Unexpected)
+		}
+	}
+	for _, f := range rep.Findings {
+		if (f.Scheme == spt.SPTFull || f.Scheme == spt.SecureBaseline) && f.Primitive != "store-bypass" {
+			t.Errorf("%s leak under %s/%s is not memory speculation", f.Name, f.Scheme, f.Model)
+		}
+	}
+
+	// The minimizer produced sub-40-instruction reproducers that still
+	// leak, in corpus format.
+	if len(rep.Minimized) != 2 {
+		t.Fatalf("got %d minimized reproducers, want 2", len(rep.Minimized))
+	}
+	for _, m := range rep.Minimized {
+		if m.After >= m.Before {
+			t.Errorf("%s: no shrink (%d -> %d)", m.Name, m.Before, m.After)
+		}
+		if m.After >= 40 {
+			t.Errorf("%s: minimized to %d instructions, want < 40", m.Name, m.After)
+		}
+		if len(m.LeaksUnder) == 0 {
+			t.Errorf("%s: minimized reproducer leaks nowhere", m.Name)
+		}
+		if !strings.Contains(m.Corpus, "; name: ") || !strings.Contains(m.Corpus, "leaks-under") {
+			t.Errorf("%s: corpus rendering missing metadata header", m.Name)
+		}
+	}
+}

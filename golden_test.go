@@ -89,6 +89,14 @@ func TestGoldenFigure9(t *testing.T) {
 	checkGolden(t, "figure9.golden", spt.Figure9Text(rows))
 }
 
+func TestGoldenFuzzReport(t *testing.T) {
+	rep, err := spt.RunFuzz(spt.FuzzOptions{Seed: 1, Count: 12, Jobs: 8, Minimize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fuzz_report.golden", rep.Text())
+}
+
 func TestGoldenWidthSweep(t *testing.T) {
 	rows, err := spt.RunWidthSweep([]int{1, 3, -1}, goldenOpt())
 	if err != nil {

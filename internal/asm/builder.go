@@ -181,6 +181,14 @@ func (b *Builder) Jalr(rd, rs1 isa.Reg, imm int64) *Builder {
 	return b.emit(isa.Instruction{Op: isa.JALR, Rd: rd, Rs1: rs1, Imm: imm})
 }
 
+// JalOffset emits a JAL with a numeric instruction offset instead of a
+// label. JalOffset(rd, 1) is the idiom for materializing the current
+// instruction index: it "jumps" to the fall-through path and leaves
+// pc+1 in rd.
+func (b *Builder) JalOffset(rd isa.Reg, off int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.JAL, Rd: rd, Imm: off})
+}
+
 // Build resolves labels and returns the validated program.
 func (b *Builder) Build() (*isa.Program, error) {
 	for _, f := range b.fixups {

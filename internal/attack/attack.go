@@ -2,6 +2,9 @@
 // evaluation (§9.1): a Spectre V1 bounds-bypass attack on
 // speculatively-accessed data, and an attack on a *non-speculative secret*
 // held by constant-time code — the case STT does not protect and SPT does.
+// The gadget scaffolding (memory layout, slow-resolving guards, probe-array
+// transmitters) lives in the Kit in gadget.go and is shared with the
+// differential leakage fuzzer in internal/fuzz.
 //
 // The attacker's receiver is a cache-occupancy probe: after the victim
 // runs, it checks which line of a 256-line probe array became resident.
@@ -12,21 +15,9 @@ package attack
 import (
 	"fmt"
 
-	"spt/internal/asm"
 	"spt/internal/isa"
 	"spt/internal/mem"
 	"spt/internal/pipeline"
-)
-
-// Layout constants shared by the gadget programs.
-const (
-	arrayBase   = 0x10000                     // victim array A
-	arrayLen    = 16                          // elements (8 bytes each)
-	secretAddr  = arrayBase + arrayLen*8 + 64 // out-of-bounds secret location
-	boundsAddr  = 0x20000                     // pointer to the bounds cell (chased)
-	boundsAddr2 = 0x20400                     // memory cell holding the array length
-	probeBase   = 0x100000
-	probeLine   = 64
 )
 
 // SpectreV1Program builds the classic bounds-bypass victim,
@@ -36,35 +27,21 @@ const (
 // predictor state and is predicted not-taken (fall-through into the
 // gadget), giving a deterministic misprediction window.
 func SpectreV1Program(secret byte) *isa.Program {
-	oobIndex := (secretAddr - arrayBase) / 8
-	src := fmt.Sprintf(`
-.data %#x
-.quad 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
-.data %#x
-.byte %d
-.data %#x
-.quad %#x
-.data %#x
-.quad %d
-.text
-  movi r1, %#x       ; A
-  movi r2, %#x       ; &&N
-  movi r3, %d        ; attacker-controlled index (out of bounds)
-  movi r8, %#x       ; probe array
-  ld r4, 0(r2)       ; chase 1 (cold miss)
-  ld r4, 0(r4)       ; N arrives only after two serialized misses
-  bgeu r3, r4, done  ; bounds check: architecturally TAKEN (i >= N)
-  shli r5, r3, 3
-  add r5, r5, r1
-  ldb r6, 0(r5)      ; transient out-of-bounds read of the secret
-  shli r7, r6, 6     ; line-stride encode
-  add r7, r7, r8
-  ld r9, 0(r7)       ; transmitter: touches probe line <secret>
-done:
-  halt
-`, arrayBase, secretAddr, secret, boundsAddr, boundsAddr2, boundsAddr2, arrayLen,
-		arrayBase, boundsAddr, oobIndex, probeBase)
-	return asm.MustAssemble("spectre-v1", src)
+	k := NewKit("spectre-v1", secret)
+	k.VictimArray().SetSlowCell(ArrayLen)
+	b := k.B
+	b.Movi(1, ArrayBase)  // r1 = A
+	b.Movi(3, OOBIndex()) // r3 = attacker-controlled index (out of bounds)
+	k.EmitProbeBase(8)    // r8 = probe array
+	k.EmitSlowLoad(4)     // r4 = N, only after two serialized misses
+	b.Bgeu(3, 4, "done")  // bounds check: architecturally TAKEN (i >= N)
+	b.Shli(5, 3, 3)
+	b.Add(5, 5, 1)
+	b.Ldb(6, 5, 0)              // transient out-of-bounds read of the secret
+	k.EmitTransmitLoad(6, 7, 8) // transmitter: touches probe line <secret>
+	b.Label("done")
+	b.Halt()
+	return k.MustBuild()
 }
 
 // NonSpecSecretProgram builds the constant-time-victim scenario from §3:
@@ -77,37 +54,25 @@ done:
 // SPT taints it until it is non-speculatively leaked — which never
 // happens — so the gadget's transmitter is delayed until squash.
 func NonSpecSecretProgram(secret byte) *isa.Program {
-	src := fmt.Sprintf(`
-.data %#x
-.byte %d
-.data %#x
-.quad %#x
-.data %#x
-.quad 1
-.text
-  movi r1, %#x       ; &secret
-  movi r8, %#x       ; probe array
-  ldb r9, 0(r1)      ; SECRET loaded non-speculatively (retires normally)
-  ; --- constant-time computation over the secret: no secret-dependent
-  ;     branches or addresses (data-oblivious) ---
-  xori r10, r9, 0x5A
-  andi r10, r10, 0x7F
-  add r11, r10, r10
-  ; --- attacker-influenced control flow: the guard value arrives from a
-  ;     cold load, and the first dynamic branch instance mispredicts
-  ;     not-taken, transiently running the gadget below ---
-  movi r2, %#x
-  ld r4, 0(r2)       ; chase 1 (cold miss)
-  ld r4, 0(r4)       ; guard = 1, after two serialized misses
-  bne r4, r0, done   ; architecturally TAKEN (guard != 0)
-  ; transient gadget: transmit(secret)
-  shli r7, r9, 6
-  add r7, r7, r8
-  ld r12, 0(r7)      ; transmitter on the non-speculative secret
-done:
-  halt
-`, secretAddr, secret, boundsAddr, boundsAddr2, boundsAddr2, secretAddr, probeBase, boundsAddr)
-	return asm.MustAssemble("nonspec-secret", src)
+	k := NewKit("nonspec-secret", secret)
+	k.SetSlowCell(1)
+	b := k.B
+	k.EmitLoadSecret(9, 1) // SECRET loaded non-speculatively (retires normally)
+	k.EmitProbeBase(8)     // r8 = probe array
+	// Constant-time computation over the secret: no secret-dependent
+	// branches or addresses (data-oblivious).
+	b.Xori(10, 9, 0x5A)
+	b.Andi(10, 10, 0x7F)
+	b.Add(11, 10, 10)
+	// Attacker-influenced control flow: the guard value arrives from a
+	// cold load, and the first dynamic branch instance mispredicts
+	// not-taken, transiently running the gadget below.
+	k.EmitSlowLoad(4)           // r4 = guard = 1, after two serialized misses
+	b.Bne(4, 0, "done")         // architecturally TAKEN (guard != 0)
+	k.EmitTransmitLoad(9, 7, 8) // transmitter on the non-speculative secret
+	b.Label("done")
+	b.Halt()
+	return k.MustBuild()
 }
 
 // Result describes what the receiver observed after a victim run.
@@ -144,7 +109,7 @@ func Run(prog *isa.Program, model pipeline.AttackModel, pol pipeline.Policy) (Re
 func Probe(hier *mem.Hierarchy) Result {
 	var res Result
 	for v := 0; v < 256; v++ {
-		addr := uint64(probeBase + v*probeLine)
+		addr := uint64(ProbeBase + v*ProbeLine)
 		_, inL1 := hier.L1D.Probe(addr)
 		_, inL2 := hier.L2.Probe(addr)
 		_, inL3 := hier.L3.Probe(addr)

@@ -1,0 +1,77 @@
+// Regression tests driving the fuzz corpus through this package's
+// observation-trace machinery directly. The reproducers under
+// testdata/fuzz/ were found by fuzzing campaigns and minimized to a
+// handful of instructions; each one pins a concrete speculation leak (or
+// a defense blocking it) the way the hand-written penetration tests in
+// attack.go pin the paper's §9.1 attacks. The full scheme x model grid is
+// re-checked in internal/fuzz; here we exercise the two headline cells.
+package attack_test
+
+import (
+	"testing"
+
+	"spt/internal/attack"
+	"spt/internal/fuzz"
+)
+
+func TestCorpusAgainstUnsafeAndSPT(t *testing.T) {
+	entries, err := fuzz.LoadCorpus("../../testdata/fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no corpus reproducers found in testdata/fuzz")
+	}
+	diverges := func(t *testing.T, e fuzz.CorpusEntry, scheme string) bool {
+		t.Helper()
+		model, err := fuzz.ModelByName("futuristic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa := fuzz.PatchSecret(e.Prog, fuzz.SecretA)
+		pb := fuzz.PatchSecret(e.Prog, fuzz.SecretB)
+		var traces [2][]string
+		polA, err := fuzz.PolicyByName(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		polB, err := fuzz.PolicyByName(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traces[0], err = attack.ObservationTrace(pa, model, polA); err != nil {
+			t.Fatal(err)
+		}
+		if traces[1], err = attack.ObservationTrace(pb, model, polB); err != nil {
+			t.Fatal(err)
+		}
+		return fuzz.DiffTraces(traces[0], traces[1]) != nil
+	}
+	cellIn := func(cells []fuzz.SchemeModel, scheme string) bool {
+		for _, sm := range cells {
+			if sm.Scheme == scheme && sm.Model == "futuristic" {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range entries {
+		t.Run(e.Name, func(t *testing.T) {
+			// Every reproducer leaks on the unsafe baseline…
+			if !cellIn(e.LeaksUnder(), "unsafe") {
+				t.Fatal("corpus entry does not record an unsafe/futuristic leak")
+			}
+			if !diverges(t, e, "unsafe") {
+				t.Error("unsafe baseline no longer leaks this reproducer")
+			}
+			// …and full SPT blocks every one of them (the corpus records
+			// spt/futuristic under clean-under for each entry).
+			if !cellIn(e.CleanUnder(), "spt") {
+				t.Fatal("corpus entry does not record spt/futuristic as clean")
+			}
+			if diverges(t, e, "spt") {
+				t.Error("defense regression: full SPT leaks this reproducer")
+			}
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package attack
+
+import (
+	"spt/internal/asm"
+	"spt/internal/isa"
+)
+
+// Memory layout shared by every gadget: the hand-written penetration tests
+// below and the generated programs in internal/fuzz. Exported so the fuzzer
+// composes gadgets against the same addresses the cache-probe receiver
+// (Probe) and the corpus reproducers assume.
+const (
+	// ArrayBase is the victim array A used by bounds-bypass gadgets.
+	ArrayBase = 0x10000
+	// ArrayLen is A's element count (8 bytes each).
+	ArrayLen = 16
+	// SecretAddr holds the secret byte, just past the victim array.
+	SecretAddr = ArrayBase + ArrayLen*8 + 64
+	// SlowPtrAddr is a pointer cell chased to reach SlowCellAddr; the two
+	// serialized cold misses give every gadget its misprediction window.
+	SlowPtrAddr = 0x20000
+	// SlowCellAddr holds the gadget-specific guard value (an array length,
+	// a branch guard, a jump displacement, or a store target).
+	SlowCellAddr = 0x20400
+	// ProbeBase and ProbeLine describe the receiver's 256-line probe array.
+	ProbeBase = 0x100000
+	ProbeLine = 64
+)
+
+// Kit builds secret-parameterized transient-execution gadgets on top of an
+// asm.Builder. It owns the standard data image — the secret byte, and a
+// pointer-chase pair whose final cell ("the slow cell") resolves only after
+// two serialized DRAM misses — and provides the emission helpers the
+// hand-written attacks and the fuzzer's primitive library share. Code is
+// emitted through the embedded builder; the data segments materialize at
+// Build time so the slow-cell value can be chosen after the code that
+// depends on it (e.g. a jump displacement) has been measured.
+type Kit struct {
+	// B is the underlying program builder, exposed for direct emission.
+	B *asm.Builder
+
+	secret      byte
+	slow        uint64
+	victimArray bool
+}
+
+// NewKit starts a gadget program holding the given secret byte at
+// SecretAddr.
+func NewKit(name string, secret byte) *Kit {
+	return &Kit{B: asm.NewBuilder(name), secret: secret}
+}
+
+// SetSlowCell sets the value the two-miss pointer chase resolves to.
+func (k *Kit) SetSlowCell(v uint64) *Kit {
+	k.slow = v
+	return k
+}
+
+// VictimArray adds the bounds-checked victim array A at ArrayBase.
+func (k *Kit) VictimArray() *Kit {
+	k.victimArray = true
+	return k
+}
+
+// OOBIndex is the attacker-controlled index that steers A[i] onto the
+// secret byte (for 8-byte-element indexing with a byte load).
+func OOBIndex() int64 { return (SecretAddr - ArrayBase) / 8 }
+
+// EmitProbeBase emits dst = ProbeBase.
+func (k *Kit) EmitProbeBase(dst isa.Reg) *Kit {
+	k.B.Movi(dst, ProbeBase)
+	return k
+}
+
+// EmitSlowLoad emits the serialized pointer chase: dst holds the slow-cell
+// value only after two dependent cold misses. Every speculation primitive
+// uses it to keep its resolving instruction unresolved long enough for the
+// transient gadget to run.
+func (k *Kit) EmitSlowLoad(dst isa.Reg) *Kit {
+	k.B.Movi(dst, SlowPtrAddr)
+	k.B.Ld(dst, dst, 0)
+	k.B.Ld(dst, dst, 0)
+	return k
+}
+
+// EmitLoadSecret emits a direct, non-speculative load of the secret byte
+// into dst (clobbering addrTmp with the secret's address).
+func (k *Kit) EmitLoadSecret(dst, addrTmp isa.Reg) *Kit {
+	k.B.Movi(addrTmp, SecretAddr)
+	k.B.Ldb(dst, addrTmp, 0)
+	return k
+}
+
+// EmitTransmitLoad emits the load transmitter: a line-stride encode of val
+// into the probe array, ld probe[val*64]. tmp is clobbered; probe must hold
+// ProbeBase.
+func (k *Kit) EmitTransmitLoad(val, tmp, probe isa.Reg) *Kit {
+	k.B.Shli(tmp, val, 6)
+	k.B.Add(tmp, tmp, probe)
+	k.B.Ld(tmp, tmp, 0)
+	return k
+}
+
+// EmitTransmitStore emits the store transmitter: a page-stride encode of
+// val into a store address, st probe[val*4096]. The store's address
+// translation is the observable event, so the stride matches the
+// page-masked 'T' observation. tmp is clobbered; probe must hold ProbeBase.
+func (k *Kit) EmitTransmitStore(val, tmp, probe isa.Reg) *Kit {
+	k.B.Shli(tmp, val, 12)
+	k.B.Add(tmp, tmp, probe)
+	k.B.Stb(isa.Zero, tmp, 0)
+	return k
+}
+
+// Build materializes the data image and resolves labels.
+func (k *Kit) Build() (*isa.Program, error) {
+	k.B.Data(SecretAddr, []byte{k.secret})
+	k.B.DataQuads(SlowPtrAddr, []uint64{SlowCellAddr})
+	k.B.DataQuads(SlowCellAddr, []uint64{k.slow})
+	if k.victimArray {
+		quads := make([]uint64, ArrayLen)
+		for i := range quads {
+			quads[i] = uint64(i + 1)
+		}
+		k.B.DataQuads(ArrayBase, quads)
+	}
+	return k.B.Build()
+}
+
+// MustBuild is Build that panics on error, for statically-known gadgets.
+func (k *Kit) MustBuild() *isa.Program {
+	p, err := k.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

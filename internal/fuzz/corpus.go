@@ -1,0 +1,135 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"spt/internal/asm"
+	"spt/internal/isa"
+)
+
+// SchemeModel names one oracle cell, e.g. {"stt", "futuristic"}.
+type SchemeModel struct {
+	Scheme string
+	Model  string
+}
+
+func (sm SchemeModel) String() string { return sm.Scheme + "/" + sm.Model }
+
+// ParseSchemeModel parses "scheme/model".
+func ParseSchemeModel(s string) (SchemeModel, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return SchemeModel{}, fmt.Errorf("fuzz: bad scheme/model %q", s)
+	}
+	return SchemeModel{Scheme: parts[0], Model: parts[1]}, nil
+}
+
+// CorpusEntry is one checked-in reproducer: a minimized leaking program
+// plus the metadata recorded when it was found. The regression tests
+// re-run the oracle against LeaksUnder and CleanUnder.
+type CorpusEntry struct {
+	Name string
+	// Meta holds the "; key: value" header fields verbatim.
+	Meta map[string]string
+	Prog *isa.Program
+}
+
+// LeaksUnder lists the cells the reproducer must still diverge in.
+func (e CorpusEntry) LeaksUnder() []SchemeModel { return e.cells("leaks-under") }
+
+// CleanUnder lists the cells the reproducer must stay clean in.
+func (e CorpusEntry) CleanUnder() []SchemeModel { return e.cells("clean-under") }
+
+func (e CorpusEntry) cells(key string) []SchemeModel {
+	var out []SchemeModel
+	for _, f := range strings.Fields(e.Meta[key]) {
+		if sm, err := ParseSchemeModel(f); err == nil {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// FormatCorpusEntry renders a reproducer in the .urisc corpus format: a
+// "; key: value" metadata header followed by the program's disassembly
+// (which the assembler round-trips; comments are ignored).
+func FormatCorpusEntry(e CorpusEntry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; name: %s\n", e.Name)
+	keys := make([]string, 0, len(e.Meta))
+	for k := range e.Meta {
+		if k != "name" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "; %s: %s\n", k, e.Meta[k])
+	}
+	sb.WriteString(asm.Disassemble(e.Prog))
+	return sb.String()
+}
+
+// ParseCorpusEntry parses the corpus format: metadata from the leading
+// comment block, program from assembling the whole source.
+func ParseCorpusEntry(name, src string) (CorpusEntry, error) {
+	e := CorpusEntry{Name: name, Meta: map[string]string{}}
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, ";") {
+			if line == "" {
+				continue
+			}
+			break // end of the header block
+		}
+		kv := strings.SplitN(strings.TrimSpace(strings.TrimPrefix(line, ";")), ":", 2)
+		if len(kv) == 2 {
+			e.Meta[strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1])
+		}
+	}
+	if n := e.Meta["name"]; n != "" {
+		e.Name = n
+	}
+	prog, err := asm.Assemble(e.Name, src)
+	if err != nil {
+		return CorpusEntry{}, fmt.Errorf("fuzz: corpus %s: %w", name, err)
+	}
+	e.Prog = prog
+	return e, nil
+}
+
+// LoadCorpus reads every *.urisc reproducer in dir, sorted by filename.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.urisc"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	entries := make([]CorpusEntry, 0, len(paths))
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		base := strings.TrimSuffix(filepath.Base(p), ".urisc")
+		e, err := ParseCorpusEntry(base, string(src))
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// WriteCorpusEntry writes a reproducer to dir/<name>.urisc.
+func WriteCorpusEntry(dir string, e CorpusEntry) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, e.Name+".urisc")
+	return path, os.WriteFile(path, []byte(FormatCorpusEntry(e)), 0o644)
+}

@@ -1,0 +1,101 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"spt/internal/asm"
+)
+
+// TestCorpusRoundTrip: Format -> Parse recovers the metadata and an
+// equivalent program.
+func TestCorpusRoundTrip(t *testing.T) {
+	c := Generate(7)
+	e := CorpusEntry{
+		Name: c.Name,
+		Meta: map[string]string{
+			"seed":        "7",
+			"class":       string(c.Class),
+			"primitive":   string(c.Primitive),
+			"transmitter": string(c.Transmit),
+			"leaks-under": "unsafe/futuristic unsafe/spectre",
+			"clean-under": "spt/futuristic secure/futuristic",
+		},
+		Prog: c.Prog,
+	}
+	text := FormatCorpusEntry(e)
+	if !strings.HasPrefix(text, "; name: "+c.Name+"\n") {
+		t.Fatalf("header missing name:\n%s", text)
+	}
+	got, err := ParseCorpusEntry("file-name", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != c.Name {
+		t.Fatalf("name %q, want %q", got.Name, c.Name)
+	}
+	if got.Meta["primitive"] != string(c.Primitive) || got.Meta["seed"] != "7" {
+		t.Fatalf("metadata lost: %v", got.Meta)
+	}
+	lu := got.LeaksUnder()
+	if len(lu) != 2 || lu[0] != (SchemeModel{"unsafe", "futuristic"}) || lu[1] != (SchemeModel{"unsafe", "spectre"}) {
+		t.Fatalf("leaks-under parsed wrong: %v", lu)
+	}
+	if cu := got.CleanUnder(); len(cu) != 2 || cu[0].Scheme != "spt" {
+		t.Fatalf("clean-under parsed wrong: %v", cu)
+	}
+	if asm.Disassemble(got.Prog) != asm.Disassemble(c.Prog) {
+		t.Fatal("program did not round-trip")
+	}
+}
+
+func TestParseSchemeModel(t *testing.T) {
+	sm, err := ParseSchemeModel("stt/futuristic")
+	if err != nil || sm.Scheme != "stt" || sm.Model != "futuristic" {
+		t.Fatalf("got %v, %v", sm, err)
+	}
+	for _, bad := range []string{"", "stt", "stt/", "/futuristic", "a/b/c"} {
+		if _, err := ParseSchemeModel(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestCheckedInCorpus re-runs the differential oracle on every reproducer
+// under testdata/fuzz: each must still diverge in its leaks-under cells
+// and stay clean in its clean-under cells. This is the permanent
+// regression suite grown from fuzzing campaigns.
+func TestCheckedInCorpus(t *testing.T) {
+	entries, err := LoadCorpus("../../testdata/fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no corpus reproducers found in testdata/fuzz")
+	}
+	for _, e := range entries {
+		t.Run(e.Name, func(t *testing.T) {
+			if len(e.LeaksUnder()) == 0 {
+				t.Fatal("reproducer has no leaks-under cells")
+			}
+			for _, sm := range e.LeaksUnder() {
+				v, err := CheckLeak(e.Prog, sm.Scheme, sm.Model)
+				if err != nil {
+					t.Fatalf("%s: %v", sm, err)
+				}
+				if !v.Leaked {
+					t.Errorf("no longer leaks under %s", sm)
+				}
+			}
+			for _, sm := range e.CleanUnder() {
+				v, err := CheckLeak(e.Prog, sm.Scheme, sm.Model)
+				if err != nil {
+					t.Fatalf("%s: %v", sm, err)
+				}
+				if v.Leaked {
+					t.Errorf("defense regression: leaks under %s (%s)", sm, v.Div)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,304 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spt/internal/asm"
+	"spt/internal/attack"
+	"spt/internal/isa"
+)
+
+// The differential secrets. They differ in every bit, so any single-bit
+// transmitter distinguishes them.
+const (
+	SecretA byte = 0x1B
+	SecretB byte = 0xE4
+)
+
+// Class says how the program reaches the secret.
+type Class string
+
+const (
+	// ClassSpecSecret: the secret is accessed only transiently (a Spectre
+	// V1 out-of-bounds read, a direct load on a mispredicted path, or a
+	// stale read past an in-flight store). The architectural execution
+	// never touches the secret value, so STT's speculative-data taint is
+	// enough to protect it.
+	ClassSpecSecret Class = "spec-secret"
+	// ClassNonSpecSecret: the secret is loaded architecturally into a
+	// register and only used in data-oblivious computation; a transient
+	// gadget then transmits the register. This is the paper's §3 scenario
+	// that STT does not protect and SPT does.
+	ClassNonSpecSecret Class = "nonspec-secret"
+)
+
+// Primitive is the speculation mechanism that opens the transient window.
+type Primitive string
+
+const (
+	// PrimBranch: a bounds-check-style conditional branch whose guard
+	// arrives from a two-miss pointer chase; the first dynamic instance
+	// predicts not-taken, falling through into the gadget.
+	PrimBranch Primitive = "branch"
+	// PrimReturn: a leaf callee slowly increments its return address, so
+	// the RAS-predicted return target (call+1) transiently executes the
+	// gadget the real return skips.
+	PrimReturn Primitive = "return"
+	// PrimIndirect: an indirect jump whose target displacement arrives
+	// slowly; with no BTB entry it predicts fall-through into the gadget.
+	PrimIndirect Primitive = "indirect"
+	// PrimStoreBypass: a store to the secret's address resolves slowly; a
+	// younger load speculates past it and reads the stale secret the store
+	// architecturally overwrites. Memory speculation is outside the
+	// Spectre threat model, so under the Spectre model this leaks on every
+	// scheme by design.
+	PrimStoreBypass Primitive = "store-bypass"
+)
+
+// Transmitter is the covert channel encoding the secret.
+type Transmitter string
+
+const (
+	// TxLoad touches probe line secret*64 (cache fill channel).
+	TxLoad Transmitter = "load"
+	// TxStore translates a store at page secret*4096 (TLB channel).
+	TxStore Transmitter = "store"
+	// TxBranch branches on one secret bit: the taken path touches a probe
+	// line the not-taken path does not (fetch-redirect channel). Branch
+	// resolution is strictly in program order, so a secret-dependent
+	// branch nested under an unresolved control-flow instruction never
+	// redirects fetch; the channel only fires when the branch is the
+	// oldest in-flight control flow, which is exactly the store-bypass
+	// window (the only primitive that opens a window without control
+	// flow). The generator therefore pairs TxBranch with PrimStoreBypass
+	// only.
+	TxBranch Transmitter = "branch"
+)
+
+// Case is one generated fuzz program. Prog holds SecretA at
+// attack.SecretAddr; the oracle derives the SecretB twin with PatchSecret.
+type Case struct {
+	Seed      int64
+	Name      string
+	Class     Class
+	Primitive Primitive
+	Transmit  Transmitter
+	Prog      *isa.Program
+}
+
+// Filler memory region, disjoint from the Kit layout and the probe array.
+const (
+	fillerBase  = 0x40000
+	fillerQuads = 64
+)
+
+// Generate builds the fuzz case for a seed. It is a pure function of the
+// seed: the same seed always yields the same program, which is what makes
+// campaigns and checked-in reproducers deterministic.
+func Generate(seed int64) Case {
+	rng := rand.New(rand.NewSource(seed))
+
+	prims := []Primitive{PrimBranch, PrimReturn, PrimIndirect, PrimStoreBypass}
+	prim := prims[rng.Intn(len(prims))]
+	class := ClassSpecSecret
+	if prim != PrimStoreBypass && rng.Intn(2) == 1 {
+		class = ClassNonSpecSecret
+	}
+	txs := []Transmitter{TxLoad, TxStore}
+	if prim == PrimStoreBypass {
+		txs = append(txs, TxBranch)
+	}
+	tx := txs[rng.Intn(len(txs))]
+
+	name := fmt.Sprintf("fuzz-%d-%s-%s-%s", seed, prim, class, tx)
+	k := attack.NewKit(name, SecretA)
+	b := k.B
+
+	// Filler data region seeded from the rng (identical for both secret
+	// values: only the byte at attack.SecretAddr ever differs).
+	quads := make([]uint64, fillerQuads)
+	for i := range quads {
+		quads[i] = rng.Uint64()
+	}
+	b.DataQuads(fillerBase, quads)
+
+	// Register conventions: r16 slow/guard, r17 secret, r18 probe base,
+	// r19/r21 temps, r20 filler base, r22 victim array, r23 PC value.
+	// Filler computes on r5..r15 only.
+	b.Movi(20, fillerBase)
+	k.EmitProbeBase(18)
+	for r := isa.Reg(5); r <= 15; r++ {
+		b.Movi(r, rng.Int63n(1<<32))
+	}
+	if class == ClassNonSpecSecret {
+		// Architectural secret load, followed only by data-oblivious uses.
+		k.EmitLoadSecret(17, 19)
+		b.Xori(19, 17, int64(rng.Intn(256)))
+		b.Add(19, 19, 19)
+	}
+	emitFiller(b, rng, 2+rng.Intn(6))
+
+	switch prim {
+	case PrimBranch:
+		emitBranchWindow(k, rng, class, tx)
+	case PrimReturn:
+		emitReturnWindow(k, rng, class, tx)
+	case PrimIndirect:
+		emitIndirectWindow(k, rng, class, tx)
+	case PrimStoreBypass:
+		emitStoreBypassWindow(k, rng, tx)
+	}
+
+	emitFiller(b, rng, 1+rng.Intn(4))
+	b.Halt()
+	if prim == PrimReturn {
+		// The leaf lives past the halt; only the call reaches it.
+		b.Label("leaf")
+		k.EmitSlowLoad(16)
+		b.Add(isa.RA, isa.RA, 16)
+		b.Ret()
+	}
+
+	return Case{Seed: seed, Name: name, Class: class, Primitive: prim, Transmit: tx, Prog: k.MustBuild()}
+}
+
+// emitFiller adds straight-line noise: ALU ops on r5..r15 and loads/stores
+// into the filler region. No control flow, so generated programs terminate
+// by construction.
+func emitFiller(b *asm.Builder, rng *rand.Rand, n int) {
+	aluOps := []isa.Op{isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.MUL}
+	immOps := []isa.Op{isa.ADDI, isa.ANDI, isa.XORI, isa.SHLI}
+	scratch := func() isa.Reg { return isa.Reg(5 + rng.Intn(11)) }
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(10); {
+		case k < 5:
+			b.Op3(aluOps[rng.Intn(len(aluOps))], scratch(), scratch(), scratch())
+		case k < 7:
+			b.OpI(immOps[rng.Intn(len(immOps))], scratch(), scratch(), rng.Int63n(48))
+		case k < 9:
+			b.Ld(scratch(), 20, int64(rng.Intn(fillerQuads))*8)
+		default:
+			b.St(scratch(), 20, int64(rng.Intn(fillerQuads))*8)
+		}
+	}
+}
+
+// emitGadget emits the transient payload: for spec-secret classes it first
+// fetches the secret into r17 (this fetch itself is transient), then
+// transmits r17.
+func emitGadget(k *attack.Kit, rng *rand.Rand, class Class, tx Transmitter, loadSecret bool) {
+	if class == ClassSpecSecret && loadSecret {
+		k.EmitLoadSecret(17, 19)
+	}
+	emitTransmit(k, rng, tx)
+}
+
+// emitTransmit encodes r17 into the probe array through the chosen channel.
+func emitTransmit(k *attack.Kit, rng *rand.Rand, tx Transmitter) {
+	b := k.B
+	switch tx {
+	case TxLoad:
+		k.EmitTransmitLoad(17, 21, 18)
+	case TxStore:
+		k.EmitTransmitStore(17, 21, 18)
+	case TxBranch:
+		// Branch on one secret bit. The not-taken (predicted) path touches
+		// probe line 1 under both secrets; the taken path's probe line 2 is
+		// fetched only when the branch resolves taken — i.e. only for the
+		// secret with the bit set.
+		bit := rng.Intn(8)
+		b.Andi(21, 17, 1<<bit)
+		b.Bne(21, isa.Zero, "tx-taken")
+		b.Ld(21, 18, 1*attack.ProbeLine)
+		b.Jump("tx-done")
+		b.Label("tx-taken")
+		b.Ld(21, 18, 2*attack.ProbeLine)
+		b.Label("tx-done")
+	}
+}
+
+// emitBranchWindow: bounds-check misprediction. Spec-secret uses the V1
+// shape (out-of-bounds array read); nonspec-secret guards the transmit of
+// an architecturally-held secret.
+func emitBranchWindow(k *attack.Kit, rng *rand.Rand, class Class, tx Transmitter) {
+	b := k.B
+	if class == ClassSpecSecret {
+		k.VictimArray().SetSlowCell(attack.ArrayLen)
+		b.Movi(22, attack.ArrayBase)
+		b.Movi(19, attack.OOBIndex())
+		k.EmitSlowLoad(16) // r16 = array length, slowly
+		b.Bgeu(19, 16, "resume")
+		b.Shli(21, 19, 3)
+		b.Add(21, 21, 22)
+		b.Ldb(17, 21, 0) // transient out-of-bounds secret read
+		emitTransmit(k, rng, tx)
+		b.Label("resume")
+		return
+	}
+	k.SetSlowCell(1)
+	k.EmitSlowLoad(16) // r16 = guard = 1, slowly
+	b.Bne(16, isa.Zero, "resume")
+	emitGadget(k, rng, class, tx, false)
+	b.Label("resume")
+}
+
+// emitReturnWindow: the callee (emitted after the halt) computes
+// ra += gadgetLen from the slow cell, so the return-address-stack
+// prediction (call+1) transiently runs the gadget the real return skips.
+func emitReturnWindow(k *attack.Kit, rng *rand.Rand, class Class, tx Transmitter) {
+	b := k.B
+	b.Call("leaf")
+	start := b.Len()
+	emitGadget(k, rng, class, tx, true)
+	k.SetSlowCell(uint64(b.Len() - start))
+}
+
+// emitIndirectWindow: materialize pc+1 with JalOffset, add a slow
+// displacement, jump. No BTB entry means the indirect jump predicts
+// fall-through — straight into the gadget the real target skips.
+func emitIndirectWindow(k *attack.Kit, rng *rand.Rand, class Class, tx Transmitter) {
+	b := k.B
+	b.JalOffset(23, 1) // r23 = this pc + 1
+	k.EmitSlowLoad(16) // 3 instructions
+	b.Add(23, 23, 16)
+	b.Jalr(isa.Zero, 23, 0)
+	start := b.Len()
+	emitGadget(k, rng, class, tx, true)
+	// Real target = (jal pc+1) + 5 + gadgetLen = the instruction after the
+	// gadget.
+	k.SetSlowCell(uint64(5 + b.Len() - start))
+}
+
+// emitStoreBypassWindow: the store's target (the secret's own address)
+// resolves slowly; the younger load speculates past it and reads the stale
+// secret. Architecturally the load sees the store's 0, so the transmit
+// runs with value 0 in both secret runs — arch-sameness holds.
+func emitStoreBypassWindow(k *attack.Kit, rng *rand.Rand, tx Transmitter) {
+	b := k.B
+	k.SetSlowCell(attack.SecretAddr)
+	k.EmitSlowLoad(16)     // r16 = &secret, slowly
+	b.Stb(isa.Zero, 16, 0) // overwrite the secret with 0
+	b.Movi(19, attack.SecretAddr)
+	b.Ldb(17, 19, 0) // speculates past the store: stale secret
+	emitTransmit(k, rng, tx)
+}
+
+// ExpectLeak is the ground-truth matrix for a case under (scheme, model):
+// whether a divergence is a true-positive control (expected) rather than a
+// defense failure. Expected leaks: the unsafe baseline always; any scheme
+// under the Spectre model for store-bypass gadgets (memory speculation is
+// outside that threat model); and STT for non-speculatively-accessed
+// secrets (the paper's motivating gap, §3).
+func ExpectLeak(scheme, model string, c Case) bool {
+	if scheme == "unsafe" {
+		return true
+	}
+	if c.Primitive == PrimStoreBypass && model == "spectre" {
+		return true
+	}
+	if scheme == "stt" && c.Class == ClassNonSpecSecret {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package fuzz
+
+import (
+	"fmt"
+	"testing"
+
+	"spt/internal/asm"
+)
+
+// TestGenerateDeterministic: a case is a pure function of its seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.Name != b.Name || a.Class != b.Class || a.Primitive != b.Primitive || a.Transmit != b.Transmit {
+			t.Fatalf("seed %d: metadata differs: %+v vs %+v", seed, a, b)
+		}
+		if asm.Disassemble(a.Prog) != asm.Disassemble(b.Prog) {
+			t.Fatalf("seed %d: program differs between generations", seed)
+		}
+	}
+}
+
+// TestGeneratedProgramsAreArchSame: the generator's core contract — the
+// two secret twins of every case have identical architectural executions,
+// so the differential oracle's divergences are speculation leaks.
+func TestGeneratedProgramsAreArchSame(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		c := Generate(seed)
+		same, err := ArchSame(PatchSecret(c.Prog, SecretA), PatchSecret(c.Prog, SecretB))
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, c.Name, err)
+		}
+		if !same {
+			t.Fatalf("seed %d (%s): architectural execution depends on the secret", seed, c.Name)
+		}
+	}
+}
+
+// TestExpectationMatrix: the oracle's verdict matches the ground-truth
+// ExpectLeak matrix on every (case, scheme, model) cell: the unsafe
+// baseline leaks every gadget, STT leaks exactly the non-speculative
+// secrets (plus store-bypass under Spectre, which is out of that threat
+// model for every scheme), and all SPT variants and the secure baseline
+// are otherwise clean.
+func TestExpectationMatrix(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		c := Generate(seed)
+		for _, scheme := range SchemeNames() {
+			for _, model := range ModelNames() {
+				v, err := CheckLeak(c.Prog, scheme, model)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: %v", seed, scheme, model, err)
+				}
+				if want := ExpectLeak(scheme, model, c); v.Leaked != want {
+					t.Errorf("%s under %s/%s: leaked=%v want %v (%s)",
+						c.Name, scheme, model, v.Leaked, want, v.Div)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorCoversAllShapes: every primitive, class and transmitter
+// combination the generator supports appears within a modest seed range.
+func TestGeneratorCoversAllShapes(t *testing.T) {
+	combos := map[string]bool{}
+	for seed := int64(1); seed <= 200; seed++ {
+		c := Generate(seed)
+		combos[fmt.Sprintf("%s/%s/%s", c.Primitive, c.Class, c.Transmit)] = true
+	}
+	want := []string{}
+	for _, p := range []Primitive{PrimBranch, PrimReturn, PrimIndirect} {
+		for _, cl := range []Class{ClassSpecSecret, ClassNonSpecSecret} {
+			for _, tx := range []Transmitter{TxLoad, TxStore} {
+				want = append(want, fmt.Sprintf("%s/%s/%s", p, cl, tx))
+			}
+		}
+	}
+	for _, tx := range []Transmitter{TxLoad, TxStore, TxBranch} {
+		want = append(want, fmt.Sprintf("%s/%s/%s", PrimStoreBypass, ClassSpecSecret, tx))
+	}
+	for _, w := range want {
+		if !combos[w] {
+			t.Errorf("combination %s never generated in 200 seeds", w)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package fuzz
+
+import "spt/internal/isa"
+
+// Minimize shrinks a leaking program by instruction-range bisection: it
+// repeatedly tries to delete chunks of instructions (halving the chunk
+// size down to single instructions) and keeps a deletion whenever keep
+// still accepts the candidate. Branch and call offsets are rebuilt around
+// each deletion; candidates whose control flow can no longer be expressed
+// (or that fail validation) are rejected before keep ever runs. The result
+// is 1-minimal with respect to keep at chunk size 1.
+//
+// keep must accept the original program, and should re-run the full
+// oracle (arch-sameness + trace divergence), so semantic breakage from a
+// deletion simply rejects the candidate.
+func Minimize(prog *isa.Program, keep func(*isa.Program) bool) *isa.Program {
+	cur := prog
+	for {
+		before := len(cur.Code)
+		for chunk := len(cur.Code) / 2; chunk >= 1; chunk /= 2 {
+			lo := 0
+			for lo+chunk <= len(cur.Code) {
+				if cand, ok := removeRange(cur, lo, chunk); ok && keep(cand) {
+					cur = cand
+					continue // same lo now covers the next instructions
+				}
+				lo++
+			}
+		}
+		if len(cur.Code) == before {
+			return cur
+		}
+	}
+}
+
+// removeRange deletes code[lo : lo+n] and retargets the remaining
+// control flow. Relative targets (conditional branches, JAL) that pointed
+// into the deleted range are redirected to the first surviving
+// instruction after it; targets outside the code bounds reject the
+// candidate. JALR targets are absolute register values the rewrite cannot
+// see — the oracle-driven keep predicate catches candidates they break.
+func removeRange(prog *isa.Program, lo, n int) (*isa.Program, bool) {
+	hi := lo + n
+	total := len(prog.Code)
+	if lo < 0 || hi > total || n >= total {
+		return nil, false
+	}
+	// newIdx[i] = index, in the shrunk program, of the first surviving
+	// instruction at or after old index i (defined for i in [0, total]).
+	newIdx := make([]int, total+1)
+	for i := 0; i <= total; i++ {
+		cut := 0
+		if i > lo {
+			cut = i - lo
+			if cut > n {
+				cut = n
+			}
+		}
+		newIdx[i] = i - cut
+	}
+	code := make([]isa.Instruction, 0, total-n)
+	for i, ins := range prog.Code {
+		if i >= lo && i < hi {
+			continue
+		}
+		if ins.IsCondBranch() || ins.Op == isa.JAL {
+			target := i + int(ins.Imm)
+			if target < 0 || target > total {
+				return nil, false
+			}
+			ins.Imm = int64(newIdx[target] - newIdx[i])
+		}
+		code = append(code, ins)
+	}
+	entry := prog.Entry
+	if entry <= uint64(total) {
+		entry = uint64(newIdx[entry])
+	}
+	q := &isa.Program{Name: prog.Name, Code: code, Data: prog.Data, Entry: entry}
+	if err := q.Validate(); err != nil {
+		return nil, false
+	}
+	return q, true
+}

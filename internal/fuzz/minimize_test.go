@@ -1,0 +1,82 @@
+package fuzz
+
+import (
+	"testing"
+
+	"spt/internal/asm"
+	"spt/internal/isa"
+)
+
+// TestRemoveRangeRetargetsBranches: deleting a range keeps surviving
+// control flow pointed at the right instructions.
+func TestRemoveRangeRetargetsBranches(t *testing.T) {
+	b := asm.NewBuilder("retarget")
+	b.Movi(5, 1)          // 0
+	b.Beq(5, 5, "target") // 1: +4
+	b.Movi(6, 2)          // 2 \ deleted
+	b.Movi(6, 3)          // 3 /
+	b.Movi(7, 4)          // 4
+	b.Label("target")
+	b.Halt() // 5
+	p := b.MustBuild()
+
+	q, ok := removeRange(p, 2, 2)
+	if !ok {
+		t.Fatal("removeRange rejected a clean deletion")
+	}
+	if len(q.Code) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(q.Code))
+	}
+	if q.Code[1].Imm != 2 { // branch at 1 must now target halt at 3
+		t.Fatalf("branch offset %d, want 2", q.Code[1].Imm)
+	}
+
+	// Deleting the branch's target retargets to the next survivor.
+	q2, ok := removeRange(p, 4, 1)
+	if !ok {
+		t.Fatal("removeRange rejected deleting a plain instruction")
+	}
+	if q2.Code[1].Imm != 3 { // target label shifts from 5 to 4
+		t.Fatalf("branch offset %d, want 3", q2.Code[1].Imm)
+	}
+}
+
+func TestRemoveRangeRejectsEmptying(t *testing.T) {
+	b := asm.NewBuilder("tiny")
+	b.Halt()
+	p := b.MustBuild()
+	if _, ok := removeRange(p, 0, 1); ok {
+		t.Fatal("removed the entire program")
+	}
+}
+
+// TestMinimizeShrinksLeakingCases: for a handful of generated leaks, the
+// bisection minimizer produces a sub-40-instruction reproducer that still
+// passes the full oracle (arch-same + divergent) in the same cell.
+func TestMinimizeShrinksLeakingCases(t *testing.T) {
+	shrunk := false
+	for seed := int64(1); seed <= 6; seed++ {
+		c := Generate(seed)
+		keep := func(p *isa.Program) bool {
+			v, err := CheckLeak(p, "unsafe", "futuristic")
+			return err == nil && v.Leaked
+		}
+		if !keep(c.Prog) {
+			t.Fatalf("seed %d: case does not leak under unsafe/futuristic", seed)
+		}
+		min := Minimize(c.Prog, keep)
+		if len(min.Code) >= len(c.Prog.Code) {
+			t.Errorf("seed %d: no shrink (%d -> %d)", seed, len(c.Prog.Code), len(min.Code))
+		}
+		if !keep(min) {
+			t.Errorf("seed %d: minimized program no longer leaks", seed)
+		}
+		if len(min.Code) < 40 {
+			shrunk = true
+		}
+		t.Logf("seed %d (%s): %d -> %d instructions", seed, c.Name, len(c.Prog.Code), len(min.Code))
+	}
+	if !shrunk {
+		t.Error("no reproducer shrank below 40 instructions")
+	}
+}

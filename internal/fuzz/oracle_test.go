@@ -1,0 +1,149 @@
+package fuzz
+
+import (
+	"testing"
+
+	"spt/internal/attack"
+	"spt/internal/isa"
+)
+
+func TestDiffTracesEqual(t *testing.T) {
+	a := []string{"L@10:0x100000", "T@20:0x101000"}
+	if d := DiffTraces(a, []string{"L@10:0x100000", "T@20:0x101000"}); d != nil {
+		t.Fatalf("identical traces reported divergent: %v", d)
+	}
+	if d := DiffTraces(nil, nil); d != nil {
+		t.Fatalf("empty traces reported divergent: %v", d)
+	}
+}
+
+// TestDiffTracesPinpointsFirstDivergence: the report names the first
+// differing event, not just "different".
+func TestDiffTracesPinpointsFirstDivergence(t *testing.T) {
+	a := []string{"L@10:0x100000", "L@30:0x1006c0", "T@40:0x101000"}
+	b := []string{"L@10:0x100000", "L@30:0x103900", "T@40:0x101000"}
+	d := DiffTraces(a, b)
+	if d == nil {
+		t.Fatal("no divergence found")
+	}
+	if d.Index != 1 || d.A != "L@30:0x1006c0" || d.B != "L@30:0x103900" {
+		t.Fatalf("wrong divergence: %+v", d)
+	}
+	if d.LenA != 3 || d.LenB != 3 {
+		t.Fatalf("wrong lengths: %+v", d)
+	}
+}
+
+// TestDiffTracesLengthMismatch: a strict-prefix pair diverges at the
+// shorter trace's end, with the missing side reported as empty.
+func TestDiffTracesLengthMismatch(t *testing.T) {
+	a := []string{"L@10:0x100000"}
+	b := []string{"L@10:0x100000", "L@55:0x1006c0"}
+	d := DiffTraces(a, b)
+	if d == nil {
+		t.Fatal("prefix traces reported identical")
+	}
+	if d.Index != 1 || d.A != "" || d.B != "L@55:0x1006c0" {
+		t.Fatalf("wrong divergence: %+v", d)
+	}
+}
+
+// TestPatchSecret: only the byte at attack.SecretAddr changes, and the
+// original program is untouched.
+func TestPatchSecret(t *testing.T) {
+	c := Generate(3)
+	orig := c.Prog
+	p := PatchSecret(orig, SecretB)
+	found := false
+	for i, seg := range p.Data {
+		o := orig.Data[i]
+		for j := range seg.Bytes {
+			addr := seg.Addr + uint64(j)
+			if addr == attack.SecretAddr {
+				found = true
+				if seg.Bytes[j] != SecretB {
+					t.Fatalf("secret byte not patched: %#x", seg.Bytes[j])
+				}
+				if o.Bytes[j] != SecretA {
+					t.Fatalf("original mutated: %#x", o.Bytes[j])
+				}
+			} else if seg.Bytes[j] != o.Bytes[j] {
+				t.Fatalf("byte at %#x changed by PatchSecret", addr)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("secret address not in any data segment")
+	}
+}
+
+// TestArchSameRejectsArchTransmission: a program that architecturally
+// stores its secret fails the arch-sameness check — the oracle refuses to
+// call such divergence a speculation leak.
+func TestArchSameRejectsArchTransmission(t *testing.T) {
+	build := func(secret byte) *attack.Kit {
+		k := attack.NewKit("arch-leak", secret)
+		k.SetSlowCell(1)
+		k.EmitLoadSecret(17, 19)
+		k.B.St(17, 19, 8) // secret value stored: architecturally visible
+		k.B.Halt()
+		return k
+	}
+	pa, pb := build(SecretA).MustBuild(), build(SecretB).MustBuild()
+	same, err := ArchSame(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Fatal("architectural secret store not detected")
+	}
+	if _, err := CheckLeak(pa, "unsafe", "futuristic"); err == nil {
+		t.Fatal("CheckLeak accepted an arch-transmitting program")
+	}
+}
+
+// TestArchSameRejectsSecretBranchCondition: a conditional branch whose
+// condition depends on the secret is a constant-time violation even when
+// the taken target equals the fall-through (offset 1, architecturally a
+// no-op) — the direction mispredict squashes and replays younger accesses
+// under every scheme. The minimizer once produced exactly this shape, so
+// the digest must hash branch outcomes, not just the retired PC sequence.
+func TestArchSameRejectsSecretBranchCondition(t *testing.T) {
+	build := func(secret byte) *attack.Kit {
+		k := attack.NewKit("secret-branch", secret)
+		k.EmitLoadSecret(17, 19)
+		k.B.Andi(21, 17, 0x10) // differs across SecretA/SecretB
+		k.B.Bne(21, isa.Zero, "next")
+		k.B.Label("next") // taken target == fall-through
+		k.B.Halt()
+		return k
+	}
+	pa, pb := build(SecretA).MustBuild(), build(SecretB).MustBuild()
+	same, err := ArchSame(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Fatal("secret-dependent branch condition not detected")
+	}
+}
+
+// TestCheckLeakOnHandWrittenAttacks cross-validates the differential
+// oracle against the §9.1 penetration tests: V1 leaks on unsafe and is
+// blocked by SPT; the non-speculative secret leaks under STT.
+func TestCheckLeakOnHandWrittenAttacks(t *testing.T) {
+	v1 := attack.SpectreV1Program(SecretA)
+	if v, err := CheckLeak(v1, "unsafe", "futuristic"); err != nil || !v.Leaked {
+		t.Fatalf("V1 under unsafe: leaked=%v err=%v", v.Leaked, err)
+	}
+	if v, err := CheckLeak(v1, "spt", "futuristic"); err != nil || v.Leaked {
+		t.Fatalf("V1 under spt: leaked=%v err=%v (%s)", v.Leaked, err, v.Div)
+	}
+	ns := attack.NonSpecSecretProgram(SecretA)
+	if v, err := CheckLeak(ns, "stt", "futuristic"); err != nil || !v.Leaked {
+		t.Fatalf("nonspec secret under stt: leaked=%v err=%v", v.Leaked, err)
+	}
+	if v, err := CheckLeak(ns, "spt", "futuristic"); err != nil || v.Leaked {
+		t.Fatalf("nonspec secret under spt: leaked=%v err=%v (%s)", v.Leaked, err, v.Div)
+	}
+}

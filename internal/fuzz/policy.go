@@ -1,0 +1,83 @@
+// Package fuzz is the differential leakage-fuzzing engine: it generates
+// secret-parameterized transient-execution gadgets (gen.go), decides
+// whether a program leaks its secret under a (scheme, attack model) pair
+// by diffing observation traces across two secret values (oracle.go),
+// shrinks leaking programs to minimal reproducers (minimize.go), and
+// persists found reproducers as a regression corpus (corpus.go).
+//
+// The oracle is SPECTECTOR-style speculative non-interference: the
+// generator guarantees (and the functional emulator re-checks) that the
+// two secret values produce identical architectural executions, so any
+// divergence between the microarchitectural observation traces is a leak.
+package fuzz
+
+import (
+	"fmt"
+
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+)
+
+// SchemeNames lists the Table 2 configurations the fuzzer can target, in
+// the root package's presentation order. Kept in sync with spt.Schemes()
+// (the root package imports this one, so it cannot be derived from it).
+func SchemeNames() []string {
+	return []string{
+		"unsafe", "secure",
+		"spt-fwd", "spt-bwd", "spt",
+		"spt-shadowmem", "spt-ideal", "stt",
+	}
+}
+
+// PolicyByName builds a fresh pipeline policy for a scheme name. Policies
+// are stateful, so every simulation needs its own instance. The mapping
+// mirrors spt.Options.policy in the root package.
+func PolicyByName(scheme string) (pipeline.Policy, error) {
+	const w = 3 // default untaint broadcast width (paper §9.4)
+	switch scheme {
+	case "unsafe":
+		return nil, nil
+	case "secure":
+		return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintNone}), nil
+	case "spt-fwd":
+		return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintFwd, BroadcastWidth: w}), nil
+	case "spt-bwd":
+		return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, BroadcastWidth: w}), nil
+	case "spt":
+		return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, Shadow: taint.ShadowL1, BroadcastWidth: w}), nil
+	case "spt-shadowmem":
+		return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintBwd, Shadow: taint.ShadowMem, BroadcastWidth: w}), nil
+	case "spt-ideal":
+		return taint.NewSPT(taint.SPTConfig{Method: taint.UntaintIdeal, Shadow: taint.ShadowMem}), nil
+	case "stt":
+		return taint.NewSTT(), nil
+	case "spt-sdo":
+		return taint.NewSPT(taint.SPTConfig{
+			Method: taint.UntaintBwd, Shadow: taint.ShadowL1, BroadcastWidth: w,
+			Protect: taint.ObliviousExecution,
+		}), nil
+	}
+	return nil, fmt.Errorf("fuzz: unknown scheme %q", scheme)
+}
+
+// ModelNames lists the attack-model names.
+func ModelNames() []string { return []string{"futuristic", "spectre"} }
+
+// ModelByName parses an attack-model name.
+func ModelByName(name string) (pipeline.AttackModel, error) {
+	switch name {
+	case "futuristic":
+		return pipeline.Futuristic, nil
+	case "spectre":
+		return pipeline.Spectre, nil
+	}
+	return 0, fmt.Errorf("fuzz: unknown attack model %q", name)
+}
+
+// ModelName is the inverse of ModelByName.
+func ModelName(m pipeline.AttackModel) string {
+	if m == pipeline.Spectre {
+		return "spectre"
+	}
+	return "futuristic"
+}

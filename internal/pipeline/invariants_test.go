@@ -16,7 +16,7 @@ import (
 func TestInvariantsHoldEveryCycle(t *testing.T) {
 	rng := rand.New(rand.NewSource(404))
 	for trial := 0; trial < 8; trial++ {
-		p := workloads.RandomProgram(rng, 60)
+		p := workloads.RandomProgram(rng.Int63(), 60)
 		for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
 			c, err := pipeline.New(pipeline.DefaultConfig(), p, mem.NewHierarchy(mem.DefaultHierarchyConfig()), nil)
 			if err != nil {
@@ -45,7 +45,7 @@ func TestInvariantsHoldEveryCycle(t *testing.T) {
 // physical registers outside the architectural mapping are free again.
 func TestNoPhysRegLeakAfterDrain(t *testing.T) {
 	rng := rand.New(rand.NewSource(505))
-	p := workloads.RandomProgram(rng, 120)
+	p := workloads.RandomProgram(rng.Int63(), 120)
 	c, err := pipeline.New(pipeline.DefaultConfig(), p, mem.NewHierarchy(mem.DefaultHierarchyConfig()), nil)
 	if err != nil {
 		t.Fatal(err)

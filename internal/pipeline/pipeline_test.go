@@ -243,7 +243,7 @@ func TestZeroRegisterNeverWritten(t *testing.T) {
 func TestRandomProgramsMatchEmulatorFuturistic(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 60; trial++ {
-		p := workloads.RandomProgram(rng, 40+rng.Intn(120))
+		p := workloads.RandomProgram(rng.Int63(), 40+rng.Intn(120))
 		checkAgainstEmulator(t, p, pipeline.Futuristic)
 		if t.Failed() {
 			t.Fatalf("trial %d failed (program %s)", trial, p.Name)
@@ -254,7 +254,7 @@ func TestRandomProgramsMatchEmulatorFuturistic(t *testing.T) {
 func TestRandomProgramsMatchEmulatorSpectre(t *testing.T) {
 	rng := rand.New(rand.NewSource(1234))
 	for trial := 0; trial < 40; trial++ {
-		p := workloads.RandomProgram(rng, 40+rng.Intn(120))
+		p := workloads.RandomProgram(rng.Int63(), 40+rng.Intn(120))
 		checkAgainstEmulator(t, p, pipeline.Spectre)
 		if t.Failed() {
 			t.Fatalf("trial %d failed (program %s)", trial, p.Name)
@@ -368,7 +368,7 @@ func TestNarrowConfigsMatchEmulator(t *testing.T) {
 	rng := rand.New(rand.NewSource(606))
 	for ci, cfg := range configs {
 		for trial := 0; trial < 8; trial++ {
-			p := workloads.RandomProgram(rng, 50)
+			p := workloads.RandomProgram(rng.Int63(), 50)
 			e := emu.New(p)
 			if _, err := e.Run(10_000_000); err != nil {
 				t.Fatal(err)

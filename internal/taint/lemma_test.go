@@ -23,7 +23,7 @@ import (
 func TestLemma1(t *testing.T) {
 	rng := rand.New(rand.NewSource(808))
 	for trial := 0; trial < 6; trial++ {
-		p := workloads.RandomProgram(rng, 80)
+		p := workloads.RandomProgram(rng.Int63(), 80)
 		for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
 			spt := taint.NewSPT(taint.DefaultSPTConfig())
 			cfg := pipeline.DefaultConfig()

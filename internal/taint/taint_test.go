@@ -59,7 +59,7 @@ func TestAllPoliciesPreserveArchitecture(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	progs := make([]*isa.Program, 0, 12)
 	for i := 0; i < 12; i++ {
-		progs = append(progs, workloads.RandomProgram(rng, 30+rng.Intn(80)))
+		progs = append(progs, workloads.RandomProgram(rng.Int63(), 30+rng.Intn(80)))
 	}
 	for name, mk := range policies() {
 		for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
@@ -335,7 +335,7 @@ func TestSTTNarrowerScopeIsFaster(t *testing.T) {
 // convergence property). We sample a running core every cycle.
 func TestTaintMonotonicityInFlight(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	p := workloads.RandomProgram(rng, 80)
+	p := workloads.RandomProgram(rng.Int63(), 80)
 	cfg := pipeline.DefaultConfig()
 	spt := taint.NewSPT(taint.DefaultSPTConfig())
 	c, err := pipeline.New(cfg, p, mem.NewHierarchy(mem.DefaultHierarchyConfig()), spt)
@@ -375,7 +375,7 @@ func TestTaintMonotonicityInFlight(t *testing.T) {
 // untaint counts.
 func TestFig9HistogramPopulated(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	p := workloads.RandomProgram(rng, 100)
+	p := workloads.RandomProgram(rng.Int63(), 100)
 	spt := taint.NewSPT(taint.SPTConfig{Method: taint.UntaintIdeal, Shadow: taint.ShadowMem})
 	runWith(t, p, pipeline.Futuristic, spt)
 	if spt.Stats.UntaintingCycles == 0 {
@@ -395,7 +395,7 @@ func TestFig9HistogramPopulated(t *testing.T) {
 // drop versus unsafe.
 func TestSecureBaselineDelaysEverything(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
-	p := workloads.RandomProgram(rng, 100)
+	p := workloads.RandomProgram(rng.Int63(), 100)
 	unsafe := runWith(t, p, pipeline.Futuristic, nil)
 	secure := runWith(t, p, pipeline.Futuristic, taint.NewSPT(taint.SPTConfig{Method: taint.UntaintNone}))
 	if secure.Stats.TransmitterDelays == 0 {

@@ -16,9 +16,12 @@ import (
 // loads/stores (with frequent address aliasing to provoke store-to-load
 // forwarding and memory-dependence violations), bounded loops, forward
 // branches, and calls. The generated programs are used to property-test
-// that the out-of-order core matches the functional emulator.
-func RandomProgram(rng *rand.Rand, size int) *isa.Program {
-	b := asm.NewBuilder(fmt.Sprintf("random-%d", rng.Int63()))
+// that the out-of-order core matches the functional emulator, and as
+// filler by the leakage fuzzer. The program is a pure function of
+// (seed, size) — the name "random-<seed>" makes any run reproducible.
+func RandomProgram(seed int64, size int) *isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := asm.NewBuilder(fmt.Sprintf("random-%d", seed))
 
 	const dataBase = 0x10000
 	const dataSize = 1 << 12 // small region: heavy aliasing

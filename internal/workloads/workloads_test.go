@@ -205,7 +205,7 @@ func TestOddEvenNetworkSortsAnything(t *testing.T) {
 func TestRandomProgramsTerminate(t *testing.T) {
 	rng := newRand()
 	for i := 0; i < 30; i++ {
-		p := workloads.RandomProgram(rng, 150)
+		p := workloads.RandomProgram(rng.Int63(), 150)
 		e := emu.New(p)
 		if _, err := e.Run(5_000_000); err != nil {
 			t.Fatal(err)

@@ -56,34 +56,56 @@ func RunJobs(jobs []Job, opt EvalOptions) (map[Job]*Result, error) {
 // runJob simulates one grid cell.
 func runJob(j Job) (*Result, error) { return Run(j.Workload, j.options()) }
 
-// safeRun converts a panicking simulation into a structured error naming
-// the job, so one crashed cell fails the grid cleanly instead of killing
-// the process from a worker goroutine.
-func safeRun(j Job, run func(Job) (*Result, error)) (res *Result, err error) {
+// runGrid adapts the simulation grid to the generic worker pool.
+func runGrid(jobs []Job, opt EvalOptions, run func(Job) (*Result, error)) (map[Job]*Result, error) {
+	return runPool(jobs, poolConfig[Job]{
+		Workers:  opt.Jobs,
+		Context:  opt.Context,
+		Progress: opt.Progress,
+	}, run)
+}
+
+// poolConfig configures runPool. The zero value runs on one worker per
+// core with no cancellation or progress reporting.
+type poolConfig[J comparable] struct {
+	// Workers is the concurrency; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Context cancels the pool between jobs (a running job is not
+	// interrupted).
+	Context context.Context
+	// Progress, if non-nil, is called (serialized) after each completion.
+	Progress func(done, total int, j J)
+}
+
+// safeRun converts a panicking job into a structured error naming the
+// job, so one crashed cell fails the pool cleanly instead of killing the
+// process from a worker goroutine.
+func safeRun[J comparable, R any](j J, run func(J) (R, error)) (res R, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("spt: job %s panicked: %v", j, r)
+			err = fmt.Errorf("spt: job %v panicked: %v", j, r)
 		}
 	}()
 	return run(j)
 }
 
-// runGrid is the evaluation engine: it executes the deduplicated job list
-// on opt.Jobs workers (default runtime.GOMAXPROCS(0); 1 reproduces the old
-// strictly sequential harness) and collects results into a map keyed by
-// Job. Only scheduling is concurrent — callers aggregate from the map in
-// their own grid order, so figure output is bit-identical for any worker
-// count.
-func runGrid(jobs []Job, opt EvalOptions, run func(Job) (*Result, error)) (map[Job]*Result, error) {
-	ctx := opt.Context
+// runPool is the shared evaluation engine behind RunJobs and RunFuzz: it
+// executes the deduplicated job list on cfg.Workers workers (1 reproduces
+// a strictly sequential harness) and collects results into a map keyed by
+// job. Only scheduling is concurrent — callers aggregate from the map in
+// their own order, so rendered output is bit-identical for any worker
+// count. On error the first failure in job order is returned and partial
+// results are discarded.
+func runPool[J comparable, R any](jobs []J, cfg poolConfig[J], run func(J) (R, error)) (map[J]R, error) {
+	ctx := cfg.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
 
-	// Deduplicate while preserving first-occurrence order; figure grids may
-	// join one cell (e.g. the unsafe baseline) into several aggregates.
-	order := make([]Job, 0, len(jobs))
-	seen := make(map[Job]bool, len(jobs))
+	// Deduplicate while preserving first-occurrence order; grids may join
+	// one cell (e.g. the unsafe baseline) into several aggregates.
+	order := make([]J, 0, len(jobs))
+	seen := make(map[J]bool, len(jobs))
 	for _, j := range jobs {
 		if !seen[j] {
 			seen[j] = true
@@ -92,10 +114,10 @@ func runGrid(jobs []Job, opt EvalOptions, run func(Job) (*Result, error)) (map[J
 	}
 	total := len(order)
 	if total == 0 {
-		return map[Job]*Result{}, nil
+		return map[J]R{}, nil
 	}
 
-	workers := opt.Jobs
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -103,7 +125,7 @@ func runGrid(jobs []Job, opt EvalOptions, run func(Job) (*Result, error)) (map[J
 		workers = total
 	}
 
-	results := make([]*Result, total)
+	results := make([]R, total)
 	errs := make([]error, total)
 
 	// Progress calls are serialized; done counts completions, not grid
@@ -111,12 +133,12 @@ func runGrid(jobs []Job, opt EvalOptions, run func(Job) (*Result, error)) (map[J
 	var progressMu sync.Mutex
 	done := 0
 	report := func(k int) {
-		if opt.Progress == nil {
+		if cfg.Progress == nil {
 			return
 		}
 		progressMu.Lock()
 		done++
-		opt.Progress(done, total, order[k])
+		cfg.Progress(done, total, order[k])
 		progressMu.Unlock()
 	}
 	exec := func(k int) {
@@ -169,7 +191,7 @@ func runGrid(jobs []Job, opt EvalOptions, run func(Job) (*Result, error)) (map[J
 		}
 		close(idx)
 		wg.Wait()
-		// Report the earliest failure in grid order, not in completion
+		// Report the earliest failure in job order, not in completion
 		// order, so the error does not depend on scheduling.
 		for _, err := range errs {
 			if err != nil {
@@ -181,7 +203,7 @@ func runGrid(jobs []Job, opt EvalOptions, run func(Job) (*Result, error)) (map[J
 		}
 	}
 
-	out := make(map[Job]*Result, total)
+	out := make(map[J]R, total)
 	for k, j := range order {
 		out[j] = results[k]
 	}
