@@ -7,19 +7,24 @@
 //	spt-bench -what fig9      # Figure 9, untaints-per-cycle distribution
 //	spt-bench -what width     # §9.4 broadcast width sweep
 //	spt-bench -what pentest   # §9.1 penetration testing
+//	spt-bench -what perf      # simulator-throughput suite (host-side)
 //	spt-bench -what all       # everything
 //
 // -budget scales the per-run retired-instruction count (the SimPoint
 // stand-in); -workloads restricts the suite; -jobs sets how many
 // simulations run concurrently (0 = one per core, 1 = sequential — the
 // figures are bit-identical either way); -progress reports grid completion
-// on stderr.
+// on stderr. -json switches the perf report to JSON (the format of
+// BENCH_core.json). -cpuprofile/-memprofile write pprof profiles of the
+// whole invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"spt"
@@ -30,13 +35,45 @@ import (
 
 func main() {
 	var (
-		what      = flag.String("what", "all", "machine|configs|fig7|fig8|fig9|width|pentest|all")
-		budget    = flag.Uint64("budget", 120_000, "retired instructions per run")
-		workloads = flag.String("workloads", "", "comma-separated subset (default: all)")
-		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = one per core, 1 = sequential)")
-		progress  = flag.Bool("progress", false, "report per-simulation grid progress on stderr")
+		what       = flag.String("what", "all", "machine|configs|fig7|fig8|fig9|width|pentest|perf|all")
+		budget     = flag.Uint64("budget", 120_000, "retired instructions per run")
+		workloads  = flag.String("workloads", "", "comma-separated subset (default: all)")
+		jobs       = flag.Int("jobs", 0, "concurrent simulations (0 = one per core, 1 = sequential)")
+		progress   = flag.Bool("progress", false, "report per-simulation grid progress on stderr")
+		jsonOut    = flag.Bool("json", false, "emit the perf report as JSON")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spt-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "spt-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spt-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "spt-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	opt := spt.EvalOptions{Budget: *budget, Jobs: *jobs}
 	if *workloads != "" {
@@ -104,6 +141,22 @@ func main() {
 		return nil
 	})
 	run("pentest", runPentest)
+	run("perf", func() error {
+		rep, err := spt.RunPerf(opt)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			s, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+			return nil
+		}
+		fmt.Println(rep.Text())
+		return nil
+	})
 }
 
 func runPentest() error {

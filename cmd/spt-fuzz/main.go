@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"spt"
@@ -28,17 +30,44 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "base RNG seed; program i uses seed+i")
-		count    = flag.Int("count", 32, "number of generated programs")
-		jobs     = flag.Int("jobs", 0, "concurrent oracle checks (0 = one per core)")
-		schemes  = flag.String("schemes", "", "comma-separated schemes (default: all eight Table 2 configs)")
-		models   = flag.String("models", "", "comma-separated threat models (default: futuristic,spectre)")
-		minimize = flag.Int("minimize", 2, "minimize up to this many distinct leaking programs")
-		jsonOut  = flag.Bool("json", false, "emit the report as JSON instead of text")
-		corpus   = flag.String("corpus", "", "write minimized reproducers as .urisc files into this directory")
-		quiet    = flag.Bool("q", false, "suppress the progress meter")
+		seed       = flag.Int64("seed", 1, "base RNG seed; program i uses seed+i")
+		count      = flag.Int("count", 32, "number of generated programs")
+		jobs       = flag.Int("jobs", 0, "concurrent oracle checks (0 = one per core)")
+		schemes    = flag.String("schemes", "", "comma-separated schemes (default: all eight Table 2 configs)")
+		models     = flag.String("models", "", "comma-separated threat models (default: futuristic,spectre)")
+		minimize   = flag.Int("minimize", 2, "minimize up to this many distinct leaking programs")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON instead of text")
+		corpus     = flag.String("corpus", "", "write minimized reproducers as .urisc files into this directory")
+		quiet      = flag.Bool("q", false, "suppress the progress meter")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	opt := spt.FuzzOptions{
 		Seed:     *seed,

@@ -97,6 +97,21 @@ func TestGoldenFuzzReport(t *testing.T) {
 	checkGolden(t, "fuzz_report.golden", rep.Text())
 }
 
+// TestGoldenPerfReport pins the deterministic projection of the perf
+// report: simulated cycle/instruction/IPC columns byte-for-byte, host-time
+// fields zeroed (they vary by machine, so the golden excludes them).
+func TestGoldenPerfReport(t *testing.T) {
+	rep, err := spt.RunPerf(spt.EvalOptions{Budget: 6_000, Workloads: []string{"mcf", "xz", "chacha20"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := rep.Deterministic().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "perf_report.golden", js)
+}
+
 func TestGoldenWidthSweep(t *testing.T) {
 	rows, err := spt.RunWidthSweep([]int{1, 3, -1}, goldenOpt())
 	if err != nil {

@@ -13,13 +13,21 @@ import (
 )
 
 // Memory is a sparse byte-addressable memory backed by fixed-size pages.
+// A small direct-mapped cache in front of the page map serves the common
+// case — repeated accesses to a few hot pages — without a map lookup per
+// byte. Pages are never deleted, so cached pointers never go stale.
 type Memory struct {
 	pages map[uint64]*page
+	ctags [pcacheSlots]uint64 // page number + 1; 0 marks an empty slot
+	cptrs [pcacheSlots]*page
 }
 
 const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
+	// pcacheSlots is the number of direct-mapped page-cache slots (a power
+	// of two). 64 slots cover 256 KiB of hot footprint.
+	pcacheSlots = 64
 )
 
 type page [pageSize]byte
@@ -27,6 +35,37 @@ type page [pageSize]byte
 // NewMemory returns an empty memory. All bytes read as zero.
 func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// lookup returns the page holding page number pn, or nil if it has never
+// been written, going through the direct-mapped cache.
+func (m *Memory) lookup(pn uint64) *page {
+	i := pn & (pcacheSlots - 1)
+	if m.ctags[i] == pn+1 {
+		return m.cptrs[i]
+	}
+	p := m.pages[pn]
+	if p != nil {
+		m.ctags[i] = pn + 1
+		m.cptrs[i] = p
+	}
+	return p
+}
+
+// ensure returns the page holding pn, allocating it on first touch.
+func (m *Memory) ensure(pn uint64) *page {
+	i := pn & (pcacheSlots - 1)
+	if m.ctags[i] == pn+1 {
+		return m.cptrs[i]
+	}
+	p := m.pages[pn]
+	if p == nil {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	m.ctags[i] = pn + 1
+	m.cptrs[i] = p
+	return p
 }
 
 // LoadSegments copies a program's initial data image into memory.
@@ -40,7 +79,7 @@ func (m *Memory) LoadSegments(segs []isa.Segment) {
 
 // ByteAt reads one byte.
 func (m *Memory) ByteAt(addr uint64) byte {
-	p := m.pages[addr>>pageShift]
+	p := m.lookup(addr >> pageShift)
 	if p == nil {
 		return 0
 	}
@@ -49,17 +88,24 @@ func (m *Memory) ByteAt(addr uint64) byte {
 
 // SetByte writes one byte.
 func (m *Memory) SetByte(addr uint64, b byte) {
-	pn := addr >> pageShift
-	p := m.pages[pn]
-	if p == nil {
-		p = new(page)
-		m.pages[pn] = p
-	}
-	p[addr&(pageSize-1)] = b
+	m.ensure(addr>>pageShift)[addr&(pageSize-1)] = b
 }
 
 // Read reads size bytes little-endian, zero-extended to 64 bits.
 func (m *Memory) Read(addr uint64, size int) uint64 {
+	off := addr & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		// Fast path: the access stays within one page.
+		p := m.lookup(addr >> pageShift)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := 0; i < size; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
 	var v uint64
 	for i := 0; i < size; i++ {
 		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
@@ -69,6 +115,14 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 
 // Write writes the low size bytes of v little-endian.
 func (m *Memory) Write(addr uint64, size int, v uint64) {
+	off := addr & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := m.ensure(addr >> pageShift)
+		for i := 0; i < size; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
 	for i := 0; i < size; i++ {
 		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
 	}

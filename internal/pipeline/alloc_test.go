@@ -1,0 +1,112 @@
+package pipeline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+	"spt/internal/workloads"
+)
+
+// steadyStateCore builds a core running the gcc-like kernel (branchy
+// integer code with loads, stores, and regular squashes) and advances it
+// past the cold-start region so every pool — rings, free lists, maps,
+// scratch buffers — has reached its high-water mark.
+func steadyStateCore(t *testing.T, pol pipeline.Policy) *pipeline.Core {
+	t.Helper()
+	w, err := workloads.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pipeline.New(pipeline.DefaultConfig(), w.Build(1<<40), mem.NewHierarchy(mem.DefaultHierarchyConfig()), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(30_000, 1<<60); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSteadyStateAllocs pins the tentpole property of the allocation-free
+// hot loop: once warm, simulating an instruction allocates nothing — no
+// ROB entries, no fetch-buffer entries, no policy scratch, no memory-system
+// state. Measured with testing.AllocsPerRun over 10k-instruction windows
+// for the unprotected core and both protection policies.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; run without -race")
+	}
+	const window = 10_000
+	cases := []struct {
+		name string
+		pol  pipeline.Policy
+	}{
+		{"unsafe", nil},
+		{"stt", taint.NewSTT()},
+		{"spt", taint.NewSPT(taint.DefaultSPTConfig())},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := steadyStateCore(t, tc.pol)
+			var runErr error
+			avg := testing.AllocsPerRun(5, func() {
+				if err := c.Run(c.Stats.Retired+window, 1<<60); err != nil {
+					runErr = err
+				}
+			})
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+			if c.Finished() {
+				t.Fatal("program halted inside the measurement window")
+			}
+			if avg != 0 {
+				t.Fatalf("steady-state loop allocates: %.1f allocs per %d-instruction window (%.6f/inst)",
+					avg, window, avg/window)
+			}
+		})
+	}
+}
+
+// TestROBOccupancyBounded is the regression test for the slice-queue bug:
+// the ROB (and the other in-flight queues) must never hold more entries
+// than their configured capacity, cycle by cycle, including across
+// squashes. Narrow structures plus a random branchy program force constant
+// wrap-around and tail truncation.
+func TestROBOccupancyBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 4; trial++ {
+		p := workloads.RandomProgram(rng.Int63(), 100)
+		cfg := pipeline.DefaultConfig()
+		cfg.ROBSize = 8
+		cfg.LQSize = 2
+		cfg.SQSize = 2
+		cfg.FetchBufferSize = 4
+		cfg.RSSize = 8
+		c, err := pipeline.New(cfg, p, mem.NewHierarchy(mem.DefaultHierarchyConfig()), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200_000 && !c.Finished(); i++ {
+			c.Step()
+			if n := c.ROBLen(); n > cfg.ROBSize {
+				t.Fatalf("trial %d cycle %d: ROB occupancy %d exceeds capacity %d", trial, c.Cycle(), n, cfg.ROBSize)
+			}
+			if n := c.LQLen(); n > cfg.LQSize {
+				t.Fatalf("trial %d cycle %d: LQ occupancy %d exceeds capacity %d", trial, c.Cycle(), n, cfg.LQSize)
+			}
+			if n := c.SQLen(); n > cfg.SQSize {
+				t.Fatalf("trial %d cycle %d: SQ occupancy %d exceeds capacity %d", trial, c.Cycle(), n, cfg.SQSize)
+			}
+		}
+		if !c.Finished() {
+			t.Fatalf("trial %d: did not finish", trial)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -105,6 +105,9 @@ func (c Config) Validate() error {
 	if c.FetchWidth <= 0 || c.RenameWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0 {
 		return fmt.Errorf("pipeline: widths must be positive")
 	}
+	if c.FetchBufferSize <= 0 {
+		return fmt.Errorf("pipeline: fetch buffer size must be positive")
+	}
 	return nil
 }
 
@@ -120,6 +123,13 @@ type DynInst struct {
 	PC  uint64
 	Ins isa.Instruction
 
+	// Decoded classification and access width, cached at rename so the
+	// per-cycle loops avoid re-deriving them from the opcode (and copying
+	// the Instruction struct) millions of times per simulated second.
+	IsLd  bool
+	IsSt  bool
+	MemSz uint64
+
 	// Renamed operands. Unused slots are NoReg.
 	Src1, Src2 PhysReg
 	Dst        PhysReg
@@ -127,6 +137,12 @@ type DynInst struct {
 
 	// Pipeline status.
 	Dispatched bool // occupies an RS slot (until issued)
+	// rdy1/rdy2 memoize observed source readiness while the entry waits in
+	// the RS. Readiness is monotone for an in-flight consumer: a physical
+	// register is only recycled after the instruction that overwrote its
+	// architectural mapping retires, and in-order retirement means every
+	// older consumer has retired (and therefore issued) by then.
+	rdy1, rdy2 bool
 	Issued     bool
 	Done       bool // result available (DoneCycle reached)
 	DoneCycle  uint64
@@ -144,12 +160,22 @@ type DynInst struct {
 
 	// Memory.
 	EffAddr   uint64
-	AddrKnown bool     // effective address computed (virtual, pre-translate)
-	MemIssued bool     // TLB/cache access started (the transmitting event)
-	FwdStore  *DynInst // store this load forwarded from (nil = memory)
-	Violation bool     // squash pending due to memory-dependence violation
-	ViolStore *DynInst // the older store the violating load conflicts with
-	violCheck bool     // store: younger loads were checked for violations
+	AddrKnown bool // effective address computed (virtual, pre-translate)
+	MemIssued bool // TLB/cache access started (the transmitting event)
+	// FwdStore points at the ROB ring slot of the store this load forwarded
+	// from (nil = memory). Ring slots are recycled after retirement, so the
+	// pointer is only dereferenceable while FwdLive() holds; FwdSeq is the
+	// stable identity of the forwarding store.
+	FwdStore  *DynInst
+	FwdSeq    uint64
+	Violation bool // squash pending due to memory-dependence violation
+	// The older store the violating load conflicts with, captured by value
+	// (Seq and the address operand are immutable after rename) so the
+	// reference stays valid even if the store's ROB slot is recycled.
+	HasViolStore bool
+	ViolStoreSeq uint64
+	ViolSrc1     PhysReg
+	violCheck    bool // store: younger loads were checked for violations
 
 	// Predictor snapshots taken at fetch, for squash recovery.
 	HistAt predictor.History
@@ -168,6 +194,15 @@ type DynInst struct {
 
 	// DelayedByPolicy notes the instruction was blocked at least once.
 	DelayedByPolicy bool
+}
+
+// FwdLive reports whether ld's forwarding store still occupies its ROB ring
+// slot, i.e. whether ld.FwdStore may be dereferenced for live state (taint
+// of its operands, AtVP). When false the store has retired (retirement is
+// the only way a forwarding source leaves the window while the load stays)
+// and only ld.FwdSeq identifies it.
+func (ld *DynInst) FwdLive() bool {
+	return ld.FwdStore != nil && ld.FwdStore.Seq == ld.FwdSeq && !ld.FwdStore.Retired
 }
 
 // Stats aggregates core-level counters.
@@ -281,10 +316,12 @@ type Core struct {
 	cycle uint64
 	seq   uint64
 
-	// Fetch.
+	// Fetch. The decoupled fetch buffer is a fixed-capacity ring of inline
+	// fetchEntry values (no per-instruction allocation).
 	fetchPC       uint64
 	fetchStallTil uint64
-	fetchBuf      []*fetchEntry
+	fetchBuf      []fetchEntry // cap Cfg.FetchBufferSize
+	fbHead, fbLen int
 	halted        bool // HALT fetched (stop fetching); sim ends when it retires
 	finished      bool // HALT retired
 
@@ -294,13 +331,52 @@ type Core struct {
 	prf      []uint64
 	prfReady []bool
 
-	// Windows.
-	rob []*DynInst // program order, head at index 0 (slice-based queue)
-	lq  []*DynInst
-	sq  []*DynInst
+	// Windows. The ROB is a fixed-capacity ring of inline DynInst values in
+	// program order; a slot is recycled once its instruction retires or is
+	// squashed, so the steady-state cycle loop allocates nothing. LQ/SQ are
+	// rings of pointers into the ROB ring (stable while the instruction is
+	// in flight).
+	rob              []DynInst // cap Cfg.ROBSize
+	robHead, robLen  int
+	lq               []*DynInst // cap Cfg.LQSize
+	lqHead, lqLen    int
+	sq               []*DynInst // cap Cfg.SQSize
+	sqHead, sqLen    int
 
 	// rsCount tracks occupied RS slots (dispatched, not yet issued).
 	rsCount int
+	// rsList is the age-ordered list of occupied RS slots issue() scans,
+	// so a cycle costs O(RS occupancy) instead of O(ROB span). Entries are
+	// validated against the recorded sequence number and the Dispatched
+	// flag: a squash clears Dispatched (and slot recycling changes Seq), so
+	// stale references are dropped lazily during the next scan.
+	rsList []rsRef
+	// cfUnresolved counts in-flight control-flow instructions whose
+	// resolution effects are still pending (lets resolveBranches skip the
+	// window scan on branch-free cycles).
+	cfUnresolved int
+	// execOutstanding counts issued non-memory instructions whose result is
+	// not yet available (lets completeExecution bound its window scan).
+	execOutstanding int
+	// memIncomplete counts in-flight memory instructions that are not Done,
+	// and violPending counts loads with a pending memory-dependence
+	// violation. Together with cfUnresolved they let updateVP and
+	// resolveViolations skip their window scans on quiet cycles.
+	memIncomplete int
+	violPending   int
+
+	// Monotone prefix-skip indexes: the number of leading entries of each
+	// ring that their per-cycle scan can never act on again. Each skipped
+	// prefix only grows while the ring is stable; popping the head
+	// decrements the index and a squash clamps it to the new length, so
+	// scan order (and therefore every observable effect) is unchanged.
+	execSkip   int // ROB prefix: Done or memory (completeExecution)
+	cfSkip     int // ROB prefix: resolved or not control flow (resolveBranches)
+	vpSkip     int // ROB prefix: already at the visibility point (updateVP)
+	lqMemSkip  int // LQ prefix: access started or violation pending (memStage)
+	lqDoneSkip int // LQ prefix: load complete (completeExecution)
+	sqMemSkip  int // SQ prefix: translated and violation-checked (memStage)
+	sqDoneSkip int // SQ prefix: store complete (completeExecution)
 
 	// Execution resources.
 	aluBusyUntil []uint64
@@ -328,9 +404,18 @@ func New(cfg Config, prog *isa.Program, hier *mem.Hierarchy, pol Policy) (*Core,
 		Pred:         predictor.NewUnit(),
 		Pol:          pol,
 		fetchPC:      prog.Entry,
+		fetchBuf:     make([]fetchEntry, cfg.FetchBufferSize),
 		prf:          make([]uint64, cfg.PhysRegs),
 		prfReady:     make([]bool, cfg.PhysRegs),
+		freeList:     make([]PhysReg, 0, cfg.PhysRegs),
+		rob:          make([]DynInst, cfg.ROBSize),
+		lq:           make([]*DynInst, cfg.LQSize),
+		sq:           make([]*DynInst, cfg.SQSize),
 		aluBusyUntil: make([]uint64, cfg.ALUs),
+		// Live entries never exceed RSSize; stale references linger at most
+		// until the next issue() compaction, bounded by one squash burst
+		// plus one rename group.
+		rsList: make([]rsRef, 0, 2*cfg.RSSize+cfg.RenameWidth),
 	}
 	// Physical register 0 is the hardwired zero: always ready, never freed.
 	c.prfReady[0] = true
@@ -368,12 +453,202 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 // Finished reports whether the program's HALT has retired.
 func (c *Core) Finished() bool { return c.finished }
 
-// ROB exposes the in-flight window, oldest first, for policies.
-func (c *Core) ROB() []*DynInst { return c.rob }
+// robAt returns the i-th oldest in-flight instruction (0 = head). The
+// returned pointer is stable while the instruction is in flight; the slot
+// is recycled after retirement or squash.
+func (c *Core) robAt(i int) *DynInst {
+	j := c.robHead + i
+	if j >= len(c.rob) {
+		j -= len(c.rob)
+	}
+	return &c.rob[j]
+}
 
-// LQ and SQ expose the memory queues, oldest first, for policies.
-func (c *Core) LQ() []*DynInst { return c.lq }
-func (c *Core) SQ() []*DynInst { return c.sq }
+// rsRef is a seq-validated reference to a reservation-station entry. The
+// pointer targets a ROB ring slot; the reference is live only while the
+// slot still holds the recorded sequence number and the instruction is
+// still dispatched-but-unissued.
+type rsRef struct {
+	di  *DynInst
+	seq uint64
+}
+
+// robPush claims and zeroes the ring slot behind the youngest instruction.
+// The caller must have checked robLen < Cfg.ROBSize.
+func (c *Core) robPush() *DynInst {
+	di := c.robAt(c.robLen)
+	*di = DynInst{}
+	c.robLen++
+	return di
+}
+
+// robPopHead releases the oldest slot. The popped entry stays readable
+// until rename recycles the slot (at least a full ROB wrap later).
+func (c *Core) robPopHead() {
+	c.robHead++
+	if c.robHead == len(c.rob) {
+		c.robHead = 0
+	}
+	c.robLen--
+	if c.execSkip > 0 {
+		c.execSkip--
+	}
+	if c.cfSkip > 0 {
+		c.cfSkip--
+	}
+	if c.vpSkip > 0 {
+		c.vpSkip--
+	}
+}
+
+func (c *Core) lqAt(i int) *DynInst {
+	j := c.lqHead + i
+	if j >= len(c.lq) {
+		j -= len(c.lq)
+	}
+	return c.lq[j]
+}
+
+func (c *Core) lqPush(di *DynInst) {
+	j := c.lqHead + c.lqLen
+	if j >= len(c.lq) {
+		j -= len(c.lq)
+	}
+	c.lq[j] = di
+	c.lqLen++
+}
+
+func (c *Core) lqPopHead() {
+	c.lq[c.lqHead] = nil
+	c.lqHead++
+	if c.lqHead == len(c.lq) {
+		c.lqHead = 0
+	}
+	c.lqLen--
+	if c.lqMemSkip > 0 {
+		c.lqMemSkip--
+	}
+	if c.lqDoneSkip > 0 {
+		c.lqDoneSkip--
+	}
+}
+
+func (c *Core) sqAt(i int) *DynInst {
+	j := c.sqHead + i
+	if j >= len(c.sq) {
+		j -= len(c.sq)
+	}
+	return c.sq[j]
+}
+
+func (c *Core) sqPush(di *DynInst) {
+	j := c.sqHead + c.sqLen
+	if j >= len(c.sq) {
+		j -= len(c.sq)
+	}
+	c.sq[j] = di
+	c.sqLen++
+}
+
+func (c *Core) sqPopHead() {
+	c.sq[c.sqHead] = nil
+	c.sqHead++
+	if c.sqHead == len(c.sq) {
+		c.sqHead = 0
+	}
+	c.sqLen--
+	if c.sqMemSkip > 0 {
+		c.sqMemSkip--
+	}
+	if c.sqDoneSkip > 0 {
+		c.sqDoneSkip--
+	}
+}
+
+// ROBLen reports the number of in-flight instructions; ROBAt indexes them
+// oldest first (0 = next to retire). Policies iterate the window with these
+// instead of a materialized slice so the steady-state loop stays
+// allocation-free.
+func (c *Core) ROBLen() int          { return c.robLen }
+func (c *Core) ROBAt(i int) *DynInst { return c.robAt(i) }
+
+// ROBWindow returns the in-flight window, oldest first, as the ring's two
+// contiguous segments (the second is empty until the ring wraps). Per-cycle
+// policy scans range over these directly, avoiding per-index ring
+// arithmetic; iterating older then younger visits exactly ROBAt(0..len-1).
+func (c *Core) ROBWindow() (older, younger []DynInst) {
+	end := c.robHead + c.robLen
+	if end <= len(c.rob) {
+		return c.rob[c.robHead:end], nil
+	}
+	return c.rob[c.robHead:], c.rob[:end-len(c.rob)]
+}
+
+// LQLen/LQAt and SQLen/SQAt expose the memory queues, oldest first.
+func (c *Core) LQLen() int          { return c.lqLen }
+func (c *Core) LQAt(i int) *DynInst { return c.lqAt(i) }
+func (c *Core) SQLen() int          { return c.sqLen }
+func (c *Core) SQAt(i int) *DynInst { return c.sqAt(i) }
+
+// robWindowFrom, lqWindowFrom, and sqWindowFrom return the ring entries
+// from logical index i (oldest = 0) to the tail as up to two contiguous
+// segments, for the per-cycle scans that resume past a skipped prefix.
+func (c *Core) robWindowFrom(i int) (a, b []DynInst) {
+	n := len(c.rob)
+	j := c.robHead + i
+	end := c.robHead + c.robLen
+	if j >= n {
+		return c.rob[j-n : end-n], nil
+	}
+	if end <= n {
+		return c.rob[j:end], nil
+	}
+	return c.rob[j:], c.rob[:end-n]
+}
+
+func (c *Core) lqWindowFrom(i int) (a, b []*DynInst) {
+	n := len(c.lq)
+	j := c.lqHead + i
+	end := c.lqHead + c.lqLen
+	if j >= n {
+		return c.lq[j-n : end-n], nil
+	}
+	if end <= n {
+		return c.lq[j:end], nil
+	}
+	return c.lq[j:], c.lq[:end-n]
+}
+
+func (c *Core) sqWindowFrom(i int) (a, b []*DynInst) {
+	n := len(c.sq)
+	j := c.sqHead + i
+	end := c.sqHead + c.sqLen
+	if j >= n {
+		return c.sq[j-n : end-n], nil
+	}
+	if end <= n {
+		return c.sq[j:end], nil
+	}
+	return c.sq[j:], c.sq[:end-n]
+}
+
+// LQWindow and SQWindow return the memory queues, oldest first, as their
+// two contiguous ring segments (see ROBWindow).
+func (c *Core) LQWindow() (older, younger []*DynInst) {
+	end := c.lqHead + c.lqLen
+	if end <= len(c.lq) {
+		return c.lq[c.lqHead:end], nil
+	}
+	return c.lq[c.lqHead:], c.lq[:end-len(c.lq)]
+}
+
+func (c *Core) SQWindow() (older, younger []*DynInst) {
+	end := c.sqHead + c.sqLen
+	if end <= len(c.sq) {
+		return c.sq[c.sqHead:end], nil
+	}
+	return c.sq[c.sqHead:], c.sq[:end-len(c.sq)]
+}
 
 // PhysRegCount reports the size of the physical register file.
 func (c *Core) PhysRegCount() int { return c.Cfg.PhysRegs }
@@ -427,7 +702,7 @@ func (c *Core) Run(maxInstructions, maxCycles uint64) error {
 			lastRetired = c.Stats.Retired
 			lastProgress = c.cycle
 		} else if c.cycle-lastProgress > 200_000 {
-			return fmt.Errorf("pipeline: livelock at cycle %d (pc=%d, rob=%d)", c.cycle, c.fetchPC, len(c.rob))
+			return fmt.Errorf("pipeline: livelock at cycle %d (pc=%d, rob=%d)", c.cycle, c.fetchPC, c.robLen)
 		}
 	}
 	return nil

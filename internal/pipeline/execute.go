@@ -20,27 +20,54 @@ func (c *Core) opLatency(op isa.Op) uint64 {
 // their address operand (Src1); the data operand is consumed later by
 // forwarding and retire.
 func (c *Core) srcsReadyForIssue(di *DynInst) bool {
-	if di.Ins.IsStore() {
-		return c.RegReady(di.Src1)
+	if !di.rdy1 {
+		if !c.RegReady(di.Src1) {
+			return false
+		}
+		di.rdy1 = true
 	}
-	return c.RegReady(di.Src1) && c.RegReady(di.Src2)
+	if di.IsSt {
+		return true
+	}
+	if !di.rdy2 {
+		if !c.RegReady(di.Src2) {
+			return false
+		}
+		di.rdy2 = true
+	}
+	return true
 }
 
 // issue selects up to IssueWidth ready RS entries, oldest first, and starts
 // their execution. Loads and stores compute their effective address here
 // and then wait in the LSQ; the policy-gated memory access happens in
-// memStage.
+// memStage. The scan walks rsList — the age-ordered list of occupied RS
+// slots — so a cycle costs O(RS occupancy), not O(ROB span). Entries whose
+// ring slot was recycled (seq mismatch) or that left the RS via a squash
+// (Dispatched cleared) are dropped here; the list is compacted in place.
 func (c *Core) issue() {
 	issued := 0
-	for _, di := range c.rob {
-		if issued >= c.Cfg.IssueWidth {
-			return
+	w := 0
+	for r := 0; r < len(c.rsList); r++ {
+		e := c.rsList[r]
+		di := e.di
+		if di.Seq != e.seq || !di.Dispatched || di.Issued {
+			continue // stale: squashed or slot recycled
 		}
-		if !di.Dispatched || di.Issued || !c.srcsReadyForIssue(di) {
+		if issued >= c.Cfg.IssueWidth {
+			// Width exhausted: keep the rest of the list as-is.
+			w += copy(c.rsList[w:], c.rsList[r:])
+			break
+		}
+		if !c.srcsReadyForIssue(di) {
+			if w != r {
+				c.rsList[w] = e
+			}
+			w++
 			continue
 		}
 
-		if di.Ins.IsMem() {
+		if di.IsLd || di.IsSt {
 			// Address generation uses an LSU AGU; it does not contend with
 			// the ALU pool in this model.
 			if c.Tracer != nil {
@@ -64,6 +91,8 @@ func (c *Core) issue() {
 			}
 		}
 		if slot < 0 {
+			c.rsList[w] = e // no free unit: still waiting in the RS
+			w++
 			continue
 		}
 		lat := c.opLatency(di.Ins.Op)
@@ -76,6 +105,7 @@ func (c *Core) issue() {
 		di.Issued = true
 		di.Dispatched = false
 		c.rsCount--
+		c.execOutstanding++
 		di.DoneCycle = c.cycle + lat
 		c.computeResult(di)
 		if c.Tracer != nil {
@@ -83,6 +113,7 @@ func (c *Core) issue() {
 		}
 		issued++
 	}
+	c.rsList = c.rsList[:w]
 }
 
 // computeResult evaluates di functionally. Results become architecturally
@@ -122,53 +153,88 @@ func (c *Core) val(p PhysReg) uint64 {
 }
 
 // completeExecution retires results whose latency has elapsed: the value
-// becomes visible in the PRF and dependents wake up.
+// becomes visible in the PRF and dependents wake up. The ROB scan is gated
+// on the count of issued-but-incomplete non-memory instructions and skips
+// the prefix of entries it can never act on again (done, or handled by the
+// memory queues below).
 func (c *Core) completeExecution() {
-	for _, di := range c.rob {
-		if !di.Issued || di.Done || di.Ins.IsMem() {
-			continue
+	for c.execSkip < c.robLen {
+		di := c.robAt(c.execSkip)
+		if !di.Done && !di.IsLd && !di.IsSt {
+			break
 		}
-		if di.DoneCycle > c.cycle {
-			continue
-		}
-		di.Done = true
-		if di.Dst != NoReg {
-			c.prf[di.Dst] = di.Val
-			c.prfReady[di.Dst] = true
-		}
-		if c.Tracer != nil {
-			c.Tracer.Event(c.cycle, di, "complete")
+		c.execSkip++
+	}
+	outstanding := c.execOutstanding
+	robA, robB := c.robWindowFrom(c.execSkip)
+robScan:
+	for _, win := range [2][]DynInst{robA, robB} {
+		for i := range win {
+			if outstanding == 0 {
+				break robScan
+			}
+			di := &win[i]
+			if !di.Issued || di.Done || di.IsLd || di.IsSt {
+				continue
+			}
+			outstanding--
+			if di.DoneCycle > c.cycle {
+				continue
+			}
+			di.Done = true
+			c.execOutstanding--
+			if di.Dst != NoReg {
+				c.prf[di.Dst] = di.Val
+				c.prfReady[di.Dst] = true
+			}
+			if c.Tracer != nil {
+				c.Tracer.Event(c.cycle, di, "complete")
+			}
 		}
 	}
 	// Loads complete when their memory access finishes.
-	for _, di := range c.lq {
-		if !di.MemIssued || di.Done || di.DoneCycle > c.cycle {
-			continue
-		}
-		di.Done = true
-		if di.Dst != NoReg {
-			c.prf[di.Dst] = di.Val
-			c.prfReady[di.Dst] = true
-		}
-		if c.Tracer != nil {
-			c.Tracer.Event(c.cycle, di, "complete")
-		}
-		if c.Pol != nil {
-			c.Pol.OnLoadComplete(di)
+	for c.lqDoneSkip < c.lqLen && c.lqAt(c.lqDoneSkip).Done {
+		c.lqDoneSkip++
+	}
+	lqA, lqB := c.lqWindowFrom(c.lqDoneSkip)
+	for _, win := range [2][]*DynInst{lqA, lqB} {
+		for _, di := range win {
+			if !di.MemIssued || di.Done || di.DoneCycle > c.cycle {
+				continue
+			}
+			di.Done = true
+			c.memIncomplete--
+			if di.Dst != NoReg {
+				c.prf[di.Dst] = di.Val
+				c.prfReady[di.Dst] = true
+			}
+			if c.Tracer != nil {
+				c.Tracer.Event(c.cycle, di, "complete")
+			}
+			if c.Pol != nil {
+				c.Pol.OnLoadComplete(di)
+			}
 		}
 	}
 	// Stores complete when translated and their data is ready.
-	for _, di := range c.sq {
-		if di.Done || !di.MemIssued || di.DoneCycle > c.cycle {
-			continue
-		}
-		if !c.RegReady(di.Src2) {
-			continue
-		}
-		di.Val = c.val(di.Src2)
-		di.Done = true
-		if c.Tracer != nil {
-			c.Tracer.Event(c.cycle, di, "complete")
+	for c.sqDoneSkip < c.sqLen && c.sqAt(c.sqDoneSkip).Done {
+		c.sqDoneSkip++
+	}
+	sqA, sqB := c.sqWindowFrom(c.sqDoneSkip)
+	for _, win := range [2][]*DynInst{sqA, sqB} {
+		for _, di := range win {
+			if di.Done || !di.MemIssued || di.DoneCycle > c.cycle {
+				continue
+			}
+			if !c.RegReady(di.Src2) {
+				continue
+			}
+			di.Val = c.val(di.Src2)
+			di.Done = true
+			c.memIncomplete--
+			if c.Tracer != nil {
+				c.Tracer.Event(c.cycle, di, "complete")
+			}
 		}
 	}
 }
@@ -176,18 +242,47 @@ func (c *Core) completeExecution() {
 // resolveBranches applies resolution effects for executed control-flow
 // instructions, oldest first, when the policy permits. A misprediction
 // squashes younger instructions and redirects fetch (one squash per cycle).
+// The scan is skipped entirely on cycles with no unresolved control flow.
 func (c *Core) resolveBranches() {
-	for _, di := range c.rob {
+	for c.cfSkip < c.robLen {
+		di := c.robAt(c.cfSkip)
+		if di.IsCF && !di.Resolved {
+			break
+		}
+		c.cfSkip++
+	}
+	pending := c.cfUnresolved
+	cfA, cfB := c.robWindowFrom(c.cfSkip)
+	for _, win := range [2][]DynInst{cfA, cfB} {
+		if pending == 0 {
+			break
+		}
+		if c.resolveBranchWindow(win, &pending) {
+			return
+		}
+	}
+}
+
+// resolveBranchWindow resolves branches within one contiguous ROB segment.
+// It reports true when the cycle's resolution work must stop (in-order
+// stall, policy delay, or a squash).
+func (c *Core) resolveBranchWindow(win []DynInst, pending *int) bool {
+	for i := range win {
+		if *pending == 0 {
+			return false
+		}
+		di := &win[i]
 		if di.Squashed || !di.IsCF || di.Resolved {
 			continue
 		}
+		(*pending)--
 		if !di.OutcomeKnown {
-			return // resolve strictly in order
+			return true // resolve strictly in order
 		}
 		if c.Pol != nil && !c.Pol.MayResolveCF(di) {
 			di.DelayedByPolicy = true
 			c.Stats.ResolutionDelays++
-			return
+			return true
 		}
 		// Train the predictor (resolution-time update keeps tainted data
 		// out of predictor state, since the policy gate already passed).
@@ -198,6 +293,7 @@ func (c *Core) resolveBranches() {
 			misp = c.Pred.ResolveJump(di.Cp, di.ActualTarget, di.Ins.Op == isa.JALR)
 		}
 		di.Resolved = true
+		c.cfUnresolved--
 		di.Mispredicted = misp
 		if c.Tracer != nil {
 			stage := "resolve"
@@ -213,7 +309,8 @@ func (c *Core) resolveBranches() {
 			c.squashAfter(di.Seq)
 			c.redirect(di.ActualTarget)
 			c.squashedThisCycle = true
-			return
+			return true
 		}
 	}
+	return false
 }

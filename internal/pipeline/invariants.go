@@ -12,7 +12,7 @@ import "fmt"
 //     other architectural register to a unique physical register;
 //   - ROB/LQ/SQ are sequence-ordered and the memory queues are exactly the
 //     memory subsets of the ROB;
-//   - the RS occupancy counter matches the dispatched-not-issued count.
+//   - the RS/control-flow/execution occupancy counters match recounts.
 func (c *Core) CheckInvariants() error {
 	// RAT validity and uniqueness.
 	if c.rat[0] != 0 {
@@ -34,7 +34,8 @@ func (c *Core) CheckInvariants() error {
 	// In-flight destinations are disjoint from the RAT-committed view only
 	// through OldDst chains; each in-flight Dst must be unique and not
 	// free.
-	for _, di := range c.rob {
+	for i := 0; i < c.robLen; i++ {
+		di := c.robAt(i)
 		if di.Dst == NoReg {
 			continue
 		}
@@ -62,7 +63,8 @@ func (c *Core) CheckInvariants() error {
 	for r := 1; r < len(c.rat); r++ {
 		owned[c.rat[r]] = true
 	}
-	for _, di := range c.rob {
+	for i := 0; i < c.robLen; i++ {
+		di := c.robAt(i)
 		if di.Dst != NoReg {
 			owned[di.Dst] = true
 		}
@@ -79,9 +81,25 @@ func (c *Core) CheckInvariants() error {
 		}
 	}
 
+	// Occupancy bounds: the rings must never exceed their configured
+	// capacities (the slice-queue representation could silently grow).
+	if c.robLen > c.Cfg.ROBSize {
+		return fmt.Errorf("invariant: ROB occupancy %d exceeds capacity %d", c.robLen, c.Cfg.ROBSize)
+	}
+	if c.lqLen > c.Cfg.LQSize {
+		return fmt.Errorf("invariant: LQ occupancy %d exceeds capacity %d", c.lqLen, c.Cfg.LQSize)
+	}
+	if c.sqLen > c.Cfg.SQSize {
+		return fmt.Errorf("invariant: SQ occupancy %d exceeds capacity %d", c.sqLen, c.Cfg.SQSize)
+	}
+	if c.fbLen > c.Cfg.FetchBufferSize {
+		return fmt.Errorf("invariant: fetch buffer occupancy %d exceeds capacity %d", c.fbLen, c.Cfg.FetchBufferSize)
+	}
+
 	// Queue ordering and membership.
 	var lastSeq uint64
-	for i, di := range c.rob {
+	for i := 0; i < c.robLen; i++ {
+		di := c.robAt(i)
 		if i > 0 && di.Seq <= lastSeq {
 			return fmt.Errorf("invariant: ROB out of order at %d", i)
 		}
@@ -91,38 +109,127 @@ func (c *Core) CheckInvariants() error {
 		}
 	}
 	li, si := 0, 0
-	for _, di := range c.rob {
+	for i := 0; i < c.robLen; i++ {
+		di := c.robAt(i)
 		if di.Ins.IsLoad() {
-			if li >= len(c.lq) || c.lq[li] != di {
+			if li >= c.lqLen || c.lqAt(li) != di {
 				return fmt.Errorf("invariant: LQ does not mirror ROB loads at seq %d", di.Seq)
 			}
 			li++
 		}
 		if di.Ins.IsStore() {
-			if si >= len(c.sq) || c.sq[si] != di {
+			if si >= c.sqLen || c.sqAt(si) != di {
 				return fmt.Errorf("invariant: SQ does not mirror ROB stores at seq %d", di.Seq)
 			}
 			si++
 		}
 	}
-	if li != len(c.lq) || si != len(c.sq) {
-		return fmt.Errorf("invariant: stale LQ/SQ entries (%d/%d extra)", len(c.lq)-li, len(c.sq)-si)
+	if li != c.lqLen || si != c.sqLen {
+		return fmt.Errorf("invariant: stale LQ/SQ entries (%d/%d extra)", c.lqLen-li, c.sqLen-si)
 	}
 
-	// RS accounting.
-	rs := 0
-	for _, di := range c.rob {
+	// Cached decode classification must match the opcode.
+	for i := 0; i < c.robLen; i++ {
+		di := c.robAt(i)
+		if di.IsLd != di.Ins.IsLoad() || di.IsSt != di.Ins.IsStore() || di.MemSz != uint64(di.Ins.MemSize()) {
+			return fmt.Errorf("invariant: cached decode flags stale at seq %d", di.Seq)
+		}
+	}
+
+	// Scan-bounding counters: each must equal an explicit recount, since
+	// the hot loops trust them to terminate scans early.
+	rs, cf, eo, mi, vp := 0, 0, 0, 0, 0
+	for i := 0; i < c.robLen; i++ {
+		di := c.robAt(i)
 		if di.Dispatched && !di.Issued {
 			rs++
+		}
+		if di.IsCF && !di.Resolved {
+			cf++
+		}
+		isMem := di.IsLd || di.IsSt
+		if di.Issued && !di.Done && !isMem {
+			eo++
+		}
+		if isMem && !di.Done {
+			mi++
+		}
+		if di.Violation {
+			vp++
 		}
 	}
 	if rs != c.rsCount {
 		return fmt.Errorf("invariant: rsCount %d, actual %d", c.rsCount, rs)
 	}
+	if cf != c.cfUnresolved {
+		return fmt.Errorf("invariant: cfUnresolved %d, actual %d", c.cfUnresolved, cf)
+	}
+	if eo != c.execOutstanding {
+		return fmt.Errorf("invariant: execOutstanding %d, actual %d", c.execOutstanding, eo)
+	}
+	if mi != c.memIncomplete {
+		return fmt.Errorf("invariant: memIncomplete %d, actual %d", c.memIncomplete, mi)
+	}
+	if vp != c.violPending {
+		return fmt.Errorf("invariant: violPending %d, actual %d", c.violPending, vp)
+	}
+
+	// The RS list must cover every occupied RS slot exactly once (stale
+	// references are allowed; issue() drops them lazily).
+	live := 0
+	for _, e := range c.rsList {
+		if e.di.Seq == e.seq && e.di.Dispatched && !e.di.Issued {
+			live++
+		}
+	}
+	if live != c.rsCount {
+		return fmt.Errorf("invariant: rsList holds %d live entries, rsCount %d", live, c.rsCount)
+	}
+
+	// Prefix-skip indexes: every skipped entry must satisfy its scan's
+	// "never again actionable" condition.
+	type skip struct {
+		name string
+		idx  int
+		max  int
+		ok   func(i int) bool
+	}
+	checks := []skip{
+		{"execSkip", c.execSkip, c.robLen, func(i int) bool {
+			di := c.robAt(i)
+			return di.Done || di.IsLd || di.IsSt
+		}},
+		{"cfSkip", c.cfSkip, c.robLen, func(i int) bool {
+			di := c.robAt(i)
+			return !di.IsCF || di.Resolved
+		}},
+		{"vpSkip", c.vpSkip, c.robLen, func(i int) bool { return c.robAt(i).AtVP }},
+		{"lqMemSkip", c.lqMemSkip, c.lqLen, func(i int) bool {
+			ld := c.lqAt(i)
+			return ld.MemIssued || ld.Violation
+		}},
+		{"lqDoneSkip", c.lqDoneSkip, c.lqLen, func(i int) bool { return c.lqAt(i).Done }},
+		{"sqMemSkip", c.sqMemSkip, c.sqLen, func(i int) bool {
+			st := c.sqAt(i)
+			return st.violCheck && st.MemIssued
+		}},
+		{"sqDoneSkip", c.sqDoneSkip, c.sqLen, func(i int) bool { return c.sqAt(i).Done }},
+	}
+	for _, s := range checks {
+		if s.idx < 0 || s.idx > s.max {
+			return fmt.Errorf("invariant: %s = %d out of range [0,%d]", s.name, s.idx, s.max)
+		}
+		for i := 0; i < s.idx; i++ {
+			if !s.ok(i) {
+				return fmt.Errorf("invariant: %s = %d skips an actionable entry at %d", s.name, s.idx, i)
+			}
+		}
+	}
 
 	// VP monotonicity: AtVP entries form a prefix of the ROB.
 	prefix := true
-	for _, di := range c.rob {
+	for i := 0; i < c.robLen; i++ {
+		di := c.robAt(i)
 		if di.AtVP && !prefix {
 			return fmt.Errorf("invariant: AtVP not a ROB prefix at seq %d", di.Seq)
 		}

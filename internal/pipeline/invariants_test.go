@@ -56,11 +56,11 @@ func TestNoPhysRegLeakAfterDrain(t *testing.T) {
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(c.ROB()); got != 0 {
+	if got := c.ROBLen(); got != 0 {
 		// HALT retires and stops the clock; wrong-path leftovers younger
 		// than HALT may remain but must never have retired.
-		for _, di := range c.ROB() {
-			if di.Retired {
+		for i := 0; i < c.ROBLen(); i++ {
+			if di := c.ROBAt(i); di.Retired {
 				t.Fatalf("retired instruction seq %d stuck in ROB", di.Seq)
 			}
 		}

@@ -7,132 +7,159 @@ package pipeline
 func (c *Core) memStage() {
 	ports := c.Cfg.MemPorts
 
-	for _, st := range c.sq {
-		if !st.AddrKnown {
-			continue
+	// Skip the prefix of stores that have both translated and run their
+	// violation check: no further work here until they drain.
+	for c.sqMemSkip < c.sqLen {
+		st := c.sqAt(c.sqMemSkip)
+		if !st.violCheck || !st.MemIssued {
+			break
 		}
-		// Violation detection happens when the store's virtual address
-		// becomes known, independent of when the store is allowed to
-		// "execute" (translate): the LSQ compares virtual addresses.
-		if !st.violCheck {
-			st.violCheck = true
-			c.checkViolations(st)
-		}
-		if st.MemIssued {
-			continue
-		}
-		if c.Pol != nil && !c.Pol.MayExecuteMem(st) {
-			if lat, ok := c.obliviousLatency(st); ok {
-				if ports == 0 {
-					continue
-				}
-				ports--
-				// Oblivious store execution: no TLB lookup; the address
-				// stays architecturally hidden until retirement.
-				st.MemIssued = true
-				st.Oblivious = true
-				st.DoneCycle = c.cycle + lat
-				c.Stats.ObliviousExecs++
+		c.sqMemSkip++
+	}
+	sqA, sqB := c.sqWindowFrom(c.sqMemSkip)
+	for _, win := range [2][]*DynInst{sqA, sqB} {
+		for _, st := range win {
+			if !st.AddrKnown {
 				continue
 			}
-			st.DelayedByPolicy = true
-			c.Stats.TransmitterDelays++
-			continue
+			// Violation detection happens when the store's virtual address
+			// becomes known, independent of when the store is allowed to
+			// "execute" (translate): the LSQ compares virtual addresses.
+			if !st.violCheck {
+				st.violCheck = true
+				c.checkViolations(st)
+			}
+			if st.MemIssued {
+				continue
+			}
+			if c.Pol != nil && !c.Pol.MayExecuteMem(st) {
+				if lat, ok := c.obliviousLatency(st); ok {
+					if ports == 0 {
+						continue
+					}
+					ports--
+					// Oblivious store execution: no TLB lookup; the address
+					// stays architecturally hidden until retirement.
+					st.MemIssued = true
+					st.Oblivious = true
+					st.DoneCycle = c.cycle + lat
+					c.Stats.ObliviousExecs++
+					continue
+				}
+				st.DelayedByPolicy = true
+				c.Stats.TransmitterDelays++
+				continue
+			}
+			if ports == 0 {
+				continue
+			}
+			ports--
+			st.MemIssued = true
+			// Store execution is the address translation; the data write
+			// happens at retirement (TSO).
+			if c.Observer != nil {
+				c.Observer('T', c.cycle, st.EffAddr&^0xFFF)
+			}
+			if c.Tracer != nil {
+				c.Tracer.Event(c.cycle, st, "mem")
+			}
+			extra := c.Hier.DTLB.Translate(st.EffAddr)
+			st.DoneCycle = c.cycle + 1 + extra
 		}
-		if ports == 0 {
-			continue
-		}
-		ports--
-		st.MemIssued = true
-		// Store execution is the address translation; the data write
-		// happens at retirement (TSO).
-		if c.Observer != nil {
-			c.Observer('T', c.cycle, st.EffAddr&^0xFFF)
-		}
-		if c.Tracer != nil {
-			c.Tracer.Event(c.cycle, st, "mem")
-		}
-		extra := c.Hier.DTLB.Translate(st.EffAddr)
-		st.DoneCycle = c.cycle + 1 + extra
 	}
 
-	for _, ld := range c.lq {
-		if !ld.AddrKnown || ld.MemIssued || ld.Violation {
-			continue
+	// Skip the prefix of loads whose access has started (or that are about
+	// to be squashed for a violation): memStage is done with them.
+	for c.lqMemSkip < c.lqLen {
+		ld := c.lqAt(c.lqMemSkip)
+		if !ld.MemIssued && !ld.Violation {
+			break
 		}
-		if c.Pol != nil && !c.Pol.MayExecuteMem(ld) {
-			if lat, ok := c.obliviousLatency(ld); ok && ports > 0 {
-				src, status := c.findStoreSource(ld)
-				if status == fwdWait {
-					continue
-				}
-				ports--
-				// Oblivious load execution: correct data, fixed latency,
-				// no speculative cache or TLB state change. The demand
-				// access replays non-speculatively at retirement.
-				ld.MemIssued = true
-				ld.Oblivious = true
-				ld.DoneCycle = c.cycle + lat
-				if status == fwdFrom {
-					ld.FwdStore = src
-					ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
-					c.Stats.STLForwards++
-				} else {
-					ld.Val = c.Mem.Read(ld.EffAddr, ld.Ins.MemSize())
-				}
-				c.Stats.ObliviousExecs++
+		c.lqMemSkip++
+	}
+	lqA, lqB := c.lqWindowFrom(c.lqMemSkip)
+	for _, win := range [2][]*DynInst{lqA, lqB} {
+		for _, ld := range win {
+			if !ld.AddrKnown || ld.MemIssued || ld.Violation {
 				continue
 			}
-			ld.DelayedByPolicy = true
-			c.Stats.TransmitterDelays++
-			continue
-		}
-		if ports == 0 {
-			return
-		}
-		src, status := c.findStoreSource(ld)
-		if status == fwdWait {
-			continue // partial overlap or source data not ready yet
-		}
-		if status == fwdFrom && c.stlForwardPublic(src, ld) {
-			// Fast forwarding: the forwarding decision is public (always,
-			// on the unprotected machine; under SPT/STT, when STLPublic
-			// holds), so the load reads the store queue directly with no
-			// cache access.
-			ports--
-			ld.MemIssued = true
-			ld.FwdStore = src
-			ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
-			ld.DoneCycle = c.cycle + c.Hier.Config().L1D.LatencyCycles
-			c.Stats.STLForwards++
+			if c.Pol != nil && !c.Pol.MayExecuteMem(ld) {
+				if lat, ok := c.obliviousLatency(ld); ok && ports > 0 {
+					src, status := c.findStoreSource(ld)
+					if status == fwdWait {
+						continue
+					}
+					ports--
+					// Oblivious load execution: correct data, fixed latency,
+					// no speculative cache or TLB state change. The demand
+					// access replays non-speculatively at retirement.
+					ld.MemIssued = true
+					ld.Oblivious = true
+					ld.DoneCycle = c.cycle + lat
+					if status == fwdFrom {
+						ld.FwdStore = src
+						ld.FwdSeq = src.Seq
+						ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
+						c.Stats.STLForwards++
+					} else {
+						ld.Val = c.Mem.Read(ld.EffAddr, int(ld.MemSz))
+					}
+					c.Stats.ObliviousExecs++
+					continue
+				}
+				ld.DelayedByPolicy = true
+				c.Stats.TransmitterDelays++
+				continue
+			}
+			if ports == 0 {
+				return
+			}
+			src, status := c.findStoreSource(ld)
+			if status == fwdWait {
+				continue // partial overlap or source data not ready yet
+			}
+			if status == fwdFrom && c.stlForwardPublic(src, ld) {
+				// Fast forwarding: the forwarding decision is public (always,
+				// on the unprotected machine; under SPT/STT, when STLPublic
+				// holds), so the load reads the store queue directly with no
+				// cache access.
+				ports--
+				ld.MemIssued = true
+				ld.FwdStore = src
+				ld.FwdSeq = src.Seq
+				ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
+				ld.DoneCycle = c.cycle + c.Hier.Config().L1D.LatencyCycles
+				c.Stats.STLForwards++
+				if c.Tracer != nil {
+					c.Tracer.Event(c.cycle, ld, "mem")
+				}
+				continue
+			}
+			// Otherwise the load accesses the cache even when forwarding
+			// occurs (the paper's mechanism): the forwarded value is written
+			// only when the access completes, so the forwarding decision is
+			// not observable through cache state or timing.
+			done, ok := c.Hier.AccessData(c.cycle, ld.EffAddr, false)
+			if !ok {
+				continue // all MSHRs busy; retry next cycle
+			}
+			if c.Observer != nil {
+				c.Observer('L', c.cycle, ld.EffAddr&^63)
+			}
 			if c.Tracer != nil {
 				c.Tracer.Event(c.cycle, ld, "mem")
 			}
-			continue
-		}
-		// Otherwise the load accesses the cache even when forwarding
-		// occurs (the paper's mechanism): the forwarded value is written
-		// only when the access completes, so the forwarding decision is
-		// not observable through cache state or timing.
-		done, ok := c.Hier.AccessData(c.cycle, ld.EffAddr, false)
-		if !ok {
-			continue // all MSHRs busy; retry next cycle
-		}
-		if c.Observer != nil {
-			c.Observer('L', c.cycle, ld.EffAddr&^63)
-		}
-		if c.Tracer != nil {
-			c.Tracer.Event(c.cycle, ld, "mem")
-		}
-		ports--
-		ld.MemIssued = true
-		ld.DoneCycle = done
-		if status == fwdFrom {
-			ld.FwdStore = src
-			ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
-			c.Stats.STLForwards++
-		} else {
-			ld.Val = c.Mem.Read(ld.EffAddr, ld.Ins.MemSize())
+			ports--
+			ld.MemIssued = true
+			ld.DoneCycle = done
+			if status == fwdFrom {
+				ld.FwdStore = src
+				ld.FwdSeq = src.Seq
+				ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
+				c.Stats.STLForwards++
+			} else {
+				ld.Val = c.Mem.Read(ld.EffAddr, int(ld.MemSz))
+			}
 		}
 	}
 }
@@ -159,39 +186,52 @@ const (
 
 // findStoreSource scans older stores, youngest first, for one overlapping
 // the load. Stores whose addresses are still unknown are speculated past
-// (memory-dependence speculation); checkViolations catches mistakes.
+// (memory-dependence speculation); checkViolations catches mistakes. The
+// ring is walked as its two contiguous segments, younger one (backwards)
+// first, preserving youngest-first order.
 func (c *Core) findStoreSource(ld *DynInst) (*DynInst, fwdStatus) {
-	for i := len(c.sq) - 1; i >= 0; i-- {
-		st := c.sq[i]
-		if st.Seq >= ld.Seq {
-			continue
+	older, younger := c.SQWindow()
+	for _, win := range [2][]*DynInst{younger, older} {
+		for i := len(win) - 1; i >= 0; i-- {
+			st := win[i]
+			if status, decided := storeMatch(c, st, ld); decided {
+				return st, status
+			}
 		}
-		if !st.AddrKnown {
-			continue // speculate: assume no alias
-		}
-		if !rangesOverlap(st, ld) {
-			continue
-		}
-		if !rangeContains(st, ld) {
-			return st, fwdWait // partial overlap: wait for the store to retire
-		}
-		if !c.RegReady(st.Src2) {
-			return st, fwdWait // store data not produced yet
-		}
-		return st, fwdFrom
 	}
 	return nil, fwdNone
 }
 
+// storeMatch reports whether st settles ld's forwarding decision: decided
+// is false when the scan must keep looking at older stores.
+func storeMatch(c *Core, st, ld *DynInst) (fwdStatus, bool) {
+	if st.Seq >= ld.Seq {
+		return fwdNone, false
+	}
+	if !st.AddrKnown {
+		return fwdNone, false // speculate: assume no alias
+	}
+	if !rangesOverlap(st, ld) {
+		return fwdNone, false
+	}
+	if !rangeContains(st, ld) {
+		return fwdWait, true // partial overlap: wait for the store to retire
+	}
+	if !c.RegReady(st.Src2) {
+		return fwdWait, true // store data not produced yet
+	}
+	return fwdFrom, true
+}
+
 func rangesOverlap(st, ld *DynInst) bool {
-	sa, sb := st.EffAddr, st.EffAddr+uint64(st.Ins.MemSize())
-	la, lb := ld.EffAddr, ld.EffAddr+uint64(ld.Ins.MemSize())
+	sa, sb := st.EffAddr, st.EffAddr+st.MemSz
+	la, lb := ld.EffAddr, ld.EffAddr+ld.MemSz
 	return sa < lb && la < sb
 }
 
 func rangeContains(st, ld *DynInst) bool {
 	return ld.EffAddr >= st.EffAddr &&
-		ld.EffAddr+uint64(ld.Ins.MemSize()) <= st.EffAddr+uint64(st.Ins.MemSize())
+		ld.EffAddr+ld.MemSz <= st.EffAddr+st.MemSz
 }
 
 // extractStoreBytes pulls the load's bytes out of the (containing) store's
@@ -199,27 +239,35 @@ func rangeContains(st, ld *DynInst) bool {
 func extractStoreBytes(stData uint64, st, ld *DynInst) uint64 {
 	shift := (ld.EffAddr - st.EffAddr) * 8
 	v := stData >> shift
-	if sz := ld.Ins.MemSize(); sz < 8 {
-		v &= (1 << (8 * uint(sz))) - 1
+	if sz := ld.MemSz; sz < 8 {
+		v &= (1 << (8 * sz)) - 1
 	}
 	return v
 }
 
 // checkViolations marks younger loads that already got their data from
-// somewhere older than st even though st's address overlaps theirs.
+// somewhere older than st even though st's address overlaps theirs. The
+// violating store is recorded by value (sequence number and renamed address
+// operand) because its ring slot may be recycled before the squash fires.
 func (c *Core) checkViolations(st *DynInst) {
-	for _, ld := range c.lq {
-		if ld.Seq <= st.Seq || !ld.MemIssued || ld.Violation {
-			continue
+	older, younger := c.LQWindow()
+	for _, win := range [2][]*DynInst{older, younger} {
+		for _, ld := range win {
+			if ld.Seq <= st.Seq || !ld.MemIssued || ld.Violation {
+				continue
+			}
+			if !rangesOverlap(st, ld) {
+				continue
+			}
+			if ld.FwdStore != nil && ld.FwdSeq >= st.Seq {
+				continue // load already sourced from this store or a younger one
+			}
+			ld.Violation = true
+			c.violPending++
+			ld.HasViolStore = true
+			ld.ViolStoreSeq = st.Seq
+			ld.ViolSrc1 = st.Src1
 		}
-		if !rangesOverlap(st, ld) {
-			continue
-		}
-		if ld.FwdStore != nil && ld.FwdStore.Seq >= st.Seq {
-			continue // load already sourced from this store or a younger one
-		}
-		ld.Violation = true
-		ld.ViolStore = st
 	}
 }
 
@@ -227,10 +275,11 @@ func (c *Core) checkViolations(st *DynInst) {
 // oldest load first, when the policy permits (the violation is an implicit
 // branch over the involved addresses).
 func (c *Core) resolveViolations() {
-	if c.squashedThisCycle {
+	if c.squashedThisCycle || c.violPending == 0 {
 		return
 	}
-	for _, ld := range c.lq {
+	for i := 0; i < c.lqLen; i++ {
+		ld := c.lqAt(i)
 		if !ld.Violation {
 			continue
 		}

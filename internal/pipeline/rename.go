@@ -3,17 +3,19 @@ package pipeline
 import "spt/internal/isa"
 
 // renameDispatch moves instructions from the fetch buffer through rename
-// into the ROB, RS, and LSQ, stopping at any structural hazard.
+// into the ROB, RS, and LSQ, stopping at any structural hazard. ROB entries
+// are written in place into the ring slot — the steady-state loop performs
+// no per-instruction allocation.
 func (c *Core) renameDispatch() {
 	for n := 0; n < c.Cfg.RenameWidth; n++ {
-		if len(c.fetchBuf) == 0 {
+		if c.fbLen == 0 {
 			return
 		}
-		fe := c.fetchBuf[0]
+		fe := c.fbAt(0)
 		if fe.readyCycle > c.cycle {
 			return
 		}
-		if len(c.rob) >= c.Cfg.ROBSize {
+		if c.robLen >= c.Cfg.ROBSize {
 			return
 		}
 		ins := fe.ins
@@ -21,32 +23,33 @@ func (c *Core) renameDispatch() {
 		if needsRS && c.rsCount >= c.Cfg.RSSize {
 			return
 		}
-		if ins.IsLoad() && len(c.lq) >= c.Cfg.LQSize {
+		if ins.IsLoad() && c.lqLen >= c.Cfg.LQSize {
 			return
 		}
-		if ins.IsStore() && len(c.sq) >= c.Cfg.SQSize {
+		if ins.IsStore() && c.sqLen >= c.Cfg.SQSize {
 			return
 		}
 		if ins.HasDest() && len(c.freeList) == 0 {
 			return
 		}
-		c.fetchBuf = c.fetchBuf[1:]
+		// fe stays readable after the pop: the slot is only recycled by the
+		// fetch stage, which runs after rename within the cycle.
+		c.fbPopHead()
 
 		c.seq++
-		di := &DynInst{
-			Seq:    c.seq,
-			PC:     fe.pc,
-			Ins:    ins,
-			Src1:   NoReg,
-			Src2:   NoReg,
-			Dst:    NoReg,
-			OldDst: NoReg,
-			IsCF:   ins.IsControlFlow(),
-			Cp:     fe.cp,
-			HasCp:  fe.hasCp,
-			HistAt: fe.histAt,
-			RasAt:  fe.rasAt,
-		}
+		di := c.robPush()
+		di.Seq = c.seq
+		di.PC = fe.pc
+		di.Ins = ins
+		di.IsLd = ins.IsLoad()
+		di.IsSt = ins.IsStore()
+		di.MemSz = uint64(ins.MemSize())
+		di.Src1, di.Src2, di.Dst, di.OldDst = NoReg, NoReg, NoReg, NoReg
+		di.IsCF = ins.IsControlFlow()
+		di.Cp = fe.cp
+		di.HasCp = fe.hasCp
+		di.HistAt = fe.histAt
+		di.RasAt = fe.rasAt
 
 		// Rename sources.
 		var srcs [2]isa.Reg
@@ -91,16 +94,22 @@ func (c *Core) renameDispatch() {
 		if needsRS {
 			di.Dispatched = true
 			c.rsCount++
+			c.rsList = append(c.rsList, rsRef{di: di, seq: di.Seq})
+		}
+		if di.IsCF && !di.Resolved {
+			c.cfUnresolved++
+		}
+		if di.IsLd || di.IsSt {
+			c.memIncomplete++
 		}
 		if c.Tracer != nil {
 			c.Tracer.Event(c.cycle, di, "rename")
 		}
-		c.rob = append(c.rob, di)
-		if ins.IsLoad() {
-			c.lq = append(c.lq, di)
+		if di.IsLd {
+			c.lqPush(di)
 		}
-		if ins.IsStore() {
-			c.sq = append(c.sq, di)
+		if di.IsSt {
+			c.sqPush(di)
 		}
 		if c.Pol != nil {
 			c.Pol.OnRename(di)

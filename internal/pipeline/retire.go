@@ -4,15 +4,16 @@ import "spt/internal/isa"
 
 // retire commits completed instructions in program order. Stores write the
 // functional memory and the data cache here (TSO: memory becomes visible at
-// retirement).
+// retirement). Retiring pops the ROB ring head; the slot is recycled by a
+// later rename, so h stays readable for the rest of this stage.
 func (c *Core) retire() {
 	for n := 0; n < c.Cfg.RetireWidth; n++ {
-		if len(c.rob) == 0 {
+		if c.robLen == 0 {
 			return
 		}
-		h := c.rob[0]
+		h := c.robAt(0)
 		if !h.Done || h.Violation {
-			if h.Ins.IsMem() && !h.Done {
+			if (h.IsLd || h.IsSt) && !h.Done {
 				c.Stats.RetireStallsMemory++
 			}
 			return
@@ -21,7 +22,7 @@ func (c *Core) retire() {
 			return
 		}
 
-		if h.Ins.IsLoad() && h.Oblivious {
+		if h.IsLd && h.Oblivious {
 			// Replay the suppressed demand access now that it is
 			// non-speculative (warms the cache like a normal load would).
 			if c.Observer != nil {
@@ -29,11 +30,11 @@ func (c *Core) retire() {
 			}
 			c.Hier.AccessData(c.cycle, h.EffAddr, false)
 		}
-		if h.Ins.IsStore() {
+		if h.IsSt {
 			if c.Observer != nil {
 				c.Observer('W', c.cycle, h.EffAddr&^63)
 			}
-			c.Mem.Write(h.EffAddr, h.Ins.MemSize(), h.Val)
+			c.Mem.Write(h.EffAddr, int(h.MemSz), h.Val)
 			// The retirement write updates cache state; a store buffer
 			// absorbs the latency, so retire does not stall on it.
 			c.Hier.AccessData(c.cycle, h.EffAddr, true)
@@ -43,12 +44,12 @@ func (c *Core) retire() {
 		if c.Tracer != nil {
 			c.Tracer.Event(c.cycle, h, "retire")
 		}
-		c.rob = c.rob[1:]
-		if h.Ins.IsLoad() {
-			c.lq = c.lq[1:]
+		c.robPopHead()
+		if h.IsLd {
+			c.lqPopHead()
 		}
-		if h.Ins.IsStore() {
-			c.sq = c.sq[1:]
+		if h.IsSt {
+			c.sqPopHead()
 		}
 		if h.Dst != NoReg && h.OldDst != NoReg {
 			c.freeList = append(c.freeList, h.OldDst)

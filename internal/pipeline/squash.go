@@ -8,19 +8,19 @@ func (c *Core) squashAfter(seq uint64) { c.squashFrom(seq + 1) }
 // youngest-to-oldest. The front end is NOT redirected here; callers follow
 // up with redirect().
 func (c *Core) squashFrom(seq uint64) {
-	cut := len(c.rob)
-	for cut > 0 && c.rob[cut-1].Seq >= seq {
+	cut := c.robLen
+	for cut > 0 && c.robAt(cut-1).Seq >= seq {
 		cut--
 	}
-	if cut == len(c.rob) {
+	if cut == c.robLen {
 		// Nothing in the ROB to squash; still drop the fetch buffer, which
 		// only ever holds instructions younger than anything renamed.
-		c.fetchBuf = c.fetchBuf[:0]
+		c.fbHead, c.fbLen = 0, 0
 		c.Stats.Squashes++
 		return
 	}
-	for j := len(c.rob) - 1; j >= cut; j-- {
-		di := c.rob[j]
+	for j := c.robLen - 1; j >= cut; j-- {
+		di := c.robAt(j)
 		di.Squashed = true
 		if c.Tracer != nil {
 			c.Tracer.Event(c.cycle, di, "squash")
@@ -32,41 +32,75 @@ func (c *Core) squashFrom(seq uint64) {
 			c.rsCount--
 			di.Dispatched = false
 		}
+		if di.IsCF && !di.Resolved {
+			c.cfUnresolved--
+		}
+		if di.IsLd || di.IsSt {
+			if !di.Done {
+				c.memIncomplete--
+			}
+		} else if di.Issued && !di.Done {
+			c.execOutstanding--
+		}
+		if di.Violation {
+			c.violPending--
+		}
 		if di.Dst != NoReg {
 			c.rat[di.Ins.Rd] = di.OldDst
 			c.freeList = append(c.freeList, di.Dst)
 		}
 		c.Stats.SquashedInstrs++
 	}
-	c.rob = c.rob[:cut]
-	c.lq = truncateQueue(c.lq, seq)
-	c.sq = truncateQueue(c.sq, seq)
-	c.fetchBuf = c.fetchBuf[:0]
-	c.Stats.Squashes++
-}
-
-func truncateQueue(q []*DynInst, seq uint64) []*DynInst {
-	cut := len(q)
-	for cut > 0 && q[cut-1].Seq >= seq {
-		cut--
+	c.robLen = cut
+	for c.lqLen > 0 && c.lqAt(c.lqLen-1).Seq >= seq {
+		c.lqLen--
+		// Clear the vacated tail slot so no stale pointer lingers.
+		j := c.lqHead + c.lqLen
+		if j >= len(c.lq) {
+			j -= len(c.lq)
+		}
+		c.lq[j] = nil
 	}
-	return q[:cut]
+	for c.sqLen > 0 && c.sqAt(c.sqLen-1).Seq >= seq {
+		c.sqLen--
+		j := c.sqHead + c.sqLen
+		if j >= len(c.sq) {
+			j -= len(c.sq)
+		}
+		c.sq[j] = nil
+	}
+	c.fbHead, c.fbLen = 0, 0
+	// The truncated tails may have included skipped-prefix entries; clamp
+	// the scan-skip indexes to the surviving lengths.
+	c.execSkip = min(c.execSkip, c.robLen)
+	c.cfSkip = min(c.cfSkip, c.robLen)
+	c.vpSkip = min(c.vpSkip, c.robLen)
+	c.lqMemSkip = min(c.lqMemSkip, c.lqLen)
+	c.lqDoneSkip = min(c.lqDoneSkip, c.lqLen)
+	c.sqMemSkip = min(c.sqMemSkip, c.sqLen)
+	c.sqDoneSkip = min(c.sqDoneSkip, c.sqLen)
+	c.Stats.Squashes++
 }
 
 // updateVP advances the visibility point for the configured attack model
 // and notifies the policy of every instruction crossing it
 // (declassification of transmitter/branch operands happens there).
 func (c *Core) updateVP() {
-	frontier := len(c.rob) - 1
+	frontier := c.robLen - 1
 	switch c.Cfg.Model {
 	case Spectre:
 		// An instruction reaches the VP when all older control-flow
 		// instructions have resolved: everything up to and including the
-		// oldest unresolved control-flow instruction qualifies.
-		for i, di := range c.rob {
-			if di.IsCF && !di.Resolved {
-				frontier = i
-				break
+		// oldest unresolved control-flow instruction qualifies. When no
+		// unresolved control flow is in flight the whole window qualifies
+		// without a scan.
+		if c.cfUnresolved > 0 {
+			for i := 0; i < c.robLen; i++ {
+				di := c.robAt(i)
+				if di.IsCF && !di.Resolved {
+					frontier = i
+					break
+				}
 			}
 		}
 	case Futuristic:
@@ -78,18 +112,25 @@ func (c *Core) updateVP() {
 		// also threatens younger loads with a violation squash), and loads
 		// with a pending violation. ALU operations cannot fault in µRISC
 		// and cast no shadow, so the VP runs ahead of arithmetic latency.
-		for i, di := range c.rob {
-			shadowCaster := (di.IsCF && !di.Resolved) ||
-				(di.Ins.IsMem() && !di.Done) ||
-				di.Violation
-			if shadowCaster {
-				frontier = i
-				break
+		// The counters say whether any shadow caster exists at all; the
+		// scan for the oldest one runs only when one does.
+		if c.cfUnresolved > 0 || c.memIncomplete > 0 || c.violPending > 0 {
+			for i := 0; i < c.robLen; i++ {
+				di := c.robAt(i)
+				shadowCaster := (di.IsCF && !di.Resolved) ||
+					((di.IsLd || di.IsSt) && !di.Done) ||
+					di.Violation
+				if shadowCaster {
+					frontier = i
+					break
+				}
 			}
 		}
 	}
-	for i := 0; i <= frontier && i < len(c.rob); i++ {
-		di := c.rob[i]
+	// AtVP spreads as a contiguous prefix: entries before vpSkip already
+	// crossed the visibility point in an earlier cycle.
+	for i := c.vpSkip; i <= frontier && i < c.robLen; i++ {
+		di := c.robAt(i)
 		if !di.AtVP {
 			di.AtVP = true
 			if c.Tracer != nil {
@@ -99,5 +140,6 @@ func (c *Core) updateVP() {
 				c.Pol.OnVP(di)
 			}
 		}
+		c.vpSkip = i + 1
 	}
 }

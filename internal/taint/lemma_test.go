@@ -34,7 +34,8 @@ func TestLemma1(t *testing.T) {
 			}
 			for i := 0; i < 2_000_000 && !c.Finished(); i++ {
 				c.Step()
-				for _, di := range c.ROB() {
+				for j := 0; j < c.ROBLen(); j++ {
+					di := c.ROBAt(j)
 					if !di.Ins.IsLoad() || di.Dst == pipeline.NoReg || c.RegReady(di.Dst) {
 						continue
 					}

@@ -44,6 +44,10 @@ func allTainted() *lineTaint {
 type shadow struct {
 	mode  ShadowMode
 	lines map[uint64]*lineTaint
+	// pool recycles evicted line-taint objects so steady-state fill/evict
+	// churn performs no allocation. A recycled line is re-tainted before
+	// reuse, making it indistinguishable from a fresh one.
+	pool []*lineTaint
 }
 
 func newShadow(mode ShadowMode) *shadow {
@@ -52,6 +56,21 @@ func newShadow(mode ShadowMode) *shadow {
 
 func lineAddrOf(addr uint64) uint64 { return addr &^ (lineBytes - 1) }
 
+// newLine returns an all-tainted line, drawing from the recycle pool when
+// possible.
+func (s *shadow) newLine() *lineTaint {
+	n := len(s.pool)
+	if n == 0 {
+		return allTainted()
+	}
+	lt := s.pool[n-1]
+	s.pool = s.pool[:n-1]
+	for i := range lt {
+		lt[i] = true
+	}
+	return lt
+}
+
 // onFill handles an L1D line installation. Under ShadowL1, a fill makes
 // the whole line tainted (taint is not tracked below the L1). Under
 // ShadowMem, memory taint is persistent and fills change nothing.
@@ -59,7 +78,13 @@ func (s *shadow) onFill(lineAddr uint64) {
 	if s.mode != ShadowL1 {
 		return
 	}
-	s.lines[lineAddr] = allTainted()
+	if lt, ok := s.lines[lineAddr]; ok {
+		for i := range lt {
+			lt[i] = true
+		}
+		return
+	}
+	s.lines[lineAddr] = s.newLine()
 }
 
 // onEvict handles an L1D eviction: under ShadowL1 the taint is dropped
@@ -68,7 +93,10 @@ func (s *shadow) onEvict(lineAddr uint64) {
 	if s.mode != ShadowL1 {
 		return
 	}
-	delete(s.lines, lineAddr)
+	if lt, ok := s.lines[lineAddr]; ok {
+		s.pool = append(s.pool, lt)
+		delete(s.lines, lineAddr)
+	}
 }
 
 // rangeTainted reports whether any byte of [addr, addr+size) is tainted.
@@ -104,7 +132,7 @@ func (s *shadow) setRange(addr uint64, size int, tainted bool) bool {
 			if tainted {
 				continue // absent = already tainted
 			}
-			lt = allTainted()
+			lt = s.newLine()
 			s.lines[la] = lt
 		}
 		if lt[a%lineBytes] != tainted {

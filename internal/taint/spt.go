@@ -111,6 +111,11 @@ type SPT struct {
 	// the Figure 9 histogram.
 	cycleUntaints int
 
+	// candBuf and seenReg are per-cycle scratch reused across Tick calls so
+	// the steady-state untaint pass performs no allocation.
+	candBuf []pendingUntaint
+	seenReg []bool
+
 	Stats Stats
 }
 
@@ -138,6 +143,7 @@ func (s *SPT) Attach(c *pipeline.Core) {
 	for p := 1; p < isa.NumRegs; p++ {
 		s.taint[p] = true
 	}
+	s.seenReg = make([]bool, c.PhysRegCount())
 	s.shadow = newShadow(s.cfg.Shadow)
 	if s.cfg.Shadow == ShadowL1 {
 		c.Hier.L1D.OnFill = s.shadow.onFill
@@ -162,7 +168,7 @@ func (s *SPT) OnRename(di *pipeline.DynInst) {
 		return
 	}
 	switch {
-	case di.Ins.IsLoad():
+	case di.IsLd:
 		// Loads are conservatively tainted at rename; the data's taint is
 		// not known yet (§6.3).
 		s.taint[di.Dst] = true
@@ -180,7 +186,7 @@ func (s *SPT) OnRename(di *pipeline.DynInst) {
 // addresses for loads/stores, predicates for branches and indirect jumps.
 func leakedOperands(di *pipeline.DynInst, dst []pipeline.PhysReg) []pipeline.PhysReg {
 	switch {
-	case di.Ins.IsMem():
+	case di.IsLd || di.IsSt:
 		dst = append(dst, di.Src1)
 	case di.Ins.IsCondBranch():
 		dst = append(dst, di.Src1, di.Src2)
@@ -228,18 +234,18 @@ func (s *SPT) OnRetire(di *pipeline.DynInst) {
 	if di.OldDst != pipeline.NoReg && di.Dst != pipeline.NoReg {
 		s.purgePending(di.OldDst)
 	}
-	if di.Ins.IsStore() {
+	if di.IsSt {
 		dataTaint := s.Tainted(di.Src2)
 		s.retiredStoreData[di.Seq] = dataTaint
-		if s.shadow.setRange(di.EffAddr, di.Ins.MemSize(), dataTaint) {
+		if s.shadow.setRange(di.EffAddr, int(di.MemSz), dataTaint) {
 			s.Stats.MemUntaints++
 		}
 	}
 	// Garbage-collect forwarding snapshots no load can reference anymore.
 	if len(s.retiredStoreData) > 4*s.core.Cfg.LQSize {
 		oldest := di.Seq
-		for _, ld := range s.core.LQ() {
-			if ld.Seq < oldest {
+		for i := 0; i < s.core.LQLen(); i++ {
+			if ld := s.core.LQAt(i); ld.Seq < oldest {
 				oldest = ld.Seq
 			}
 		}
@@ -274,12 +280,12 @@ func (s *SPT) OnLoadComplete(di *pipeline.DynInst) {
 	if !s.taint[di.Dst] {
 		// Output was already declassified (only possible past the VP, per
 		// the paper's Lemma 1): the read bytes become public (§6.8 rule 2).
-		if s.shadow.setRange(di.EffAddr, di.Ins.MemSize(), false) {
+		if s.shadow.setRange(di.EffAddr, int(di.MemSz), false) {
 			s.Stats.MemUntaints++
 		}
 		return
 	}
-	if !s.shadow.rangeTainted(di.EffAddr, di.Ins.MemSize()) {
+	if !s.shadow.rangeTainted(di.EffAddr, int(di.MemSz)) {
 		// Untainted bytes: the output becomes public. This rides the
 		// existing writeback broadcast, not the untaint broadcast.
 		s.taint[di.Dst] = false
@@ -324,15 +330,18 @@ func (s *SPT) MaySquashOnViolation(ld *pipeline.DynInst) bool {
 	if s.Tainted(ld.Src1) {
 		return false
 	}
-	st := ld.ViolStore
-	if st != nil && s.Tainted(st.Src1) {
-		return false
-	}
-	// All stores between the violating store and the load must also have
-	// public addresses.
-	if st != nil {
-		for _, other := range s.core.SQ() {
-			if other.Seq > st.Seq && other.Seq < ld.Seq && other.AddrKnown && s.Tainted(other.Src1) {
+	// The violating store is identified by value (the load's recorded seq
+	// and address operand): its ROB slot may already hold another
+	// instruction by the time the squash is permitted.
+	if ld.HasViolStore {
+		if s.Tainted(ld.ViolSrc1) {
+			return false
+		}
+		// All stores between the violating store and the load must also
+		// have public addresses.
+		for i := 0; i < s.core.SQLen(); i++ {
+			other := s.core.SQAt(i)
+			if other.Seq > ld.ViolStoreSeq && other.Seq < ld.Seq && other.AddrKnown && s.Tainted(other.Src1) {
 				return false
 			}
 		}
@@ -379,30 +388,42 @@ func (s *SPT) Tick() {
 }
 
 // candidates gathers all registers the rules can untaint, evaluated
-// against the current taint state, in priority order.
+// against the current taint state, in priority order. The returned slice
+// aliases a scratch buffer reused across cycles; it is only valid until the
+// next call.
 func (s *SPT) candidates() []pendingUntaint {
-	var out []pendingUntaint
-	out = append(out, s.pendingVP...)
+	out := append(s.candBuf[:0], s.pendingVP...)
 
-	for _, di := range s.core.ROB() {
-		if di.Squashed {
+	older, younger := s.core.ROBWindow()
+	out = s.ruleWindow(older, out)
+	out = s.ruleWindow(younger, out)
+	out = s.stlfCandidates(out)
+	s.candBuf = out[:0]
+	return out
+}
+
+// ruleWindow applies the register rules to one ring segment of the
+// in-flight window, oldest first.
+func (s *SPT) ruleWindow(win []pipeline.DynInst, out []pendingUntaint) []pendingUntaint {
+	for i := range win {
+		di := &win[i]
+		// Every register rule needs a destination register: the forward
+		// rule untaints it, the backward rules require it untainted.
+		if di.Squashed || di.Dst == pipeline.NoReg {
 			continue
 		}
 		out = s.ruleCandidates(di, out)
 	}
-	out = append(out, s.stlfCandidates(nil)...)
 	return out
 }
 
 // ruleCandidates applies the forward and backward register rules to one
 // in-flight instruction (§6.6).
 func (s *SPT) ruleCandidates(di *pipeline.DynInst, out []pendingUntaint) []pendingUntaint {
-	ins := di.Ins
-
 	// Forward: output of a register-to-register operation with all inputs
 	// untainted. Loads are excluded (output depends on memory, §6.6);
 	// rename-time public outputs are already untainted.
-	if di.Dst != pipeline.NoReg && !ins.IsLoad() && s.taint[di.Dst] &&
+	if di.Dst != pipeline.NoReg && !di.IsLd && s.taint[di.Dst] &&
 		!s.Tainted(di.Src1) && !s.Tainted(di.Src2) {
 		out = append(out, pendingUntaint{reg: di.Dst, seq: di.Seq, isDst: true, kind: EvForward})
 	}
@@ -415,7 +436,7 @@ func (s *SPT) ruleCandidates(di *pipeline.DynInst, out []pendingUntaint) []pendi
 	if di.Dst == pipeline.NoReg || s.taint[di.Dst] {
 		return out
 	}
-	switch ins.Op {
+	switch di.Ins.Op {
 	case isa.MOV:
 		if s.Tainted(di.Src1) {
 			out = append(out, pendingUntaint{reg: di.Src1, seq: di.Seq, kind: EvBackward})
@@ -440,15 +461,27 @@ func (s *SPT) ruleCandidates(di *pipeline.DynInst, out []pendingUntaint) []pendi
 // stlfCandidates propagates untaint across store-to-load forwarding pairs
 // whose implicit branch has become public (§6.7).
 func (s *SPT) stlfCandidates(out []pendingUntaint) []pendingUntaint {
-	for _, ld := range s.core.LQ() {
-		st := ld.FwdStore
-		if st == nil || !ld.Done || ld.Dst == pipeline.NoReg {
+	older, younger := s.core.LQWindow()
+	out = s.stlfWindow(older, out)
+	return s.stlfWindow(younger, out)
+}
+
+func (s *SPT) stlfWindow(win []*pipeline.DynInst, out []pendingUntaint) []pendingUntaint {
+	for _, ld := range win {
+		if ld.FwdStore == nil || !ld.Done || ld.Dst == pipeline.NoReg {
 			continue
 		}
-		if !s.stlPublic(st, ld) {
+		// The forwarding source is consulted through the seq-validated
+		// reference: once the store retires (or its ring slot is recycled),
+		// only its sequence number and the retiredStoreData snapshot remain.
+		var st *pipeline.DynInst
+		if ld.FwdLive() {
+			st = ld.FwdStore
+		}
+		if !s.stlPublic(ld.FwdSeq, st, ld) {
 			continue
 		}
-		stData, stLive := s.storeDataTaint(st)
+		stData, stLive := s.storeDataTaint(ld.FwdSeq, st)
 		if s.taint[ld.Dst] && !stData {
 			// Forward: the store's public data is the load's value.
 			out = append(out, pendingUntaint{reg: ld.Dst, seq: ld.Seq, isDst: true, kind: EvSTLForward})
@@ -461,11 +494,12 @@ func (s *SPT) stlfCandidates(out []pendingUntaint) []pendingUntaint {
 	return out
 }
 
-// storeDataTaint reads a store's data-operand taint, falling back to the
-// snapshot taken at retirement (live=false) if the store has left the SQ.
-func (s *SPT) storeDataTaint(st *pipeline.DynInst) (tainted, live bool) {
-	if st.Retired {
-		t, ok := s.retiredStoreData[st.Seq]
+// storeDataTaint reads a store's data-operand taint. st is the in-flight
+// store, or nil if it has retired; the retired path falls back to the
+// snapshot taken at retirement (live=false).
+func (s *SPT) storeDataTaint(stSeq uint64, st *pipeline.DynInst) (tainted, live bool) {
+	if st == nil {
+		t, ok := s.retiredStoreData[stSeq]
 		if !ok {
 			return true, false
 		}
@@ -477,26 +511,30 @@ func (s *SPT) storeDataTaint(st *pipeline.DynInst) (tainted, live bool) {
 // STLForwardPublic implements pipeline.STLQuery: forwarding may happen
 // openly when the STLPublic condition already holds at execution time
 // (the paper's exception in §6.7, in which the load skips the cache).
+// Callers pass a live, in-SQ store.
 func (s *SPT) STLForwardPublic(st, ld *pipeline.DynInst) bool {
 	if !s.tracking() {
 		// SecureBaseline: both ends must be non-speculative.
 		return ld.AtVP && (st.Retired || st.AtVP)
 	}
-	return s.stlPublic(st, ld)
+	return s.stlPublic(st.Seq, st, ld)
 }
 
 // stlPublic evaluates the STLPublic(S, L) condition (§6.7): the load's
 // address is public and every store from S to L (exclusive) has a public
-// address, so the attacker already knows L reads its value from S.
-func (s *SPT) stlPublic(st, ld *pipeline.DynInst) bool {
+// address, so the attacker already knows L reads its value from S. st is
+// nil when the store has retired (a retired store's address leaked
+// non-speculatively, so it needs no check of its own).
+func (s *SPT) stlPublic(stSeq uint64, st *pipeline.DynInst, ld *pipeline.DynInst) bool {
 	if s.Tainted(ld.Src1) && !ld.AtVP {
 		return false
 	}
-	if !st.Retired && s.Tainted(st.Src1) && !st.AtVP {
+	if st != nil && s.Tainted(st.Src1) && !st.AtVP {
 		return false
 	}
-	for _, other := range s.core.SQ() {
-		if other.Seq <= st.Seq || other.Seq >= ld.Seq {
+	for i := 0; i < s.core.SQLen(); i++ {
+		other := s.core.SQAt(i)
+		if other.Seq <= stSeq || other.Seq >= ld.Seq {
 			continue
 		}
 		if other.AtVP {
@@ -519,7 +557,9 @@ func (s *SPT) commit(cands []pendingUntaint, width int) int {
 	// Stable selection without a full sort: selection of the best W.
 	sortCandidates(cands)
 	applied := 0
-	seen := make(map[pipeline.PhysReg]bool, len(cands))
+	// seenReg is scratch reused across cycles; every entry marked here is
+	// cleared before returning (all marked registers appear in cands).
+	seen := s.seenReg
 	for _, cu := range cands {
 		if seen[cu.reg] || !s.taint[cu.reg] {
 			seen[cu.reg] = true
@@ -535,6 +575,9 @@ func (s *SPT) commit(cands []pendingUntaint, width int) int {
 		s.cycleUntaints++
 		applied++
 		s.removePendingVP(cu.reg)
+	}
+	for _, cu := range cands {
+		seen[cu.reg] = false
 	}
 	return applied
 }
@@ -572,7 +615,7 @@ func (s *SPT) ObliviousLatency(di *pipeline.DynInst) (uint64, bool) {
 	if s.cfg.Protect != ObliviousExecution {
 		return 0, false
 	}
-	if di.Ins.IsStore() {
+	if di.IsSt {
 		// Store execution only translates; obliviously skipping the TLB
 		// lookup costs one cycle.
 		return 1, true

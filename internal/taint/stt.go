@@ -53,7 +53,7 @@ func (t *STT) OnRename(di *pipeline.DynInst) {
 		return
 	}
 	switch {
-	case di.Ins.IsLoad():
+	case di.IsLd:
 		t.sTaint[di.Dst] = true
 	case di.Ins.Op == isa.MOVI, di.Ins.Op == isa.JAL:
 		t.sTaint[di.Dst] = false
@@ -102,13 +102,15 @@ func (t *STT) MaySquashOnViolation(ld *pipeline.DynInst) bool {
 	if t.STainted(ld.Src1) {
 		return false
 	}
-	st := ld.ViolStore
-	if st != nil && t.STainted(st.Src1) {
-		return false
-	}
-	if st != nil {
-		for _, other := range t.core.SQ() {
-			if other.Seq > st.Seq && other.Seq < ld.Seq && other.AddrKnown && t.STainted(other.Src1) {
+	// The violating store is identified by value: its ROB slot may already
+	// hold another instruction by the time the squash is permitted.
+	if ld.HasViolStore {
+		if t.STainted(ld.ViolSrc1) {
+			return false
+		}
+		for i := 0; i < t.core.SQLen(); i++ {
+			other := t.core.SQAt(i)
+			if other.Seq > ld.ViolStoreSeq && other.Seq < ld.Seq && other.AddrKnown && t.STainted(other.Src1) {
 				return false
 			}
 		}
@@ -126,7 +128,8 @@ func (t *STT) STLForwardPublic(st, ld *pipeline.DynInst) bool {
 	if !st.Retired && t.STainted(st.Src1) && !st.AtVP {
 		return false
 	}
-	for _, other := range t.core.SQ() {
+	for i := 0; i < t.core.SQLen(); i++ {
+		other := t.core.SQAt(i)
 		if other.Seq <= st.Seq || other.Seq >= ld.Seq || other.AtVP {
 			continue
 		}
@@ -142,15 +145,23 @@ func (t *STT) STLForwardPublic(st, ld *pipeline.DynInst) bool {
 // paper's fast untaint hardware: a load's output is s-tainted iff the load
 // has not reached the VP; every other output is the OR of its inputs.
 func (t *STT) Tick() {
-	for _, di := range t.core.ROB() {
+	older, younger := t.core.ROBWindow()
+	t.tickWindow(older)
+	t.tickWindow(younger)
+}
+
+func (t *STT) tickWindow(win []pipeline.DynInst) {
+	for i := range win {
+		di := &win[i]
 		if di.Dst == pipeline.NoReg || di.Squashed {
 			continue
 		}
 		var want bool
+		op := di.Ins.Op
 		switch {
-		case di.Ins.IsLoad():
+		case di.IsLd:
 			want = !di.AtVP
-		case di.Ins.Op == isa.MOVI, di.Ins.Op == isa.JAL:
+		case op == isa.MOVI, op == isa.JAL:
 			want = false
 		default:
 			want = t.STainted(di.Src1) || t.STainted(di.Src2)

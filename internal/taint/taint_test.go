@@ -350,7 +350,8 @@ func TestTaintMonotonicityInFlight(t *testing.T) {
 	wasUntainted := make(map[key]bool)
 	for i := 0; i < 300_000 && !c.Finished(); i++ {
 		c.Step()
-		for _, di := range c.ROB() {
+		for j := 0; j < c.ROBLen(); j++ {
+			di := c.ROBAt(j)
 			for _, r := range []pipeline.PhysReg{di.Src1, di.Src2, di.Dst} {
 				if r == pipeline.NoReg {
 					continue

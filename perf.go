@@ -1,0 +1,116 @@
+package spt
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// PerfSchemes is the scheme subset the simulator-throughput suite measures.
+// The three points span the simulator's cost range: the unprotected machine
+// (no policy), STT (per-cycle recompute over the window), and full SPT
+// (rule evaluation plus shadow-L1 bookkeeping every cycle).
+func PerfSchemes() []Scheme { return []Scheme{UnsafeBaseline, STT, SPTFull} }
+
+// PerfRow is one (workload, scheme) throughput measurement. The simulated
+// columns (cycles, instructions, IPC) are deterministic; the host columns
+// depend on the machine running the simulator and are zeroed by
+// Deterministic before golden comparison.
+type PerfRow struct {
+	Workload     string
+	Scheme       Scheme
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	// Host-side simulator throughput for this run.
+	HostSeconds      float64
+	SimKIPS          float64
+	NsPerInstruction float64
+}
+
+// PerfReport is the simulator-throughput suite's result.
+type PerfReport struct {
+	Model  AttackModel
+	Budget uint64
+	Rows   []PerfRow
+}
+
+// RunPerf measures simulator throughput for every workload in the suite
+// under the PerfSchemes configurations. Runs execute strictly sequentially
+// regardless of opt.Jobs: concurrent simulations would contend for cores
+// and memory bandwidth and distort the host-time columns.
+func RunPerf(opt EvalOptions) (*PerfReport, error) {
+	opt = opt.withDefaults()
+	names, err := opt.names()
+	if err != nil {
+		return nil, err
+	}
+	rep := &PerfReport{Model: Futuristic, Budget: opt.Budget}
+	for _, name := range names {
+		for _, s := range PerfSchemes() {
+			if opt.Context != nil {
+				if err := opt.Context.Err(); err != nil {
+					return nil, err
+				}
+			}
+			res, err := Run(name, Options{
+				Scheme:                s,
+				Model:                 Futuristic,
+				UntaintBroadcastWidth: opt.Width,
+				MaxInstructions:       opt.Budget,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, PerfRow{
+				Workload:         name,
+				Scheme:           s,
+				Cycles:           res.Cycles,
+				Instructions:     res.Instructions,
+				IPC:              res.IPC(),
+				HostSeconds:      res.Host.Seconds,
+				SimKIPS:          res.Host.SimKIPS,
+				NsPerInstruction: res.Host.NsPerInstruction,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// Deterministic returns a copy of the report with every host-time field
+// zeroed. Golden fixtures compare this form; the host columns vary from
+// machine to machine and run to run.
+func (r *PerfReport) Deterministic() *PerfReport {
+	out := &PerfReport{Model: r.Model, Budget: r.Budget, Rows: make([]PerfRow, len(r.Rows))}
+	copy(out.Rows, r.Rows)
+	for i := range out.Rows {
+		out.Rows[i].HostSeconds = 0
+		out.Rows[i].SimKIPS = 0
+		out.Rows[i].NsPerInstruction = 0
+	}
+	return out
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r *PerfReport) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// Text renders the report as an aligned table.
+func (r *PerfReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulator throughput (%s model, budget %d instructions/run)\n", r.Model, r.Budget)
+	fmt.Fprintf(&b, "%-12s %-8s %12s %12s %7s %12s %12s %10s\n",
+		"benchmark", "scheme", "cycles", "insts", "ipc", "host-sec", "sim-KIPS", "ns/inst")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %-8s %12d %12d %7.3f %12.3f %12.1f %10.1f\n",
+			row.Workload, row.Scheme, row.Cycles, row.Instructions, row.IPC,
+			row.HostSeconds, row.SimKIPS, row.NsPerInstruction)
+	}
+	return b.String()
+}

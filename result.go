@@ -29,6 +29,23 @@ type Result struct {
 
 	// Taint is non-nil for protected schemes.
 	Taint *TaintStats
+
+	// Host measures the simulator's own throughput for the measured
+	// (post-warmup) window. Host fields depend on the machine running the
+	// simulation, so they are excluded from StatsText and from every golden
+	// comparison.
+	Host HostStats
+}
+
+// HostStats reports simulator throughput: wall-clock cost of the run on
+// the host, not a property of the simulated machine.
+type HostStats struct {
+	// Seconds is the host wall-clock time of the measured window.
+	Seconds float64
+	// SimKIPS is simulated (retired) kilo-instructions per host second.
+	SimKIPS float64
+	// NsPerInstruction is host nanoseconds per simulated instruction.
+	NsPerInstruction float64
 }
 
 // TaintStats summarizes the taint engine's activity.

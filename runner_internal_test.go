@@ -207,7 +207,11 @@ func TestRunJobsReal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(res[jobs[0]], direct) {
+	// Host timing is wall-clock and varies run to run; only the simulated
+	// results must match.
+	got, want := *res[jobs[0]], *direct
+	got.Host, want.Host = HostStats{}, HostStats{}
+	if !reflect.DeepEqual(got, want) {
 		t.Error("grid result differs from a direct Run of the same cell")
 	}
 }

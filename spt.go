@@ -2,6 +2,7 @@ package spt
 
 import (
 	"fmt"
+	"time"
 
 	"spt/internal/asm"
 	"spt/internal/isa"
@@ -73,9 +74,11 @@ func runProgram(p *isa.Program, o Options) (*Result, error) {
 		}
 		warmCycles, warmInsts = core.Stats.Cycles, core.Stats.Retired
 	}
+	hostStart := time.Now()
 	if err := core.Run(warmInsts+o.MaxInstructions, o.MaxCycles); err != nil {
 		return nil, fmt.Errorf("spt: %s under %s/%s: %w", p.Name, o.Scheme, o.Model, err)
 	}
+	hostSeconds := time.Since(hostStart).Seconds()
 	if !core.Finished() && core.Stats.Retired < warmInsts+o.MaxInstructions {
 		return nil, fmt.Errorf("spt: %s under %s/%s: hit the cycle bound (%d cycles, %d retired)",
 			p.Name, o.Scheme, o.Model, core.Stats.Cycles, core.Stats.Retired)
@@ -94,6 +97,11 @@ func runProgram(p *isa.Program, o Options) (*Result, error) {
 		L3:           hier.L3.Stats(),
 		TLBMisses:    hier.DTLB.Stats.Misses,
 		Predictor:    core.Pred.Stats,
+	}
+	res.Host.Seconds = hostSeconds
+	if insts := res.Instructions; insts > 0 && hostSeconds > 0 {
+		res.Host.SimKIPS = float64(insts) / hostSeconds / 1e3
+		res.Host.NsPerInstruction = hostSeconds * 1e9 / float64(insts)
 	}
 	if sptPol != nil {
 		res.Taint = &TaintStats{Events: map[string]uint64{}}
