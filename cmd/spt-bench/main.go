@@ -6,6 +6,7 @@
 //	spt-bench -what fig8      # Figure 8, untaint event breakdown
 //	spt-bench -what fig9      # Figure 9, untaints-per-cycle distribution
 //	spt-bench -what width     # §9.4 broadcast width sweep
+//	spt-bench -what stats     # Fig. 10-style "where did the slowdown go" breakdown
 //	spt-bench -what pentest   # §9.1 penetration testing
 //	spt-bench -what perf      # simulator-throughput suite (host-side)
 //	spt-bench -what all       # everything
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		what       = flag.String("what", "all", "machine|configs|fig7|fig8|fig9|width|pentest|perf|all")
+		what       = flag.String("what", "all", "machine|configs|fig7|fig8|fig9|width|stats|pentest|perf|all")
 		budget     = flag.Uint64("budget", 120_000, "retired instructions per run")
 		workloads  = flag.String("workloads", "", "comma-separated subset (default: all)")
 		jobs       = flag.Int("jobs", 0, "concurrent simulations (0 = one per core, 1 = sequential)")
@@ -138,6 +139,14 @@ func main() {
 			return err
 		}
 		fmt.Println(spt.WidthSweepText(rows))
+		return nil
+	})
+	run("stats", func() error {
+		bd, err := spt.RunStatsBreakdown(spt.Futuristic, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bd.Text())
 		return nil
 	})
 	run("pentest", runPentest)

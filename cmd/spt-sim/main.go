@@ -3,6 +3,8 @@
 // equivalent of the paper artifact's run_spt.py helper:
 //
 //	spt-sim -workload mcf -scheme spt -threat-model futuristic
+//	spt-sim -workload mcf -scheme spt -stats                # full counter dump
+//	spt-sim -workload mcf -scheme spt -stats-json           # ... as JSON
 //	spt-sim -workload mcf,gcc,xz -jobs 0 -output-dir out   # parallel batch
 //	spt-sim -asm prog.s -scheme secure -max-insts 500000
 //	spt-sim -random 80 -seed 42                            # reproducible random program
@@ -35,19 +37,21 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "workload name or comma-separated list (see -list)")
-		jobs     = flag.Int("jobs", 0, "concurrent simulations for a workload list (0 = one per core)")
-		asmFile  = flag.String("asm", "", "µRISC assembly file to run instead of a workload")
-		scheme   = flag.String("scheme", "unsafe", "processor configuration (Table 2)")
-		model    = flag.String("threat-model", "futuristic", "spectre or futuristic")
-		width    = flag.Int("untaint-width", 3, "untaint broadcast width (SPT only; <0 = unbounded)")
-		maxInsts = flag.Uint64("max-insts", 200_000, "retired-instruction budget")
-		randSize = flag.Int("random", 0, "generate and run a random program of this many grammar steps")
-		seed     = flag.Int64("seed", 1, "RNG seed for -random (printed, so runs are reproducible)")
-		list     = flag.Bool("list", false, "list workloads and exit")
-		outDir   = flag.String("output-dir", "", "write stats.txt here instead of stdout")
-		track    = flag.Bool("track-insts", false, "print a per-instruction pipeline timeline (assembly input only)")
-		trackMax = flag.Int("track-limit", 2000, "event buffer for -track-insts")
+		workload  = flag.String("workload", "", "workload name or comma-separated list (see -list)")
+		jobs      = flag.Int("jobs", 0, "concurrent simulations for a workload list (0 = one per core)")
+		asmFile   = flag.String("asm", "", "µRISC assembly file to run instead of a workload")
+		scheme    = flag.String("scheme", "unsafe", "processor configuration (Table 2)")
+		model     = flag.String("threat-model", "futuristic", "spectre or futuristic")
+		width     = flag.Int("untaint-width", 3, "untaint broadcast width (SPT only; <0 = unbounded)")
+		maxInsts  = flag.Uint64("max-insts", 200_000, "retired-instruction budget")
+		randSize  = flag.Int("random", 0, "generate and run a random program of this many grammar steps")
+		seed      = flag.Int64("seed", 1, "RNG seed for -random (printed, so runs are reproducible)")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		stats     = flag.Bool("stats", false, "print the full gem5-style counter dump instead of the summary")
+		statsJSON = flag.Bool("stats-json", false, "print the full counter dump as JSON (implies -stats)")
+		outDir    = flag.String("output-dir", "", "write stats.txt here instead of stdout")
+		track     = flag.Bool("track-insts", false, "print a per-instruction pipeline timeline (assembly input only)")
+		trackMax  = flag.Int("track-limit", 2000, "event buffer for -track-insts")
 	)
 	flag.Parse()
 
@@ -95,7 +99,7 @@ func main() {
 		}
 		res, err = spt.RunAssembly(filepath.Base(*asmFile), string(src), opt)
 	case strings.Contains(*workload, ","):
-		if err := runBatch(strings.Split(*workload, ","), opt, *jobs, *outDir); err != nil {
+		if err := runBatch(strings.Split(*workload, ","), opt, *jobs, *outDir, *stats, *statsJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -108,18 +112,37 @@ func main() {
 		fatal(err)
 	}
 
-	text := res.StatsText()
+	text, suffix, err := renderResult(res, *stats, *statsJSON)
+	if err != nil {
+		fatal(err)
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(*outDir, "stats.txt"), []byte(text), 0o644); err != nil {
+		path := filepath.Join(*outDir, "stats"+suffix)
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", filepath.Join(*outDir, "stats.txt"))
+		fmt.Printf("wrote %s\n", path)
 		return
 	}
 	fmt.Print(text)
+}
+
+// renderResult picks the output form: the legacy summary (default), the
+// full deterministic counter dump (-stats), or its JSON form (-stats-json).
+// The returned suffix names output files (".txt" or ".json").
+func renderResult(res *spt.Result, stats, statsJSON bool) (text, suffix string, err error) {
+	switch {
+	case statsJSON:
+		j, err := res.Stats.JSON()
+		return j, ".json", err
+	case stats:
+		return res.Stats.Text(), ".txt", nil
+	default:
+		return res.StatsText(), ".txt", nil
+	}
 }
 
 func fatal(err error) {
@@ -130,7 +153,7 @@ func fatal(err error) {
 // runBatch simulates several workloads under one configuration as a job
 // grid, then emits each stats.txt in the order the workloads were named
 // (results do not depend on the worker count).
-func runBatch(names []string, opt spt.Options, jobs int, outDir string) error {
+func runBatch(names []string, opt spt.Options, jobs int, outDir string, stats, statsJSON bool) error {
 	grid := make([]spt.Job, len(names))
 	for i, name := range names {
 		grid[i] = spt.Job{
@@ -151,12 +174,15 @@ func runBatch(names []string, opt spt.Options, jobs int, outDir string) error {
 		}
 	}
 	for _, j := range grid {
-		text := results[j].StatsText()
+		text, suffix, err := renderResult(results[j], stats, statsJSON)
+		if err != nil {
+			return err
+		}
 		if outDir == "" {
 			fmt.Print(text)
 			continue
 		}
-		path := filepath.Join(outDir, j.Workload+".stats.txt")
+		path := filepath.Join(outDir, j.Workload+".stats"+suffix)
 		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 			return err
 		}

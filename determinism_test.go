@@ -82,6 +82,59 @@ func TestFigure9Determinism(t *testing.T) {
 	}
 }
 
+// TestStatsDeterminism is the acceptance check for the stats subsystem's
+// grid determinism: the full per-run counter dumps (what spt-sim -stats-json
+// prints) must be bit-identical whether the grid ran on one worker or eight,
+// and so must the derived breakdown table.
+func TestStatsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	grid := func(jobs int) map[spt.Job]*spt.Result {
+		var jl []spt.Job
+		for _, w := range []string{"mcf", "gcc", "chacha20"} {
+			for _, s := range spt.StatsBreakdownSchemes() {
+				jl = append(jl, spt.Job{Workload: w, Scheme: s, Model: spt.Futuristic, Width: 3, Budget: 8_000})
+			}
+		}
+		res, err := spt.RunJobs(jl, spt.EvalOptions{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := grid(1), grid(8)
+	for j, r := range seq {
+		a, err := r.Stats.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par[j].Stats.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%v: stats dump differs between Jobs:1 and Jobs:8", j)
+		}
+	}
+
+	seqBD, err := spt.RunStatsBreakdown(spt.Futuristic, determinismOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parBD, err := spt.RunStatsBreakdown(spt.Futuristic, determinismOpt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqBD, parBD) {
+		t.Errorf("stats breakdown rows differ between Jobs:1 and Jobs:8")
+	}
+	if seqBD.Text() != parBD.Text() {
+		t.Errorf("stats breakdown text differs between Jobs:1 and Jobs:8\n--- Jobs:1\n%s\n--- Jobs:8\n%s",
+			seqBD.Text(), parBD.Text())
+	}
+}
+
 func TestWidthSweepDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")

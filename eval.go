@@ -385,6 +385,120 @@ func Figure9Text(rows []Figure9Row) string {
 	return b.String()
 }
 
+// StatsBreakdownSchemes lists the schemes the stats breakdown compares:
+// both baselines and both taint schemes (the paper's Fig. 10 comparison
+// points).
+func StatsBreakdownSchemes() []Scheme {
+	return []Scheme{UnsafeBaseline, SecureBaseline, STT, SPTFull}
+}
+
+// StatsBreakdownRow is one workload × scheme cell of the "where did the
+// slowdown go" table, with every figure derived from the run's stats dump.
+type StatsBreakdownRow struct {
+	Workload string
+	Scheme   Scheme
+	// Normalized is execution time relative to UnsafeBaseline.
+	Normalized float64
+	IPC        float64
+	// DelayedTransmitterPct is the percentage of executed loads/stores the
+	// policy blocked for at least one cycle (paper Fig. 10).
+	DelayedTransmitterPct float64
+	// AvgDelayCycles is the mean blocked-cycle count per delayed transmitter.
+	AvgDelayCycles float64
+	// UntaintVPPKI is untaint-at-VP events per kilo-instruction (SPT's
+	// vp-declassify rule; STT's transitive untaints).
+	UntaintVPPKI float64
+	L1DMPKI      float64
+	// SquashPKI is squash events per kilo-instruction.
+	SquashPKI float64
+}
+
+// StatsBreakdown is the full table for one attack model.
+type StatsBreakdown struct {
+	Model   AttackModel
+	Schemes []Scheme
+	Rows    []StatsBreakdownRow
+}
+
+// RunStatsBreakdown runs the |workloads| × |StatsBreakdownSchemes| grid and
+// derives the breakdown from each run's stats dump. Like every harness here
+// it aggregates sequentially in grid order, so the output is bit-identical
+// at any opt.Jobs.
+func RunStatsBreakdown(model AttackModel, opt EvalOptions) (*StatsBreakdown, error) {
+	opt = opt.withDefaults()
+	names, err := opt.names()
+	if err != nil {
+		return nil, err
+	}
+	bd := &StatsBreakdown{Model: model, Schemes: StatsBreakdownSchemes()}
+	cell := func(name string, s Scheme) Job {
+		return Job{Workload: name, Scheme: s, Model: model, Width: opt.Width, Budget: opt.Budget}
+	}
+	var jobs []Job
+	for _, name := range names {
+		for _, s := range bd.Schemes {
+			jobs = append(jobs, cell(name, s))
+		}
+	}
+	results, err := runGrid(jobs, opt, runJob)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, name := range names {
+		base := results[cell(name, UnsafeBaseline)]
+		for _, s := range bd.Schemes {
+			res := results[cell(name, s)]
+			d := res.Stats
+			scalar := func(stat string) uint64 {
+				v, _ := d.Get(stat)
+				return v.Scalar
+			}
+			formula := func(stat string) float64 {
+				v, _ := d.Get(stat)
+				return v.Float
+			}
+			row := StatsBreakdownRow{
+				Workload:              name,
+				Scheme:                s,
+				Normalized:            res.NormalizedTo(base),
+				IPC:                   res.IPC(),
+				DelayedTransmitterPct: formula("policy.delayed_transmitter_pct"),
+				L1DMPKI:               formula("l1d.mpki"),
+				SquashPKI:             formula("squash.pki"),
+			}
+			if td, ok := d.Get("policy.transmitter_delay"); ok && td.Dist != nil {
+				row.AvgDelayCycles = td.Dist.Mean
+			}
+			var untaints uint64
+			if _, ok := d.Get("spt.untaint.vp-declassify"); ok {
+				untaints = scalar("spt.untaint.vp-declassify")
+			} else if _, ok := d.Get("stt.untaints"); ok {
+				untaints = scalar("stt.untaints")
+			}
+			if res.Instructions > 0 {
+				row.UntaintVPPKI = 1000 * float64(untaints) / float64(res.Instructions)
+			}
+			bd.Rows = append(bd.Rows, row)
+		}
+	}
+	return bd, nil
+}
+
+// Text renders the breakdown as an aligned per-workload × per-scheme table.
+func (bd *StatsBreakdown) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 10-style breakdown — where the slowdown goes (%s model)\n", bd.Model)
+	fmt.Fprintf(&b, "%-12s %-8s %8s %7s %9s %9s %12s %9s %10s\n",
+		"benchmark", "scheme", "norm", "ipc", "delayed%", "avgdelay", "untaintVP/ki", "l1d-mpki", "squash/ki")
+	for _, r := range bd.Rows {
+		fmt.Fprintf(&b, "%-12s %-8s %8.3f %7.3f %8.1f%% %9.1f %12.1f %9.2f %10.2f\n",
+			r.Workload, r.Scheme, r.Normalized, r.IPC,
+			r.DelayedTransmitterPct, r.AvgDelayCycles, r.UntaintVPPKI, r.L1DMPKI, r.SquashPKI)
+	}
+	return b.String()
+}
+
 // WidthSweepRow is one (workload, width) cycle count.
 type WidthSweepRow struct {
 	Workload   string

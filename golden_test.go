@@ -112,6 +112,29 @@ func TestGoldenPerfReport(t *testing.T) {
 	checkGolden(t, "perf_report.golden", js)
 }
 
+func TestGoldenStatsBreakdown(t *testing.T) {
+	bd, err := spt.RunStatsBreakdown(spt.Futuristic, goldenOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stats_breakdown.golden", bd.Text())
+}
+
+// TestGoldenStatsDump pins a full per-run counter dump byte-for-byte: the
+// registry contains only simulation-derived values, so the entire JSON is
+// safe to golden (host throughput lives outside the registry).
+func TestGoldenStatsDump(t *testing.T) {
+	res, err := spt.Run("mcf", spt.Options{Scheme: spt.SPTFull, MaxInstructions: 6_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := res.Stats.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stats_dump_mcf_spt.golden", js)
+}
+
 func TestGoldenWidthSweep(t *testing.T) {
 	rows, err := spt.RunWidthSweep([]int{1, 3, -1}, goldenOpt())
 	if err != nil {

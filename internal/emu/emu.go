@@ -88,7 +88,7 @@ func (m *Memory) ByteAt(addr uint64) byte {
 
 // SetByte writes one byte.
 func (m *Memory) SetByte(addr uint64, b byte) {
-	m.ensure(addr>>pageShift)[addr&(pageSize-1)] = b
+	m.ensure(addr >> pageShift)[addr&(pageSize-1)] = b
 }
 
 // Read reads size bytes little-endian, zero-extended to 64 bits.

@@ -1,0 +1,46 @@
+package mem
+
+import "spt/internal/stats"
+
+// RegisterStats publishes the cache's counters under prefix (e.g. "l1d").
+// The registered pointers target the live counters, so the registry must not
+// outlive the cache.
+func (c *Cache) RegisterStats(r *stats.Registry, prefix string) {
+	r.Scalar(prefix+".accesses", c.cfg.Name+" accesses", &c.stats.Accesses)
+	r.Scalar(prefix+".hits", c.cfg.Name+" hits", &c.stats.Hits)
+	r.Scalar(prefix+".misses", c.cfg.Name+" misses", &c.stats.Misses)
+	r.Scalar(prefix+".evictions", c.cfg.Name+" lines evicted", &c.stats.Evictions)
+	r.Scalar(prefix+".writebacks", c.cfg.Name+" dirty writebacks", &c.stats.Writebacks)
+	r.Formula(prefix+".miss_rate", c.cfg.Name+" miss rate", func() float64 {
+		if c.stats.Accesses == 0 {
+			return 0
+		}
+		return float64(c.stats.Misses) / float64(c.stats.Accesses)
+	})
+}
+
+// RegisterStats publishes the TLB's counters under prefix (e.g. "dtlb").
+func (t *TLB) RegisterStats(r *stats.Registry, prefix string) {
+	r.Scalar(prefix+".accesses", "TLB lookups", &t.Stats.Accesses)
+	r.Scalar(prefix+".misses", "TLB misses (page walks)", &t.Stats.Misses)
+}
+
+// RegisterStats publishes the whole memory system: hierarchy-level counters,
+// every cache level, and the data TLB. perKilo builds a per-kilo-instruction
+// formula over a counter (the retired-instruction denominator lives in the
+// core, which owns the registry).
+func (h *Hierarchy) RegisterStats(r *stats.Registry, perKilo func(*uint64) func() float64) {
+	r.Scalar("mem.data_accesses", "data-side hierarchy accesses", &h.Stats.DataAccesses)
+	r.Scalar("mem.instr_accesses", "instruction fetch accesses", &h.Stats.InstrAccesses)
+	r.Scalar("mem.dram_accesses", "accesses that reached DRAM", &h.Stats.DRAMAccesses)
+	r.Scalar("mem.mshr_stalls", "accesses rejected for want of an MSHR", &h.Stats.MSHRStalls)
+	r.Scalar("mem.mshr_merges", "accesses merged into an in-flight miss", &h.Stats.MSHRMerges)
+	r.Scalar("mem.instr_prefetches", "next-line instruction prefetches", &h.Stats.InstrPrefetches)
+
+	h.L1I.RegisterStats(r, "l1i")
+	h.L1D.RegisterStats(r, "l1d")
+	r.Formula("l1d.mpki", "L1D misses per kilo-instruction", perKilo(&h.L1D.stats.Misses))
+	h.L2.RegisterStats(r, "l2")
+	h.L3.RegisterStats(r, "l3")
+	h.DTLB.RegisterStats(r, "dtlb")
+}

@@ -18,6 +18,7 @@ import (
 	"spt/internal/isa"
 	"spt/internal/mem"
 	"spt/internal/predictor"
+	"spt/internal/stats"
 )
 
 // AttackModel selects the visibility-point definition (paper §2.2.1).
@@ -194,6 +195,13 @@ type DynInst struct {
 
 	// DelayedByPolicy notes the instruction was blocked at least once.
 	DelayedByPolicy bool
+
+	// RenameCycle is the cycle this instruction was renamed, the anchor for
+	// the RS-delay and VP-distance distributions.
+	RenameCycle uint64
+	// delayCycles counts the cycles this memory instruction was
+	// policy-blocked before its access started (feeds TransmitterDelay).
+	delayCycles uint32
 }
 
 // FwdLive reports whether ld's forwarding store still occupies its ROB ring
@@ -205,11 +213,16 @@ func (ld *DynInst) FwdLive() bool {
 	return ld.FwdStore != nil && ld.FwdStore.Seq == ld.FwdSeq && !ld.FwdStore.Retired
 }
 
-// Stats aggregates core-level counters.
+// Stats aggregates core-level counters. Every field is a plain uint64 (or
+// an inline stats.Hist): the per-cycle loops increment them with ordinary
+// struct-field adds, and the stats registry built at construction only
+// holds pointers to them — zero overhead when hot, no allocation per event.
 type Stats struct {
 	Cycles  uint64
 	Retired uint64
 	Fetched uint64
+	Renamed uint64
+	Issued  uint64
 
 	BranchResolutions  uint64
 	BranchMispredicts  uint64
@@ -221,6 +234,21 @@ type Stats struct {
 	ResolutionDelays   uint64 // cycles an outcome-known branch waited for policy
 	RetireStallsMemory uint64
 	ObliviousExecs     uint64 // memory ops executed data-obliviously
+
+	LoadsExecuted  uint64 // loads whose memory access started
+	StoresExecuted uint64 // stores whose address translation started
+	VPCrossings    uint64 // instructions that reached the visibility point
+	// DelayedTransmitters counts distinct memory instructions that were
+	// policy-blocked for at least one cycle before their access finally
+	// started (the paper's Fig. 10 numerator; TransmitterDelays counts the
+	// blocked cycles themselves).
+	DelayedTransmitters uint64
+
+	// Distributions (power-of-two buckets; see internal/stats).
+	SquashDepth      stats.Hist // instructions squashed per squash event
+	RSDelay          stats.Hist // cycles from rename to issue
+	VPDistance       stats.Hist // cycles from rename to the visibility point
+	TransmitterDelay stats.Hist // blocked cycles per delayed transmitter
 }
 
 // IPC returns retired instructions per cycle.
@@ -336,12 +364,12 @@ type Core struct {
 	// squashed, so the steady-state cycle loop allocates nothing. LQ/SQ are
 	// rings of pointers into the ROB ring (stable while the instruction is
 	// in flight).
-	rob              []DynInst // cap Cfg.ROBSize
-	robHead, robLen  int
-	lq               []*DynInst // cap Cfg.LQSize
-	lqHead, lqLen    int
-	sq               []*DynInst // cap Cfg.SQSize
-	sqHead, sqLen    int
+	rob             []DynInst // cap Cfg.ROBSize
+	robHead, robLen int
+	lq              []*DynInst // cap Cfg.LQSize
+	lqHead, lqLen   int
+	sq              []*DynInst // cap Cfg.SQSize
+	sqHead, sqLen   int
 
 	// rsCount tracks occupied RS slots (dispatched, not yet issued).
 	rsCount int
@@ -383,6 +411,11 @@ type Core struct {
 	memBusy      int // mem port uses this cycle
 
 	squashedThisCycle bool
+
+	// statReg is the gem5-style registry of every counter above plus the
+	// memory system's, predictors', and policy's. Built once in New; the
+	// cycle loop never touches it.
+	statReg *stats.Registry
 }
 
 // New builds a core for prog with the given memory system and policy
@@ -430,10 +463,89 @@ func New(cfg Config, prog *isa.Program, hier *mem.Hierarchy, pol Policy) (*Core,
 	for p := isa.NumRegs; p < cfg.PhysRegs; p++ {
 		c.freeList = append(c.freeList, PhysReg(p))
 	}
+	c.registerStats()
 	if pol != nil {
 		pol.Attach(c)
+		if sr, ok := pol.(StatsRegistrar); ok {
+			sr.RegisterStats(c.statReg)
+		}
 	}
 	return c, nil
+}
+
+// StatsRegistrar is an optional Policy (or component) extension: implementors
+// publish their counters into the core's registry at construction.
+type StatsRegistrar interface {
+	RegisterStats(r *stats.Registry)
+}
+
+// StatsRegistry exposes the core's stats registry (e.g. for Result to
+// snapshot after the run).
+func (c *Core) StatsRegistry() *stats.Registry { return c.statReg }
+
+// registerStats publishes every simulator counter into the registry, in a
+// fixed order so dumps are deterministic. Only simulation-derived values are
+// registered — host-dependent measurements (wall time, throughput) are kept
+// off the registry entirely so stats dumps are safe for golden comparisons.
+func (c *Core) registerStats() {
+	r := stats.New()
+	c.statReg = r
+	s := &c.Stats
+
+	perKilo := func(num *uint64) func() float64 {
+		return func() float64 {
+			if s.Retired == 0 {
+				return 0
+			}
+			return 1000 * float64(*num) / float64(s.Retired)
+		}
+	}
+
+	r.Scalar("sim.cycles", "simulated clock cycles", &s.Cycles)
+	r.Scalar("sim.insts", "retired instructions", &s.Retired)
+	r.Formula("sim.ipc", "retired instructions per cycle", func() float64 {
+		return s.IPC()
+	})
+	r.Scalar("fetch.insts", "instructions fetched", &s.Fetched)
+	r.Scalar("rename.insts", "instructions renamed", &s.Renamed)
+	r.Scalar("issue.insts", "instructions issued to execute", &s.Issued)
+	r.Hist("issue.rs_delay", "cycles from rename to issue", &s.RSDelay)
+
+	r.Scalar("branch.resolutions", "control-flow instructions resolved", &s.BranchResolutions)
+	r.Scalar("branch.mispredicts", "mispredicted control-flow instructions", &s.BranchMispredicts)
+	r.Formula("branch.mpki", "branch mispredicts per kilo-instruction", perKilo(&s.BranchMispredicts))
+	r.Scalar("branch.resolution_delays", "cycles outcome-known branches waited for policy", &s.ResolutionDelays)
+
+	r.Scalar("squash.events", "pipeline squashes", &s.Squashes)
+	r.Scalar("squash.insts", "instructions squashed", &s.SquashedInstrs)
+	r.Formula("squash.pki", "squash events per kilo-instruction", perKilo(&s.Squashes))
+	r.Hist("squash.depth", "instructions squashed per squash event", &s.SquashDepth)
+	r.Scalar("squash.mem_violations", "memory-dependence violation squashes", &s.MemViolations)
+
+	r.Scalar("mem.loads_executed", "loads whose cache/TLB access started", &s.LoadsExecuted)
+	r.Scalar("mem.stores_executed", "stores whose address translation started", &s.StoresExecuted)
+	r.Scalar("mem.stl_forwards", "loads forwarded from an older store", &s.STLForwards)
+	r.Scalar("mem.retire_stalls", "retire stalls waiting on memory", &s.RetireStallsMemory)
+
+	r.Scalar("policy.delayed_transmitters", "memory instructions policy-blocked at least one cycle", &s.DelayedTransmitters)
+	r.Scalar("policy.transmitter_delay_cycles", "total cycles ready transmitters were policy-blocked", &s.TransmitterDelays)
+	r.Hist("policy.transmitter_delay", "blocked cycles per delayed transmitter", &s.TransmitterDelay)
+	r.Formula("policy.delayed_transmitter_pct", "percent of executed memory ops delayed by policy", func() float64 {
+		execd := s.LoadsExecuted + s.StoresExecuted
+		if execd == 0 {
+			return 0
+		}
+		return 100 * float64(s.DelayedTransmitters) / float64(execd)
+	})
+	r.Scalar("policy.oblivious_execs", "memory ops executed data-obliviously", &s.ObliviousExecs)
+
+	r.Scalar("vp.crossings", "instructions that reached the visibility point", &s.VPCrossings)
+	r.Hist("vp.distance", "cycles from rename to the visibility point", &s.VPDistance)
+
+	if c.Hier != nil {
+		c.Hier.RegisterStats(r, perKilo)
+	}
+	c.Pred.RegisterStats(r)
 }
 
 type fetchEntry struct {

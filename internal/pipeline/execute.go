@@ -76,6 +76,8 @@ func (c *Core) issue() {
 			di.Issued = true
 			di.Dispatched = false
 			c.rsCount--
+			c.Stats.Issued++
+			c.Stats.RSDelay.Observe(c.cycle - di.RenameCycle)
 			di.EffAddr = c.prf[di.Src1] + uint64(di.Ins.Imm)
 			di.AddrKnown = true
 			issued++
@@ -105,6 +107,8 @@ func (c *Core) issue() {
 		di.Issued = true
 		di.Dispatched = false
 		c.rsCount--
+		c.Stats.Issued++
+		c.Stats.RSDelay.Observe(c.cycle - di.RenameCycle)
 		c.execOutstanding++
 		di.DoneCycle = c.cycle + lat
 		c.computeResult(di)

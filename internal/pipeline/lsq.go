@@ -1,5 +1,20 @@
 package pipeline
 
+// noteMemStart records stats when a memory instruction's access finally
+// starts: the executed-op counter and, if the policy ever blocked it, the
+// delayed-transmitter count and blocked-cycle distribution.
+func (c *Core) noteMemStart(di *DynInst) {
+	if di.IsLd {
+		c.Stats.LoadsExecuted++
+	} else {
+		c.Stats.StoresExecuted++
+	}
+	if di.delayCycles > 0 {
+		c.Stats.DelayedTransmitters++
+		c.Stats.TransmitterDelay.Observe(uint64(di.delayCycles))
+	}
+}
+
 // memStage advances the load/store unit by one cycle: stores translate
 // their addresses (policy-gated) and check younger loads for
 // memory-dependence violations; loads perform their (policy-gated) cache
@@ -44,9 +59,11 @@ func (c *Core) memStage() {
 					st.Oblivious = true
 					st.DoneCycle = c.cycle + lat
 					c.Stats.ObliviousExecs++
+					c.noteMemStart(st)
 					continue
 				}
 				st.DelayedByPolicy = true
+				st.delayCycles++
 				c.Stats.TransmitterDelays++
 				continue
 			}
@@ -55,6 +72,7 @@ func (c *Core) memStage() {
 			}
 			ports--
 			st.MemIssued = true
+			c.noteMemStart(st)
 			// Store execution is the address translation; the data write
 			// happens at retirement (TSO).
 			if c.Observer != nil {
@@ -95,6 +113,7 @@ func (c *Core) memStage() {
 					// access replays non-speculatively at retirement.
 					ld.MemIssued = true
 					ld.Oblivious = true
+					c.noteMemStart(ld)
 					ld.DoneCycle = c.cycle + lat
 					if status == fwdFrom {
 						ld.FwdStore = src
@@ -108,6 +127,7 @@ func (c *Core) memStage() {
 					continue
 				}
 				ld.DelayedByPolicy = true
+				ld.delayCycles++
 				c.Stats.TransmitterDelays++
 				continue
 			}
@@ -125,6 +145,7 @@ func (c *Core) memStage() {
 				// cache access.
 				ports--
 				ld.MemIssued = true
+				c.noteMemStart(ld)
 				ld.FwdStore = src
 				ld.FwdSeq = src.Seq
 				ld.Val = extractStoreBytes(c.val(src.Src2), src, ld)
@@ -151,6 +172,7 @@ func (c *Core) memStage() {
 			}
 			ports--
 			ld.MemIssued = true
+			c.noteMemStart(ld)
 			ld.DoneCycle = done
 			if status == fwdFrom {
 				ld.FwdStore = src

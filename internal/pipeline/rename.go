@@ -37,8 +37,10 @@ func (c *Core) renameDispatch() {
 		c.fbPopHead()
 
 		c.seq++
+		c.Stats.Renamed++
 		di := c.robPush()
 		di.Seq = c.seq
+		di.RenameCycle = c.cycle
 		di.PC = fe.pc
 		di.Ins = ins
 		di.IsLd = ins.IsLoad()

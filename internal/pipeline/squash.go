@@ -17,8 +17,10 @@ func (c *Core) squashFrom(seq uint64) {
 		// only ever holds instructions younger than anything renamed.
 		c.fbHead, c.fbLen = 0, 0
 		c.Stats.Squashes++
+		c.Stats.SquashDepth.Observe(0)
 		return
 	}
+	c.Stats.SquashDepth.Observe(uint64(c.robLen - cut))
 	for j := c.robLen - 1; j >= cut; j-- {
 		di := c.robAt(j)
 		di.Squashed = true
@@ -133,6 +135,8 @@ func (c *Core) updateVP() {
 		di := c.robAt(i)
 		if !di.AtVP {
 			di.AtVP = true
+			c.Stats.VPCrossings++
+			c.Stats.VPDistance.Observe(c.cycle - di.RenameCycle)
 			if c.Tracer != nil {
 				c.Tracer.Event(c.cycle, di, "vp")
 			}

@@ -1,0 +1,150 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+	"spt/internal/taint"
+	"spt/internal/workloads"
+)
+
+// TestStatsRegistryInstrumentation runs a real workload under each scheme
+// and cross-checks the registry dump against the core's counters and basic
+// pipeline identities.
+func TestStatsRegistryInstrumentation(t *testing.T) {
+	cases := []struct {
+		name string
+		pol  pipeline.Policy
+	}{
+		{"unsafe", nil},
+		{"stt", taint.NewSTT()},
+		{"spt", taint.NewSPT(taint.DefaultSPTConfig())},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := workloads.ByName("gcc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := pipeline.New(pipeline.DefaultConfig(), w.Build(1<<40), mem.NewHierarchy(mem.DefaultHierarchyConfig()), tc.pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Run(20_000, 1<<60); err != nil {
+				t.Fatal(err)
+			}
+			d := c.StatsRegistry().Dump()
+
+			scalar := func(name string) uint64 {
+				t.Helper()
+				v, ok := d.Get(name)
+				if !ok {
+					t.Fatalf("stat %q not registered", name)
+				}
+				return v.Scalar
+			}
+			if got := scalar("sim.insts"); got != c.Stats.Retired {
+				t.Errorf("sim.insts = %d, want %d", got, c.Stats.Retired)
+			}
+			if got := scalar("sim.cycles"); got == 0 {
+				t.Error("sim.cycles is zero after a run")
+			}
+			// Pipeline identities: every retired instruction was renamed, and
+			// rename count covers retired plus squashed in-flight work.
+			if c.Stats.Renamed < c.Stats.Retired {
+				t.Errorf("renamed %d < retired %d", c.Stats.Renamed, c.Stats.Retired)
+			}
+			if scalar("rename.insts") != c.Stats.Renamed {
+				t.Error("rename.insts does not track Stats.Renamed")
+			}
+			if scalar("issue.insts") == 0 {
+				t.Error("issue.insts is zero")
+			}
+			if scalar("vp.crossings") == 0 {
+				t.Error("vp.crossings is zero")
+			}
+			if scalar("mem.loads_executed") == 0 {
+				t.Error("mem.loads_executed is zero")
+			}
+			if scalar("l1d.accesses") == 0 {
+				t.Error("l1d.accesses is zero")
+			}
+			if scalar("pred.cond_predicts") == 0 {
+				t.Error("pred.cond_predicts is zero")
+			}
+			rs, ok := d.Get("issue.rs_delay")
+			if !ok || rs.Dist == nil {
+				t.Fatal("issue.rs_delay histogram missing")
+			}
+			if rs.Dist.Count != scalar("issue.insts") {
+				t.Errorf("rs_delay count %d != issued %d", rs.Dist.Count, scalar("issue.insts"))
+			}
+			vd, _ := d.Get("vp.distance")
+			if vd.Dist == nil || vd.Dist.Count != scalar("vp.crossings") {
+				t.Error("vp.distance count does not match vp.crossings")
+			}
+
+			if tc.pol == nil {
+				if got := scalar("policy.delayed_transmitters"); got != 0 {
+					t.Errorf("unsafe core delayed %d transmitters", got)
+				}
+				if _, ok := d.Get("spt.tainted_at_rename"); ok {
+					t.Error("policy stats registered without a policy")
+				}
+				return
+			}
+			// Protected schemes must delay at least one transmitter on gcc,
+			// and each delayed transmitter contributes one histogram sample.
+			if scalar("policy.delayed_transmitters") == 0 {
+				t.Error("protected scheme delayed no transmitters")
+			}
+			td, _ := d.Get("policy.transmitter_delay")
+			if td.Dist == nil || td.Dist.Count != scalar("policy.delayed_transmitters") {
+				t.Error("transmitter_delay count does not match delayed_transmitters")
+			}
+			switch tc.pol.(type) {
+			case *taint.SPT:
+				if scalar("spt.tainted_at_rename") == 0 {
+					t.Error("spt.tainted_at_rename is zero")
+				}
+				if scalar("spt.untaint.vp-declassify") == 0 {
+					t.Error("spt.untaint.vp-declassify is zero")
+				}
+			case *taint.STT:
+				if scalar("stt.tainted_at_rename") == 0 {
+					t.Error("stt.tainted_at_rename is zero")
+				}
+				if scalar("stt.untaints") == 0 {
+					t.Error("stt.untaints is zero")
+				}
+			}
+		})
+	}
+}
+
+// TestStatsDumpStable checks two identical runs produce byte-identical
+// stats output (the grid-determinism property at the single-core level).
+func TestStatsDumpStable(t *testing.T) {
+	run := func() string {
+		w, err := workloads.ByName("mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := pipeline.New(pipeline.DefaultConfig(), w.Build(1<<40), mem.NewHierarchy(mem.DefaultHierarchyConfig()), taint.NewSPT(taint.DefaultSPTConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(10_000, 1<<60); err != nil {
+			t.Fatal(err)
+		}
+		j, err := c.StatsRegistry().Dump().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("stats dumps differ between identical runs")
+	}
+}

@@ -1,0 +1,12 @@
+package predictor
+
+import "spt/internal/stats"
+
+// RegisterStats publishes the front end's counters under the "pred." prefix.
+func (u *Unit) RegisterStats(r *stats.Registry) {
+	r.Scalar("pred.cond_predicts", "conditional branch predictions", &u.Stats.CondPredicts)
+	r.Scalar("pred.cond_mispredicts", "conditional branch mispredictions", &u.Stats.CondMispredict)
+	r.Scalar("pred.loop_overrides", "loop predictor overrides of TAGE", &u.Stats.LoopOverrides)
+	r.Scalar("pred.jump_predicts", "unconditional transfer predictions", &u.Stats.JumpPredicts)
+	r.Scalar("pred.jump_mispredicts", "unconditional transfer mispredictions", &u.Stats.JumpMispredict)
+}

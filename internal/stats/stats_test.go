@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistBucketing(t *testing.T) {
+	var h Hist
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 22, HistBuckets - 1}, {^uint64(0), HistBuckets - 1},
+	}
+	for _, c := range cases {
+		before := h.Buckets[c.bucket]
+		h.Observe(c.v)
+		if h.Buckets[c.bucket] != before+1 {
+			t.Errorf("Observe(%d): bucket %d not incremented", c.v, c.bucket)
+		}
+	}
+	if h.N != uint64(len(cases)) {
+		t.Errorf("N = %d, want %d", h.N, len(cases))
+	}
+	if h.Max != ^uint64(0) {
+		t.Errorf("Max = %d, want max uint64", h.Max)
+	}
+}
+
+func TestHistMean(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", h.Mean())
+	}
+	h.Observe(10)
+	h.Observe(20)
+	if h.Mean() != 15 {
+		t.Errorf("Mean = %v, want 15", h.Mean())
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	for i := 1; i < HistBuckets-1; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != 1<<(i-1) || hi != 1<<i-1 {
+			t.Errorf("BucketBounds(%d) = [%d,%d], want [%d,%d]", i, lo, hi, 1<<(i-1), 1<<i-1)
+		}
+	}
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 0 {
+		t.Errorf("BucketBounds(0) = [%d,%d], want [0,0]", lo, hi)
+	}
+	if _, hi := BucketBounds(HistBuckets - 1); hi != ^uint64(0) {
+		t.Errorf("last bucket must be open-ended, hi = %d", hi)
+	}
+}
+
+func TestRegistryDumpOrderAndKinds(t *testing.T) {
+	var a, b uint64 = 7, 3
+	var h Hist
+	h.Observe(0)
+	h.Observe(5)
+
+	r := New()
+	r.Scalar("core.a", "counter a", &a)
+	r.Hist("core.h", "histogram h", &h)
+	r.Formula("core.ratio", "a per b", func() float64 { return float64(a) / float64(b) })
+
+	d := r.Dump()
+	if len(d.Values) != 3 {
+		t.Fatalf("dump has %d values, want 3", len(d.Values))
+	}
+	if d.Values[0].Name != "core.a" || d.Values[1].Name != "core.h" || d.Values[2].Name != "core.ratio" {
+		t.Fatalf("dump order != registration order: %+v", d.Values)
+	}
+	if d.Values[0].Scalar != 7 {
+		t.Errorf("scalar = %d, want 7", d.Values[0].Scalar)
+	}
+	if d.Values[2].Float != 7.0/3.0 {
+		t.Errorf("formula = %v", d.Values[2].Float)
+	}
+	dist := d.Values[1].Dist
+	if dist == nil || dist.Count != 2 || dist.Sum != 5 {
+		t.Fatalf("dist snapshot wrong: %+v", dist)
+	}
+	if len(dist.Buckets) != 2 {
+		t.Fatalf("want 2 non-empty buckets, got %+v", dist.Buckets)
+	}
+
+	// The dump is a snapshot: later increments must not leak into it.
+	a = 100
+	if d.Values[0].Scalar != 7 {
+		t.Error("dump aliases the live counter")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	var v uint64
+	r := New()
+	r.Scalar("x", "", &v)
+	r.Scalar("x", "", &v)
+}
+
+func TestDumpJSONDeterministic(t *testing.T) {
+	mk := func() *Dump {
+		var v uint64 = 42
+		var h Hist
+		h.Observe(3)
+		r := New()
+		r.Scalar("s", "scalar", &v)
+		r.Hist("h", "hist", &h)
+		r.Formula("f", "formula", func() float64 { return 1.5 })
+		return r.Dump()
+	}
+	j1, err := mk().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := mk().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatalf("JSON not deterministic:\n%s\n---\n%s", j1, j2)
+	}
+	var round Dump
+	if err := json.Unmarshal([]byte(j1), &round); err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Values) != 3 {
+		t.Fatalf("round trip lost values: %+v", round)
+	}
+}
+
+func TestDumpText(t *testing.T) {
+	var v uint64 = 9
+	var h Hist
+	h.Observe(2)
+	r := New()
+	r.Scalar("sim.counter", "a counter", &v)
+	r.Hist("sim.dist", "a distribution", &h)
+	text := r.Dump().Text()
+	for _, want := range []string{"sim.counter", "# a counter", "sim.dist::count", "sim.dist::[2,3]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDumpGet(t *testing.T) {
+	var v uint64 = 5
+	r := New()
+	r.Scalar("here", "", &v)
+	d := r.Dump()
+	if got, ok := d.Get("here"); !ok || got.Scalar != 5 {
+		t.Errorf("Get(here) = %+v, %v", got, ok)
+	}
+	if _, ok := d.Get("missing"); ok {
+		t.Error("Get(missing) found something")
+	}
+}
+
+// TestObserveAllocs pins the hot-loop property: Observe performs no heap
+// allocation.
+func TestObserveAllocs(t *testing.T) {
+	var h Hist
+	avg := testing.AllocsPerRun(100, func() {
+		h.Observe(17)
+	})
+	if avg != 0 {
+		t.Fatalf("Hist.Observe allocates: %v allocs/op", avg)
+	}
+}

@@ -69,6 +69,12 @@ type Stats struct {
 	BroadcastDeferred uint64
 	// MemUntaints counts shadow L1/memory byte-range untaint operations.
 	MemUntaints uint64
+	// TaintedAtRename counts instructions whose output was tainted at
+	// rename (loads, and ops with at least one tainted input).
+	TaintedAtRename uint64
+	// STLPublicHits counts store-to-load forwards that could happen openly
+	// because the STLPublic condition (§6.7) already held.
+	STLPublicHits uint64
 }
 
 // TotalUntaints sums register untaint events across kinds.

@@ -180,6 +180,9 @@ func (s *SPT) OnRename(di *pipeline.DynInst) {
 	default:
 		s.taint[di.Dst] = s.Tainted(di.Src1) || s.Tainted(di.Src2)
 	}
+	if s.taint[di.Dst] {
+		s.Stats.TaintedAtRename++
+	}
 }
 
 // leakedOperands appends the operand registers di's execution leaks:
@@ -513,11 +516,17 @@ func (s *SPT) storeDataTaint(stSeq uint64, st *pipeline.DynInst) (tainted, live 
 // (the paper's exception in §6.7, in which the load skips the cache).
 // Callers pass a live, in-SQ store.
 func (s *SPT) STLForwardPublic(st, ld *pipeline.DynInst) bool {
+	var public bool
 	if !s.tracking() {
 		// SecureBaseline: both ends must be non-speculative.
-		return ld.AtVP && (st.Retired || st.AtVP)
+		public = ld.AtVP && (st.Retired || st.AtVP)
+	} else {
+		public = s.stlPublic(st.Seq, st, ld)
 	}
-	return s.stlPublic(st.Seq, st, ld)
+	if public {
+		s.Stats.STLPublicHits++
+	}
+	return public
 }
 
 // stlPublic evaluates the STLPublic(S, L) condition (§6.7): the load's

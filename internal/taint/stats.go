@@ -1,0 +1,38 @@
+package taint
+
+import (
+	"fmt"
+
+	"spt/internal/stats"
+)
+
+// RegisterStats implements pipeline.StatsRegistrar: the SPT (or
+// SecureBaseline) untaint engine publishes its counters under "spt.".
+func (s *SPT) RegisterStats(r *stats.Registry) {
+	r.Scalar("spt.tainted_at_rename", "instructions whose output was tainted at rename", &s.Stats.TaintedAtRename)
+	for k := EventKind(0); k < NumEvents; k++ {
+		r.Scalar("spt.untaint."+k.String(),
+			fmt.Sprintf("register untaints via the %s rule", k),
+			&s.Stats.Events[k])
+	}
+	r.Scalar("spt.untainting_cycles", "cycles with at least one untaint event", &s.Stats.UntaintingCycles)
+	r.Scalar("spt.broadcast_deferred", "untaint-ready registers deferred by broadcast width", &s.Stats.BroadcastDeferred)
+	r.Scalar("spt.mem_untaints", "shadow L1/memory byte-range untaints", &s.Stats.MemUntaints)
+	r.Scalar("spt.stl_public_hits", "store-to-load forwards with STLPublic already holding", &s.Stats.STLPublicHits)
+	for i := range s.Stats.UntaintHist {
+		label := fmt.Sprintf("%d", i+1)
+		if i == len(s.Stats.UntaintHist)-1 {
+			label += "+"
+		}
+		r.Scalar("spt.untaints_per_cycle."+label,
+			"untainting cycles that cleared "+label+" registers",
+			&s.Stats.UntaintHist[i])
+	}
+}
+
+// RegisterStats implements pipeline.StatsRegistrar for STT.
+func (t *STT) RegisterStats(r *stats.Registry) {
+	r.Scalar("stt.tainted_at_rename", "instructions whose output was s-tainted at rename", &t.Stats.TaintedAtRename)
+	r.Scalar("stt.untaints", "registers s-untainted after a load crossed the VP", &t.Stats.Untaints)
+	r.Scalar("stt.stl_public_hits", "store-to-load forwards with all addresses s-untainted", &t.Stats.STLPublicHits)
+}

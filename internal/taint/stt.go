@@ -27,6 +27,12 @@ type STTStats struct {
 	// Untaints counts registers whose s-taint was cleared by the
 	// single-cycle transitive untaint after a load crossed the VP.
 	Untaints uint64
+	// TaintedAtRename counts instructions whose output was s-tainted at
+	// rename (loads, and ops with at least one s-tainted input).
+	TaintedAtRename uint64
+	// STLPublicHits counts store-to-load forwards permitted openly because
+	// every involved address was s-untainted.
+	STLPublicHits uint64
 }
 
 // NewSTT builds an STT policy.
@@ -59,6 +65,9 @@ func (t *STT) OnRename(di *pipeline.DynInst) {
 		t.sTaint[di.Dst] = false
 	default:
 		t.sTaint[di.Dst] = t.STainted(di.Src1) || t.STainted(di.Src2)
+	}
+	if t.sTaint[di.Dst] {
+		t.Stats.TaintedAtRename++
 	}
 }
 
@@ -137,6 +146,7 @@ func (t *STT) STLForwardPublic(st, ld *pipeline.DynInst) bool {
 			return false
 		}
 	}
+	t.Stats.STLPublicHits++
 	return true
 }
 

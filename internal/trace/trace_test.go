@@ -143,6 +143,73 @@ skip:
 	}
 }
 
+// TestEmptyRecorder pins the degenerate rendering paths: a recorder that
+// never saw an event must still produce a well-formed (header-only)
+// timeline, an empty log, and zero drop/summary state, because spt-sim
+// -track-insts reaches these writers even when a program halts before any
+// instruction is traced.
+func TestEmptyRecorder(t *testing.T) {
+	rec := trace.NewRecorder()
+	var tl strings.Builder
+	if err := rec.WriteTimeline(&tl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(tl.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("empty timeline = %d lines, want header only:\n%s", len(lines), tl.String())
+	}
+	for _, col := range []string{"seq", "pc", "fate", "rename", "retire", "instruction"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("timeline header missing column %q: %q", col, lines[0])
+		}
+	}
+	var log strings.Builder
+	if err := rec.WriteLog(&log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 0 {
+		t.Errorf("empty recorder log = %q, want empty", log.String())
+	}
+	if got := rec.Dropped(); got != 0 {
+		t.Errorf("Dropped() = %d, want 0", got)
+	}
+	if got := len(rec.Timelines()); got != 0 {
+		t.Errorf("Timelines() = %d entries, want 0", got)
+	}
+	if got := rec.Summary(); got != "" {
+		t.Errorf("Summary() = %q, want empty", got)
+	}
+}
+
+// TestDropAccounting drives the Tracer interface directly to pin the exact
+// overflow arithmetic: with Limit n, the first n events are stored, every
+// further event increments Dropped by exactly one, and dropped events
+// contribute nothing to the per-instruction timelines.
+func TestDropAccounting(t *testing.T) {
+	rec := trace.NewRecorder()
+	rec.Limit = 3
+	for i := 0; i < 10; i++ {
+		di := &pipeline.DynInst{Seq: uint64(i + 1), PC: uint64(4 * i)}
+		rec.Event(uint64(100+i), di, "rename")
+	}
+	if got := len(rec.Events()); got != 3 {
+		t.Fatalf("stored events = %d, want 3", got)
+	}
+	if got := rec.Dropped(); got != 7 {
+		t.Fatalf("Dropped() = %d, want 7", got)
+	}
+	if got := len(rec.Timelines()); got != 3 {
+		t.Fatalf("timelines = %d, want 3 (drops must not create timelines)", got)
+	}
+	var log strings.Builder
+	if err := rec.WriteLog(&log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "7 events dropped") {
+		t.Fatalf("log missing exact drop count:\n%s", log.String())
+	}
+}
+
 func TestBufferLimit(t *testing.T) {
 	p := asm.MustAssemble("big", `
   movi r1, 2000

@@ -8,6 +8,7 @@ import (
 	"spt/internal/mem"
 	"spt/internal/pipeline"
 	"spt/internal/predictor"
+	"spt/internal/stats"
 	"spt/internal/taint"
 )
 
@@ -29,6 +30,13 @@ type Result struct {
 
 	// Taint is non-nil for protected schemes.
 	Taint *TaintStats
+
+	// Stats is the full gem5-style counter dump: every registered scalar,
+	// distribution, and formula in registration order (see internal/stats).
+	// It contains only simulation-derived values — host-dependent
+	// measurements are never registered — so it is deterministic and safe
+	// for golden comparisons.
+	Stats *stats.Dump
 
 	// Host measures the simulator's own throughput for the measured
 	// (post-warmup) window. Host fields depend on the machine running the
@@ -58,6 +66,11 @@ type TaintStats struct {
 	UntaintingCycles  uint64
 	BroadcastDeferred uint64
 	MemUntaints       uint64
+	// TaintedAtRename counts instructions whose output was tainted at
+	// rename; STLPublicHits counts store-to-load forwards permitted openly
+	// (the STLPublic fast path).
+	TaintedAtRename uint64
+	STLPublicHits   uint64
 }
 
 // EventName returns the stable name of untaint-event kind k.

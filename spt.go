@@ -97,6 +97,7 @@ func runProgram(p *isa.Program, o Options) (*Result, error) {
 		L3:           hier.L3.Stats(),
 		TLBMisses:    hier.DTLB.Stats.Misses,
 		Predictor:    core.Pred.Stats,
+		Stats:        core.StatsRegistry().Dump(),
 	}
 	res.Host.Seconds = hostSeconds
 	if insts := res.Instructions; insts > 0 && hostSeconds > 0 {
@@ -112,9 +113,15 @@ func runProgram(p *isa.Program, o Options) (*Result, error) {
 		res.Taint.UntaintHist = sptPol.Stats.UntaintHist
 		res.Taint.BroadcastDeferred = sptPol.Stats.BroadcastDeferred
 		res.Taint.MemUntaints = sptPol.Stats.MemUntaints
+		res.Taint.TaintedAtRename = sptPol.Stats.TaintedAtRename
+		res.Taint.STLPublicHits = sptPol.Stats.STLPublicHits
 	}
 	if sttPol != nil {
-		res.Taint = &TaintStats{Events: map[string]uint64{"stt-untaint": sttPol.Stats.Untaints}}
+		res.Taint = &TaintStats{
+			Events:          map[string]uint64{"stt-untaint": sttPol.Stats.Untaints},
+			TaintedAtRename: sttPol.Stats.TaintedAtRename,
+			STLPublicHits:   sttPol.Stats.STLPublicHits,
+		}
 	}
 	if res.Taint != nil && res.Taint.Events == nil {
 		res.Taint.Events = map[string]uint64{}
