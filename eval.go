@@ -28,10 +28,23 @@ type EvalOptions struct {
 	// Context, if non-nil, cancels an in-flight evaluation between
 	// simulations (an individual simulation is not interruptible).
 	Context context.Context
-	// Progress, if non-nil, is called after each completed simulation with
-	// the number done so far, the grid total, and the finished job. Calls
-	// are serialized; completion order depends on scheduling when Jobs > 1.
+	// Progress, if non-nil, is called after each executed simulation
+	// (successful or failed) with the number done so far, the grid total,
+	// and the finished job. Calls are serialized; completion order depends
+	// on scheduling when Jobs > 1.
 	Progress func(done, total int, j Job)
+	// Skip fast-forwards each cell's first Skip instructions functionally
+	// before detailed simulation (Options.SkipInstructions). Cells sharing
+	// a workload share one checkpoint, so the functional prefix runs once
+	// per workload for the whole grid.
+	Skip uint64
+	// Sample runs every cell in SMARTS-style sampled mode (Options.Sample).
+	// Mutually exclusive with Skip.
+	Sample SampleSpec
+	// Checkpoints, if non-nil, supplies the checkpoint store grid cells
+	// share (e.g. NewCheckpointStore with an on-disk directory). Nil with
+	// Skip set uses an ephemeral in-memory store per harness call.
+	Checkpoints *CheckpointStore
 }
 
 func (o EvalOptions) withDefaults() EvalOptions {
@@ -107,7 +120,7 @@ func RunFigure7(model AttackModel, opt EvalOptions) (*Figure7, error) {
 	}
 
 	cell := func(name string, s Scheme) Job {
-		return Job{Workload: name, Scheme: s, Model: model, Width: opt.Width, Budget: opt.Budget}
+		return Job{Workload: name, Scheme: s, Model: model, Width: opt.Width, Budget: opt.Budget, Skip: opt.Skip, Sample: opt.Sample}
 	}
 	var jobs []Job
 	for _, name := range names {
@@ -115,7 +128,7 @@ func RunFigure7(model AttackModel, opt EvalOptions) (*Figure7, error) {
 			jobs = append(jobs, cell(name, s))
 		}
 	}
-	results, err := runGrid(jobs, opt, runJob)
+	results, err := runGrid(jobs, opt, jobRunner(jobs, opt))
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +252,7 @@ func RunFigure8(opt EvalOptions) ([]Figure8Row, error) {
 		return nil, err
 	}
 	cell := func(name string, model AttackModel) Job {
-		return Job{Workload: name, Scheme: SPTFull, Model: model, Width: opt.Width, Budget: opt.Budget}
+		return Job{Workload: name, Scheme: SPTFull, Model: model, Width: opt.Width, Budget: opt.Budget, Skip: opt.Skip, Sample: opt.Sample}
 	}
 	var jobs []Job
 	for _, name := range names {
@@ -247,7 +260,7 @@ func RunFigure8(opt EvalOptions) ([]Figure8Row, error) {
 			jobs = append(jobs, cell(name, model))
 		}
 	}
-	results, err := runGrid(jobs, opt, runJob)
+	results, err := runGrid(jobs, opt, jobRunner(jobs, opt))
 	if err != nil {
 		return nil, err
 	}
@@ -327,13 +340,13 @@ func RunFigure9(opt EvalOptions) ([]Figure9Row, error) {
 		names = append(names, name)
 	}
 	cell := func(name string) Job {
-		return Job{Workload: name, Scheme: SPTIdealShadowMem, Model: Futuristic, Width: opt.Width, Budget: opt.Budget}
+		return Job{Workload: name, Scheme: SPTIdealShadowMem, Model: Futuristic, Width: opt.Width, Budget: opt.Budget, Skip: opt.Skip, Sample: opt.Sample}
 	}
 	var jobs []Job
 	for _, name := range names {
 		jobs = append(jobs, cell(name))
 	}
-	results, err := runGrid(jobs, opt, runJob)
+	results, err := runGrid(jobs, opt, jobRunner(jobs, opt))
 	if err != nil {
 		return nil, err
 	}
@@ -432,7 +445,7 @@ func RunStatsBreakdown(model AttackModel, opt EvalOptions) (*StatsBreakdown, err
 	}
 	bd := &StatsBreakdown{Model: model, Schemes: StatsBreakdownSchemes()}
 	cell := func(name string, s Scheme) Job {
-		return Job{Workload: name, Scheme: s, Model: model, Width: opt.Width, Budget: opt.Budget}
+		return Job{Workload: name, Scheme: s, Model: model, Width: opt.Width, Budget: opt.Budget, Skip: opt.Skip, Sample: opt.Sample}
 	}
 	var jobs []Job
 	for _, name := range names {
@@ -440,7 +453,7 @@ func RunStatsBreakdown(model AttackModel, opt EvalOptions) (*StatsBreakdown, err
 			jobs = append(jobs, cell(name, s))
 		}
 	}
-	results, err := runGrid(jobs, opt, runJob)
+	results, err := runGrid(jobs, opt, jobRunner(jobs, opt))
 	if err != nil {
 		return nil, err
 	}
@@ -519,7 +532,7 @@ func RunWidthSweep(widths []int, opt EvalOptions) ([]WidthSweepRow, error) {
 		return nil, err
 	}
 	cell := func(name string, w int) Job {
-		return Job{Workload: name, Scheme: SPTFull, Model: Futuristic, Width: w, Budget: opt.Budget}
+		return Job{Workload: name, Scheme: SPTFull, Model: Futuristic, Width: w, Budget: opt.Budget, Skip: opt.Skip, Sample: opt.Sample}
 	}
 	var jobs []Job
 	for _, name := range names {
@@ -527,7 +540,7 @@ func RunWidthSweep(widths []int, opt EvalOptions) ([]WidthSweepRow, error) {
 			jobs = append(jobs, cell(name, w))
 		}
 	}
-	results, err := runGrid(jobs, opt, runJob)
+	results, err := runGrid(jobs, opt, jobRunner(jobs, opt))
 	if err != nil {
 		return nil, err
 	}

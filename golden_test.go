@@ -73,6 +73,19 @@ func TestGoldenFigure7(t *testing.T) {
 	checkGolden(t, "figure7_futuristic.golden", fig.Text())
 }
 
+// TestGoldenFigure7Sampled pins a sampled Figure-7 grid byte-for-byte: the
+// SMARTS-style estimator is deterministic at any worker count, so its text
+// rendering is as golden-able as the full detailed run.
+func TestGoldenFigure7Sampled(t *testing.T) {
+	opt := goldenOpt()
+	opt.Sample = spt.SampleSpec{Intervals: 3, Warmup: 300, Detail: 500}
+	fig, err := spt.RunFigure7(spt.Futuristic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure7_sampled.golden", fig.Text())
+}
+
 func TestGoldenFigure8(t *testing.T) {
 	rows, err := spt.RunFigure8(goldenOpt())
 	if err != nil {

@@ -13,13 +13,23 @@ import (
 )
 
 // Memory is a sparse byte-addressable memory backed by fixed-size pages.
-// A small direct-mapped cache in front of the page map serves the common
+// Small direct-mapped caches in front of the page map serve the common
 // case — repeated accesses to a few hot pages — without a map lookup per
-// byte. Pages are never deleted, so cached pointers never go stale.
+// byte. Reads and writes use separate caches: a snapshot freezes every
+// page copy-on-write, and the write cache's invariant is that it only
+// holds writable (unfrozen) pages, so the write fast path never needs a
+// frozen check. Any operation that replaces pages behind the caches'
+// backs (Snapshot, restore) must call Invalidate.
 type Memory struct {
 	pages map[uint64]*page
-	ctags [pcacheSlots]uint64 // page number + 1; 0 marks an empty slot
+	ctags [pcacheSlots]uint64 // read cache: page number + 1; 0 marks empty
 	cptrs [pcacheSlots]*page
+	wtags [pcacheSlots]uint64 // write cache: only unfrozen pages
+	wptrs [pcacheSlots]*page
+	// frozen marks pages aliased by at least one live Snapshot. A write to
+	// a frozen page clones it first (copy-on-write), so snapshot contents
+	// are immutable. nil until the first snapshot touches this memory.
+	frozen map[uint64]struct{}
 }
 
 const (
@@ -52,20 +62,46 @@ func (m *Memory) lookup(pn uint64) *page {
 	return p
 }
 
-// ensure returns the page holding pn, allocating it on first touch.
+// ensure returns a writable page holding pn, allocating it on first touch
+// and breaking copy-on-write sharing if the page is frozen by a snapshot.
 func (m *Memory) ensure(pn uint64) *page {
 	i := pn & (pcacheSlots - 1)
-	if m.ctags[i] == pn+1 {
-		return m.cptrs[i]
+	if m.wtags[i] == pn+1 {
+		return m.wptrs[i]
 	}
 	p := m.pages[pn]
 	if p == nil {
 		p = new(page)
 		m.pages[pn] = p
+	} else if m.frozen != nil {
+		if _, f := m.frozen[pn]; f {
+			cp := new(page)
+			*cp = *p
+			m.pages[pn] = cp
+			delete(m.frozen, pn)
+			p = cp
+		}
 	}
+	m.wtags[i] = pn + 1
+	m.wptrs[i] = p
+	// Keep the read cache coherent: after a copy-on-write clone the old
+	// pointer would serve stale data to lookup.
 	m.ctags[i] = pn + 1
 	m.cptrs[i] = p
 	return p
+}
+
+// Invalidate drops every cached page pointer, forcing the next access of
+// each page through the page map. It must be called whenever the page map
+// is mutated behind the caches' backs — Snapshot (which freezes pages) and
+// snapshot restore (which installs a new page map) do so internally.
+// Without it a cached pointer could alias a page that is no longer the
+// live copy.
+func (m *Memory) Invalidate() {
+	m.ctags = [pcacheSlots]uint64{}
+	m.cptrs = [pcacheSlots]*page{}
+	m.wtags = [pcacheSlots]uint64{}
+	m.wptrs = [pcacheSlots]*page{}
 }
 
 // LoadSegments copies a program's initial data image into memory.

@@ -1,0 +1,191 @@
+package emu
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"spt/internal/isa"
+)
+
+// Snapshot is an immutable copy of a machine's complete architectural
+// state: PC, registers, retired-instruction count, halt flag, and the
+// memory image. Taking one is O(pages) pointer copies — the pages
+// themselves are shared copy-on-write with the live memory, so neither
+// continued emulation nor restored machines can mutate snapshot contents.
+// A snapshot may therefore be restored any number of times, concurrently.
+type Snapshot struct {
+	PC      uint64
+	Regs    [isa.NumRegs]uint64
+	Retired uint64
+	Halted  bool
+
+	pages map[uint64]*page
+}
+
+// Snapshot captures the emulator's architectural state. The live memory
+// keeps running: its pages are frozen and any later write clones the
+// affected page first.
+func (e *Emulator) Snapshot() *Snapshot {
+	s := &Snapshot{
+		PC:      e.State.PC,
+		Regs:    e.State.Regs,
+		Retired: e.State.Retired,
+		Halted:  e.State.Halted,
+	}
+	s.pages = e.State.Mem.freeze()
+	return s
+}
+
+// freeze marks every live page copy-on-write and returns an aliasing page
+// map for a snapshot. The write cache is invalidated so no cached pointer
+// can bypass the clone-on-write check.
+func (m *Memory) freeze() map[uint64]*page {
+	pages := make(map[uint64]*page, len(m.pages))
+	if m.frozen == nil {
+		m.frozen = make(map[uint64]struct{}, len(m.pages))
+	}
+	for pn, p := range m.pages {
+		pages[pn] = p
+		m.frozen[pn] = struct{}{}
+	}
+	m.Invalidate()
+	return pages
+}
+
+// NewMemory builds a memory whose initial contents equal the snapshot's.
+// The snapshot's pages are shared copy-on-write; the first write to each
+// page clones it, so the snapshot stays intact. Safe to call concurrently
+// on one snapshot.
+func (s *Snapshot) NewMemory() *Memory {
+	m := NewMemory()
+	m.pages = make(map[uint64]*page, len(s.pages))
+	m.frozen = make(map[uint64]struct{}, len(s.pages))
+	for pn, p := range s.pages {
+		m.pages[pn] = p
+		m.frozen[pn] = struct{}{}
+	}
+	return m
+}
+
+// NewFromSnapshot builds an emulator for prog resuming from the snapshot.
+func NewFromSnapshot(p *isa.Program, s *Snapshot) *Emulator {
+	return &Emulator{
+		Prog: p,
+		State: State{
+			PC:      s.PC,
+			Regs:    s.Regs,
+			Mem:     s.NewMemory(),
+			Halted:  s.Halted,
+			Retired: s.Retired,
+		},
+	}
+}
+
+// Restore rewinds the emulator to the snapshot's state. The previous
+// memory is discarded.
+func (e *Emulator) Restore(s *Snapshot) {
+	e.State = State{
+		PC:      s.PC,
+		Regs:    s.Regs,
+		Mem:     s.NewMemory(),
+		Halted:  s.Halted,
+		Retired: s.Retired,
+	}
+}
+
+// Pages reports the number of pages captured by the snapshot.
+func (s *Snapshot) Pages() int { return len(s.pages) }
+
+// snapMagic identifies (and versions) the serialized snapshot format.
+const snapMagic = "SPTSNAP1"
+
+// MarshalBinary serializes the snapshot to the compact on-disk format:
+// magic, architectural fields, then each allocated page (number + raw
+// bytes) in ascending page-number order. The encoding is deterministic —
+// the same execution always produces the same bytes — so Hash doubles as
+// a content identity for the checkpoint cache.
+func (s *Snapshot) MarshalBinary() ([]byte, error) {
+	pns := make([]uint64, 0, len(s.pages))
+	for pn := range s.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+
+	out := make([]byte, 0, len(snapMagic)+8*(3+isa.NumRegs)+len(pns)*(8+pageSize))
+	out = append(out, snapMagic...)
+	out = binary.LittleEndian.AppendUint64(out, s.PC)
+	out = binary.LittleEndian.AppendUint64(out, s.Retired)
+	var halted uint64
+	if s.Halted {
+		halted = 1
+	}
+	out = binary.LittleEndian.AppendUint64(out, halted)
+	for _, r := range s.Regs {
+		out = binary.LittleEndian.AppendUint64(out, r)
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(pns)))
+	for _, pn := range pns {
+		out = binary.LittleEndian.AppendUint64(out, pn)
+		out = append(out, s.pages[pn][:]...)
+	}
+	return out, nil
+}
+
+// UnmarshalSnapshot parses the format produced by MarshalBinary.
+func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < len(snapMagic) || string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("emu: not a snapshot (bad magic)")
+	}
+	b = b[len(snapMagic):]
+	need := func(n int) error {
+		if len(b) < n {
+			return fmt.Errorf("emu: truncated snapshot")
+		}
+		return nil
+	}
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		return v
+	}
+	if err := need(8 * (3 + isa.NumRegs + 1)); err != nil {
+		return nil, err
+	}
+	s := &Snapshot{pages: map[uint64]*page{}}
+	s.PC = u64()
+	s.Retired = u64()
+	s.Halted = u64() != 0
+	for r := range s.Regs {
+		s.Regs[r] = u64()
+	}
+	n := u64()
+	for i := uint64(0); i < n; i++ {
+		if err := need(8 + pageSize); err != nil {
+			return nil, err
+		}
+		pn := u64()
+		if _, dup := s.pages[pn]; dup {
+			return nil, fmt.Errorf("emu: snapshot page %d duplicated", pn)
+		}
+		p := new(page)
+		copy(p[:], b[:pageSize])
+		b = b[pageSize:]
+		s.pages[pn] = p
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("emu: %d trailing bytes after snapshot", len(b))
+	}
+	return s, nil
+}
+
+// Hash returns the SHA-256 of the canonical serialization: the snapshot's
+// content identity for the checkpoint cache.
+func (s *Snapshot) Hash() ([32]byte, error) {
+	b, err := s.MarshalBinary()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(b), nil
+}

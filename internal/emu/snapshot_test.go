@@ -1,0 +1,167 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spt/internal/isa"
+	"spt/internal/workloads"
+)
+
+// TestSnapshotIsolatesLaterWrites is the copy-on-write contract: writes
+// after a snapshot — through the write-path page cache included — must not
+// leak into the snapshot, and writes through a restored memory must not
+// leak back into it either.
+func TestSnapshotIsolatesLaterWrites(t *testing.T) {
+	e := New(&isa.Program{Code: []isa.Instruction{{Op: isa.HALT}}})
+	m := e.State.Mem
+	m.SetByte(0x10, 1)
+	m.SetByte(0x10, 1) // second write goes through the cached-page fast path
+
+	s := e.Snapshot()
+	m.SetByte(0x10, 2) // must clone the frozen page, not mutate it
+
+	m2 := s.NewMemory()
+	if got := m2.ByteAt(0x10); got != 1 {
+		t.Fatalf("snapshot saw a post-snapshot write: byte = %d, want 1", got)
+	}
+	m2.SetByte(0x10, 3)
+	if got := s.NewMemory().ByteAt(0x10); got != 1 {
+		t.Fatalf("restored-memory write leaked into the snapshot: byte = %d, want 1", got)
+	}
+	if got := m.ByteAt(0x10); got != 2 {
+		t.Fatalf("live memory lost its own write: byte = %d, want 2", got)
+	}
+}
+
+// TestInvalidateDropsStalePagePointers is the regression test for the
+// page-cache staleness bug: before Invalidate existed, replacing a page in
+// the page map left the direct-mapped caches pointing at the old page, so
+// reads served dropped data. Snapshot restore replaces pages wholesale and
+// depends on Invalidate for correctness.
+func TestInvalidateDropsStalePagePointers(t *testing.T) {
+	m := NewMemory()
+	m.SetByte(0x40, 7) // installs the page in both caches
+
+	repl := new(page)
+	repl[0x40] = 9
+	for pn := range m.pages {
+		m.pages[pn] = repl
+	}
+	if got := m.ByteAt(0x40); got != 7 {
+		t.Fatalf("precondition: expected the stale cached page to serve 7, got %d", got)
+	}
+	m.Invalidate()
+	if got := m.ByteAt(0x40); got != 9 {
+		t.Fatalf("after Invalidate: byte = %d, want 9 (cache still stale)", got)
+	}
+}
+
+// TestSnapshotResumeMatchesUninterrupted is the snapshot round-trip
+// property: for random programs, running k steps, snapshotting, and
+// resuming from the snapshot reaches exactly the state an uninterrupted
+// run reaches — registers, PC, retirement count, halt flag, and memory.
+func TestSnapshotResumeMatchesUninterrupted(t *testing.T) {
+	f := func(seed int64, kRaw uint16) bool {
+		p := workloads.RandomProgram(seed, 40)
+		const budget = 2000
+		k := uint64(kRaw) % budget
+
+		ref := New(p)
+		if _, err := ref.Run(budget); err != nil {
+			return true // programs that trap are outside this property
+		}
+
+		e := New(p)
+		if _, err := e.Run(k); err != nil {
+			return true
+		}
+		snap := e.Snapshot()
+		if _, err := e.Run(budget - k); err != nil { // snapshotted machine keeps going
+			return true
+		}
+
+		r := NewFromSnapshot(p, snap)
+		if _, err := r.Run(budget - k); err != nil {
+			t.Logf("seed %d k %d: resume error", seed, k)
+			return false
+		}
+		for _, pair := range [][2]*State{{&ref.State, &e.State}, {&ref.State, &r.State}} {
+			a, b := pair[0], pair[1]
+			if a.PC != b.PC || a.Regs != b.Regs || a.Retired != b.Retired || a.Halted != b.Halted {
+				t.Logf("seed %d k %d: arch state diverged", seed, k)
+				return false
+			}
+		}
+		// Compare memory over every page either machine touched.
+		seen := map[uint64]bool{}
+		for pn := range ref.State.Mem.pages {
+			seen[pn] = true
+		}
+		for pn := range r.State.Mem.pages {
+			seen[pn] = true
+		}
+		for pn := range seen {
+			base := pn << pageShift
+			for off := uint64(0); off < pageSize; off += 8 {
+				if ref.State.Mem.Read(base+off, 8) != r.State.Mem.Read(base+off, 8) {
+					t.Logf("seed %d k %d: memory diverged at %#x", seed, k, base+off)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotMarshalRoundTrip(t *testing.T) {
+	p := workloads.RandomProgram(7, 40)
+	e := New(p)
+	if _, err := e.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+
+	b, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PC != snap.PC || back.Regs != snap.Regs || back.Retired != snap.Retired || back.Halted != snap.Halted {
+		t.Fatal("unmarshaled snapshot's architectural fields differ")
+	}
+	h1, err1 := snap.Hash()
+	h2, err2 := back.Hash()
+	if err1 != nil || err2 != nil || h1 != h2 {
+		t.Fatalf("hash not stable across marshal round trip: %x vs %x", h1, h2)
+	}
+
+	// Resuming from the decoded snapshot behaves identically.
+	a, b2 := NewFromSnapshot(p, snap), NewFromSnapshot(p, back)
+	if _, err := a.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if a.State.PC != b2.State.PC || a.State.Regs != b2.State.Regs || a.State.Retired != b2.State.Retired {
+		t.Fatal("decoded snapshot resumed differently")
+	}
+
+	// Corruption is detected, not silently accepted.
+	if _, err := UnmarshalSnapshot(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated snapshot unmarshaled without error")
+	}
+	if _, err := UnmarshalSnapshot(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Fatal("trailing garbage unmarshaled without error")
+	}
+	if _, err := UnmarshalSnapshot([]byte("NOTASNAP")); err == nil {
+		t.Fatal("bad magic unmarshaled without error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spt/internal/checkpoint"
 	"spt/internal/mem"
 	"spt/internal/pipeline"
 	"spt/internal/taint"
@@ -48,6 +49,32 @@ func TestSteadyStateAllocs(t *testing.T) {
 		{"stt", taint.NewSTT()},
 		{"spt", taint.NewSPT(taint.DefaultSPTConfig())},
 	}
+	// A core booted from a checkpoint must reach the same allocation-free
+	// steady state: restore and the copy-on-write page clones may allocate,
+	// but once the working set is cloned the cycle loop allocates nothing.
+	checkpointedCore := func(t *testing.T) *pipeline.Core {
+		t.Helper()
+		w, err := workloads.ByName("gcc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.Build(1 << 40)
+		hcfg := mem.DefaultHierarchyConfig()
+		cp, err := checkpoint.Build(p, 20_000, hcfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, hier, pred := cp.Materialize(hcfg)
+		c, err := pipeline.BootFromSnapshot(pipeline.DefaultConfig(), p, hier, nil, snap, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(30_000, 1<<60); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			c := steadyStateCore(t, tc.pol)
@@ -69,6 +96,25 @@ func TestSteadyStateAllocs(t *testing.T) {
 			}
 		})
 	}
+
+	t.Run("checkpointed", func(t *testing.T) {
+		c := checkpointedCore(t)
+		var runErr error
+		avg := testing.AllocsPerRun(5, func() {
+			if err := c.Run(c.Stats.Retired+window, 1<<60); err != nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		if c.Finished() {
+			t.Fatal("program halted inside the measurement window")
+		}
+		if avg != 0 {
+			t.Fatalf("checkpointed steady-state loop allocates: %.1f allocs per %d-instruction window", avg, window)
+		}
+	})
 }
 
 // TestROBOccupancyBounded is the regression test for the slice-queue bug:

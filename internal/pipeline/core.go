@@ -224,6 +224,11 @@ type Stats struct {
 	Renamed uint64
 	Issued  uint64
 
+	// FastForwarded is the functionally executed (skipped) instruction
+	// count of the snapshot this core booted from; 0 for a from-reset core.
+	// It is set once at construction, never by the cycle loop.
+	FastForwarded uint64
+
 	BranchResolutions  uint64
 	BranchMispredicts  uint64
 	Squashes           uint64
@@ -421,22 +426,61 @@ type Core struct {
 // New builds a core for prog with the given memory system and policy
 // (nil for the unsafe baseline).
 func New(cfg Config, prog *isa.Program, hier *mem.Hierarchy, pol Policy) (*Core, error) {
+	m := emu.NewMemory()
+	m.LoadSegments(prog.Data)
+	return newCore(cfg, prog, hier, pol, m, predictor.NewUnit(), prog.Entry)
+}
+
+// BootFromSnapshot builds a core that resumes from a functional snapshot
+// instead of reset: the architectural registers seed the initial RAT
+// mappings' physical registers, fetch starts at the snapshot PC, and the
+// memory image is restored copy-on-write (the snapshot itself stays
+// immutable and reusable). pred, if non-nil, supplies a functionally
+// warmed branch-prediction unit (the caller keeps ownership semantics:
+// pass a clone when the warm state is shared); nil boots a cold one. The
+// cycle counter and every statistic start at zero, so the measured region
+// covers only detailed execution; Stats.FastForwarded records the
+// snapshot's functionally executed prefix.
+func BootFromSnapshot(cfg Config, prog *isa.Program, hier *mem.Hierarchy, pol Policy, snap *emu.Snapshot, pred *predictor.Unit) (*Core, error) {
+	if !snap.Halted && snap.PC >= uint64(len(prog.Code)) {
+		return nil, fmt.Errorf("pipeline: snapshot pc %d out of range for %s (%d instructions)", snap.PC, prog.Name, len(prog.Code))
+	}
+	if pred == nil {
+		pred = predictor.NewUnit()
+	}
+	c, err := newCore(cfg, prog, hier, pol, snap.NewMemory(), pred, snap.PC)
+	if err != nil {
+		return nil, err
+	}
+	// Seed the architectural register values through the reset RAT (arch
+	// register r maps to physical register r; register 0 stays hardwired).
+	for r := 1; r < isa.NumRegs; r++ {
+		c.prf[c.rat[r]] = snap.Regs[r]
+	}
+	c.Stats.FastForwarded = snap.Retired
+	if snap.Halted {
+		// Snapshot taken after HALT: there is nothing left to simulate.
+		c.halted, c.finished = true, true
+	}
+	return c, nil
+}
+
+// newCore is the shared construction path behind New and BootFromSnapshot.
+func newCore(cfg Config, prog *isa.Program, hier *mem.Hierarchy, pol Policy, m *emu.Memory, pred *predictor.Unit, entryPC uint64) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	m := emu.NewMemory()
-	m.LoadSegments(prog.Data)
 	c := &Core{
 		Cfg:          cfg,
 		Prog:         prog,
 		Mem:          m,
 		Hier:         hier,
-		Pred:         predictor.NewUnit(),
+		Pred:         pred,
 		Pol:          pol,
-		fetchPC:      prog.Entry,
+		fetchPC:      entryPC,
 		fetchBuf:     make([]fetchEntry, cfg.FetchBufferSize),
 		prf:          make([]uint64, cfg.PhysRegs),
 		prfReady:     make([]bool, cfg.PhysRegs),
@@ -503,6 +547,7 @@ func (c *Core) registerStats() {
 
 	r.Scalar("sim.cycles", "simulated clock cycles", &s.Cycles)
 	r.Scalar("sim.insts", "retired instructions", &s.Retired)
+	r.Scalar("sim.ff_insts", "instructions fast-forwarded functionally before this region", &s.FastForwarded)
 	r.Formula("sim.ipc", "retired instructions per cycle", func() float64 {
 		return s.IPC()
 	})

@@ -1,0 +1,27 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStd(t *testing.T) {
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+	cases := []struct {
+		name      string
+		xs        []float64
+		mean, std float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{3.5}, 3.5, 0},
+		{"constant", []float64{2, 2, 2, 2}, 2, 0},
+		{"pair", []float64{1, 3}, 2, math.Sqrt2},
+		{"known", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 5, math.Sqrt(32.0 / 7.0)},
+	}
+	for _, c := range cases {
+		mean, std := MeanStd(c.xs)
+		if !approx(mean, c.mean) || !approx(std, c.std) {
+			t.Errorf("%s: MeanStd = (%g, %g), want (%g, %g)", c.name, mean, std, c.mean, c.std)
+		}
+	}
+}

@@ -21,12 +21,19 @@ type PerfRow struct {
 	Scheme       Scheme
 	Cycles       uint64
 	Instructions uint64
-	IPC          float64
+	// FastForwarded counts functionally executed instructions (checkpointed
+	// or sampled runs); 0 for plain detailed runs.
+	FastForwarded uint64
+	IPC           float64
 
 	// Host-side simulator throughput for this run.
 	HostSeconds      float64
 	SimKIPS          float64
 	NsPerInstruction float64
+	// EffectiveKIPS includes fast-forwarded instructions in the numerator
+	// and the functional pass in the denominator — the methodology-level
+	// throughput a checkpointed or sampled run achieves.
+	EffectiveKIPS float64
 }
 
 // PerfReport is the simulator-throughput suite's result.
@@ -47,6 +54,12 @@ func RunPerf(opt EvalOptions) (*PerfReport, error) {
 		return nil, err
 	}
 	rep := &PerfReport{Model: Futuristic, Budget: opt.Budget}
+	// One store for the whole suite: with opt.Skip set, each workload's
+	// functional prefix runs once, not once per scheme.
+	store := opt.Checkpoints
+	if store == nil && opt.Skip > 0 {
+		store = NewCheckpointStore("")
+	}
 	for _, name := range names {
 		for _, s := range PerfSchemes() {
 			if opt.Context != nil {
@@ -59,6 +72,9 @@ func RunPerf(opt EvalOptions) (*PerfReport, error) {
 				Model:                 Futuristic,
 				UntaintBroadcastWidth: opt.Width,
 				MaxInstructions:       opt.Budget,
+				SkipInstructions:      opt.Skip,
+				Sample:                opt.Sample,
+				Checkpoints:           store,
 			})
 			if err != nil {
 				return nil, err
@@ -68,10 +84,12 @@ func RunPerf(opt EvalOptions) (*PerfReport, error) {
 				Scheme:           s,
 				Cycles:           res.Cycles,
 				Instructions:     res.Instructions,
+				FastForwarded:    res.FastForwarded,
 				IPC:              res.IPC(),
 				HostSeconds:      res.Host.Seconds,
 				SimKIPS:          res.Host.SimKIPS,
 				NsPerInstruction: res.Host.NsPerInstruction,
+				EffectiveKIPS:    res.Host.EffectiveSimKIPS,
 			})
 		}
 	}
@@ -88,6 +106,7 @@ func (r *PerfReport) Deterministic() *PerfReport {
 		out.Rows[i].HostSeconds = 0
 		out.Rows[i].SimKIPS = 0
 		out.Rows[i].NsPerInstruction = 0
+		out.Rows[i].EffectiveKIPS = 0
 	}
 	return out
 }
@@ -105,12 +124,12 @@ func (r *PerfReport) JSON() (string, error) {
 func (r *PerfReport) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Simulator throughput (%s model, budget %d instructions/run)\n", r.Model, r.Budget)
-	fmt.Fprintf(&b, "%-12s %-8s %12s %12s %7s %12s %12s %10s\n",
-		"benchmark", "scheme", "cycles", "insts", "ipc", "host-sec", "sim-KIPS", "ns/inst")
+	fmt.Fprintf(&b, "%-12s %-8s %12s %12s %10s %7s %12s %12s %10s %10s\n",
+		"benchmark", "scheme", "cycles", "insts", "ff-insts", "ipc", "host-sec", "sim-KIPS", "ns/inst", "eff-KIPS")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-12s %-8s %12d %12d %7.3f %12.3f %12.1f %10.1f\n",
-			row.Workload, row.Scheme, row.Cycles, row.Instructions, row.IPC,
-			row.HostSeconds, row.SimKIPS, row.NsPerInstruction)
+		fmt.Fprintf(&b, "%-12s %-8s %12d %12d %10d %7.3f %12.3f %12.1f %10.1f %10.1f\n",
+			row.Workload, row.Scheme, row.Cycles, row.Instructions, row.FastForwarded, row.IPC,
+			row.HostSeconds, row.SimKIPS, row.NsPerInstruction, row.EffectiveKIPS)
 	}
 	return b.String()
 }

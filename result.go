@@ -19,6 +19,15 @@ type Result struct {
 	Model        AttackModel
 	Cycles       uint64
 	Instructions uint64
+	// FastForwarded counts instructions executed functionally (emulator
+	// fast-forward) rather than in detail: the skip prefix for checkpointed
+	// runs, or everything outside the detailed windows for sampled runs.
+	FastForwarded uint64
+
+	// Sampled is non-nil for sampled runs (Options.Sample); it reports the
+	// per-interval CPI samples and the confidence interval behind the
+	// Cycles estimate.
+	Sampled *SampleStats
 
 	Pipeline  pipeline.Stats
 	Memory    mem.HierarchyStats
@@ -54,6 +63,11 @@ type HostStats struct {
 	SimKIPS float64
 	// NsPerInstruction is host nanoseconds per simulated instruction.
 	NsPerInstruction float64
+	// EffectiveSimKIPS counts fast-forwarded instructions too: total
+	// instructions covered (functional + detailed) per host second,
+	// including the functional pass's own wall time. Equals SimKIPS for
+	// runs without fast-forwarding.
+	EffectiveSimKIPS float64
 }
 
 // TaintStats summarizes the taint engine's activity.

@@ -21,6 +21,12 @@ type Job struct {
 	// default (3), negative means unbounded.
 	Width  int
 	Budget uint64
+	// Skip fast-forwards the cell's first Skip instructions functionally
+	// (Options.SkipInstructions); cells sharing a (workload, skip) prefix
+	// share one checkpoint when the grid carries a store.
+	Skip uint64
+	// Sample enables sampled simulation for the cell (Options.Sample).
+	Sample SampleSpec
 }
 
 // String names the job for errors and progress reporting.
@@ -29,7 +35,14 @@ func (j Job) String() string {
 	if j.Width < 0 {
 		width = "w=unbounded"
 	}
-	return fmt.Sprintf("%s/%s/%s %s budget=%d", j.Workload, j.Scheme, j.Model, width, j.Budget)
+	s := fmt.Sprintf("%s/%s/%s %s budget=%d", j.Workload, j.Scheme, j.Model, width, j.Budget)
+	if j.Skip > 0 {
+		s += fmt.Sprintf(" skip=%d", j.Skip)
+	}
+	if j.Sample.enabled() {
+		s += fmt.Sprintf(" sample=%s", j.Sample)
+	}
+	return s
 }
 
 // options translates the grid cell into simulation options.
@@ -39,6 +52,8 @@ func (j Job) options() Options {
 		Model:                 j.Model,
 		UntaintBroadcastWidth: j.Width,
 		MaxInstructions:       j.Budget,
+		SkipInstructions:      j.Skip,
+		Sample:                j.Sample,
 	}
 }
 
@@ -50,11 +65,35 @@ func (j Job) options() Options {
 // grid. Duplicate jobs are simulated once. On error the first failure in
 // grid order is returned and the partial results are discarded.
 func RunJobs(jobs []Job, opt EvalOptions) (map[Job]*Result, error) {
-	return runGrid(jobs, opt, runJob)
+	return runGrid(jobs, opt, jobRunner(jobs, opt))
 }
 
 // runJob simulates one grid cell.
 func runJob(j Job) (*Result, error) { return Run(j.Workload, j.options()) }
+
+// jobRunner returns the per-cell runner for a grid. When any cell
+// fast-forwards, the cells share a checkpoint store (opt.Checkpoints, or an
+// ephemeral in-memory one) so each distinct workload prefix executes once
+// for the whole grid instead of once per cell.
+func jobRunner(jobs []Job, opt EvalOptions) func(Job) (*Result, error) {
+	store := opt.Checkpoints
+	if store == nil {
+		for _, j := range jobs {
+			if j.Skip > 0 {
+				store = NewCheckpointStore("")
+				break
+			}
+		}
+	}
+	if store == nil {
+		return runJob
+	}
+	return func(j Job) (*Result, error) {
+		o := j.options()
+		o.Checkpoints = store
+		return Run(j.Workload, o)
+	}
+}
 
 // runGrid adapts the simulation grid to the generic worker pool.
 func runGrid(jobs []Job, opt EvalOptions, run func(Job) (*Result, error)) (map[Job]*Result, error) {
@@ -141,11 +180,12 @@ func runPool[J comparable, R any](jobs []J, cfg poolConfig[J], run func(J) (R, e
 		cfg.Progress(done, total, order[k])
 		progressMu.Unlock()
 	}
+	// Every executed job reports, failed or not: progress accounts for
+	// exactly the simulations that ran, so a caller's final tick count
+	// matches executed work even when the last job fails or panics.
 	exec := func(k int) {
 		results[k], errs[k] = safeRun(order[k], run)
-		if errs[k] == nil {
-			report(k)
-		}
+		report(k)
 	}
 
 	if workers == 1 {

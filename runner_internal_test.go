@@ -188,6 +188,48 @@ func TestRunGridProgress(t *testing.T) {
 	}
 }
 
+// TestRunGridProgressCountsFailedJobs pins the exact-completion-accounting
+// contract: progress ticks once per executed job, including the job that
+// fails. Before the fix, a failing (or panicking) final job never reported,
+// so a caller's tick count understated the work that actually ran.
+func TestRunGridProgressCountsFailedJobs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 5
+		jobs := testGrid(n)
+		var mu sync.Mutex
+		executed := 0
+		var lastDone int
+		_, err := runGrid(jobs, EvalOptions{
+			Jobs: workers,
+			Progress: func(done, total int, j Job) {
+				mu.Lock()
+				lastDone = done
+				mu.Unlock()
+			},
+		}, func(j Job) (*Result, error) {
+			mu.Lock()
+			executed++
+			mu.Unlock()
+			if j == jobs[n-1] {
+				panic("simulated crash in the final job")
+			}
+			return stubResult(j), nil
+		})
+		if err == nil {
+			t.Fatalf("Jobs=%d: expected the panic to surface as an error", workers)
+		}
+		if lastDone != executed {
+			t.Errorf("Jobs=%d: progress reported %d completions but %d jobs executed", workers, lastDone, executed)
+		}
+		// Sequentially every job up to and including the panic runs, so the
+		// final tick is exactly n. (In parallel, jobs drained after the
+		// cancel never execute — and correctly never report.)
+		if workers == 1 && lastDone != n {
+			t.Errorf("final tick = %d, want %d (the panicking job must report)", lastDone, n)
+		}
+	}
+}
+
 // TestRunJobsReal exercises the public API end to end on tiny real
 // simulations and checks a parallel grid result matches a direct Run.
 func TestRunJobsReal(t *testing.T) {

@@ -1,0 +1,221 @@
+package spt
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"spt/internal/checkpoint"
+	"spt/internal/isa"
+	"spt/internal/mem"
+	"spt/internal/pipeline"
+	"spt/internal/stats"
+)
+
+// SampleSpec configures SMARTS-style sampled simulation: the instruction
+// budget is split into Intervals equal windows, each window's tail runs in
+// detail (Warmup instructions to re-train detailed-only state, then Detail
+// measured instructions), and everything else fast-forwards functionally
+// with cache/TLB/predictor warming. Whole-run cycles are estimated as
+// mean(measured CPI) x budget with a 95% confidence interval.
+type SampleSpec struct {
+	// Intervals is the number of measurement windows; 0 disables sampling.
+	Intervals int
+	// Warmup is the detailed instruction count run before each measured
+	// window and excluded from it. Default: interval length / 12.
+	Warmup uint64
+	// Detail is the measured detailed instruction count per window.
+	// Default: interval length / 6.
+	Detail uint64
+}
+
+func (s SampleSpec) enabled() bool { return s.Intervals > 0 }
+
+// normalized resolves defaults against the run's instruction budget and
+// validates that the windows fit their intervals.
+func (s SampleSpec) normalized(budget uint64) (SampleSpec, error) {
+	if s.Intervals <= 0 {
+		return s, fmt.Errorf("spt: Sample.Intervals must be positive")
+	}
+	interval := budget / uint64(s.Intervals)
+	if interval == 0 {
+		return s, fmt.Errorf("spt: %d sample intervals do not fit a budget of %d instructions", s.Intervals, budget)
+	}
+	if s.Detail == 0 {
+		s.Detail = interval / 6
+		if s.Detail == 0 {
+			s.Detail = 1
+		}
+	}
+	if s.Warmup == 0 {
+		s.Warmup = interval / 12
+	}
+	if s.Warmup+s.Detail > interval {
+		return s, fmt.Errorf("spt: sample window (%d warmup + %d detail) exceeds the interval length %d",
+			s.Warmup, s.Detail, interval)
+	}
+	return s, nil
+}
+
+// String renders the spec compactly (the -sample CLI syntax).
+func (s SampleSpec) String() string {
+	return fmt.Sprintf("%d:%d:%d", s.Intervals, s.Warmup, s.Detail)
+}
+
+// ParseSampleSpec parses the -sample CLI syntax: "intervals" or
+// "intervals:warmup:detail" (0 for warmup/detail keeps the budget-relative
+// defaults). An empty string disables sampling.
+func ParseSampleSpec(s string) (SampleSpec, error) {
+	var spec SampleSpec
+	if s == "" {
+		return spec, nil
+	}
+	bad := func() (SampleSpec, error) {
+		return SampleSpec{}, fmt.Errorf("spt: bad sample spec %q (want \"intervals\" or \"intervals:warmup:detail\")", s)
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 1 && len(parts) != 3 {
+		return bad()
+	}
+	n, err := strconv.Atoi(parts[0])
+	if err != nil || n <= 0 {
+		return bad()
+	}
+	spec.Intervals = n
+	if len(parts) == 3 {
+		if spec.Warmup, err = strconv.ParseUint(parts[1], 10, 64); err != nil {
+			return bad()
+		}
+		if spec.Detail, err = strconv.ParseUint(parts[2], 10, 64); err != nil {
+			return bad()
+		}
+	}
+	return spec, nil
+}
+
+// SampleStats reports how a sampled run's estimate was formed.
+type SampleStats struct {
+	// Spec is the normalized specification the run used (defaults resolved).
+	Spec SampleSpec
+	// IntervalCPI is each measured window's cycles per instruction.
+	IntervalCPI []float64
+	// MeanCPI is the sample mean of IntervalCPI; Result.Cycles is
+	// MeanCPI x the instruction budget, rounded.
+	MeanCPI float64
+	// CPIConfidence95 is the 95% confidence half-width on MeanCPI
+	// (1.96 x stddev / sqrt(n)).
+	CPIConfidence95 float64
+	// DetailInstructions and DetailCycles total the measured windows;
+	// WarmupInstructions totals detailed warmup (executed in detail but
+	// excluded from the estimate).
+	DetailInstructions uint64
+	DetailCycles       uint64
+	WarmupInstructions uint64
+}
+
+// runSampled is the sampled-simulation driver behind Run: one functional
+// walker pass over the budget, pausing at each interval's window to boot a
+// detailed core from a warm checkpoint. Fully deterministic: the walker,
+// the checkpoints, and each detailed window depend only on the program and
+// options.
+func runSampled(p *isa.Program, o Options) (*Result, error) {
+	spec, err := o.Sample.normalized(o.MaxInstructions)
+	if err != nil {
+		return nil, err
+	}
+	model, err := o.Model.internal()
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Model = model
+	hcfg := mem.DefaultHierarchyConfig()
+	interval := o.MaxInstructions / uint64(spec.Intervals)
+
+	hostStart := time.Now()
+	w := checkpoint.NewWalker(p, hcfg, true)
+	samp := &SampleStats{Spec: spec, IntervalCPI: make([]float64, 0, spec.Intervals)}
+	var last *pipeline.Core
+	var lastTaint *TaintStats
+	for i := 0; i < spec.Intervals; i++ {
+		windowStart := uint64(i+1)*interval - (spec.Warmup + spec.Detail)
+		if err := w.Advance(windowStart); err != nil {
+			return nil, err
+		}
+		snap, hier, pred := w.Checkpoint().Materialize(hcfg)
+
+		pol, sptPol, sttPol, err := o.policy()
+		if err != nil {
+			return nil, err
+		}
+		core, err := pipeline.BootFromSnapshot(cfg, p, hier, pol, snap, pred)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Warmup > 0 {
+			if err := core.Run(spec.Warmup, o.MaxCycles); err != nil {
+				return nil, fmt.Errorf("spt: %s sample interval %d warmup: %w", p.Name, i, err)
+			}
+		}
+		warmCycles, warmInsts := core.Stats.Cycles, core.Stats.Retired
+		target := warmInsts + spec.Detail
+		if err := core.Run(target, o.MaxCycles); err != nil {
+			return nil, fmt.Errorf("spt: %s sample interval %d: %w", p.Name, i, err)
+		}
+		if !core.Finished() && core.Stats.Retired < target {
+			return nil, fmt.Errorf("spt: %s sample interval %d under %s/%s: hit the cycle bound (%d cycles, %d retired)",
+				p.Name, i, o.Scheme, o.Model, core.Stats.Cycles, core.Stats.Retired)
+		}
+		cycles := core.Stats.Cycles - warmCycles
+		insts := core.Stats.Retired - warmInsts
+		if insts == 0 {
+			return nil, fmt.Errorf("spt: %s sample interval %d measured no instructions", p.Name, i)
+		}
+		samp.IntervalCPI = append(samp.IntervalCPI, float64(cycles)/float64(insts))
+		samp.DetailCycles += cycles
+		samp.DetailInstructions += insts
+		samp.WarmupInstructions += warmInsts
+		last = core
+		lastTaint = taintResultStats(sptPol, sttPol)
+	}
+	hostSeconds := time.Since(hostStart).Seconds()
+
+	mean, std := stats.MeanStd(samp.IntervalCPI)
+	samp.MeanCPI = mean
+	samp.CPIConfidence95 = 1.96 * std / math.Sqrt(float64(len(samp.IntervalCPI)))
+
+	detailed := samp.DetailInstructions + samp.WarmupInstructions
+	res := &Result{
+		Workload:     p.Name,
+		Scheme:       o.Scheme,
+		Model:        o.Model,
+		Cycles:       uint64(mean*float64(o.MaxInstructions) + 0.5),
+		Instructions: o.MaxInstructions,
+		// FastForwarded counts budget instructions never executed in detail.
+		FastForwarded: o.MaxInstructions - detailed,
+		Sampled:       samp,
+		// Microarchitectural counters and the stats dump describe the LAST
+		// measured window (plus its warmup) — a representative detailed
+		// region, not whole-run totals, which a sampled run never observes.
+		Pipeline:  last.Stats,
+		Memory:    last.Hier.Stats,
+		L1D:       last.Hier.L1D.Stats(),
+		L2:        last.Hier.L2.Stats(),
+		L3:        last.Hier.L3.Stats(),
+		TLBMisses: last.Hier.DTLB.Stats.Misses,
+		Predictor: last.Pred.Stats,
+		Stats:     last.StatsRegistry().Dump(),
+		Taint:     lastTaint,
+	}
+	res.Host.Seconds = hostSeconds
+	if hostSeconds > 0 {
+		res.Host.SimKIPS = float64(detailed) / hostSeconds / 1e3
+		res.Host.EffectiveSimKIPS = float64(o.MaxInstructions) / hostSeconds / 1e3
+		if detailed > 0 {
+			res.Host.NsPerInstruction = hostSeconds * 1e9 / float64(detailed)
+		}
+	}
+	return res, nil
+}

@@ -8,6 +8,7 @@ import (
 	"spt/internal/isa"
 	"spt/internal/mem"
 	"spt/internal/pipeline"
+	"spt/internal/taint"
 	"spt/internal/workloads"
 )
 
@@ -52,6 +53,15 @@ func RunAssembly(name, source string, opt Options) (*Result, error) {
 }
 
 func runProgram(p *isa.Program, o Options) (*Result, error) {
+	if o.Sample.enabled() {
+		if o.SkipInstructions > 0 {
+			return nil, fmt.Errorf("spt: Sample and SkipInstructions are mutually exclusive (sampling fast-forwards internally)")
+		}
+		if o.WarmupInstructions > 0 {
+			return nil, fmt.Errorf("spt: use Sample.Warmup instead of WarmupInstructions for sampled runs")
+		}
+		return runSampled(p, o)
+	}
 	model, err := o.Model.internal()
 	if err != nil {
 		return nil, err
@@ -62,10 +72,31 @@ func runProgram(p *isa.Program, o Options) (*Result, error) {
 	}
 	cfg := pipeline.DefaultConfig()
 	cfg.Model = model
-	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig())
-	core, err := pipeline.New(cfg, p, hier, pol)
-	if err != nil {
-		return nil, err
+
+	var core *pipeline.Core
+	var ffSeconds float64
+	if o.SkipInstructions > 0 {
+		// Fast-forward the prefix functionally (warming caches, the TLB,
+		// and the predictors) and boot the detailed core from the resulting
+		// checkpoint. A shared Options.Checkpoints store makes the prefix
+		// pass run once per workload across a whole grid.
+		ffStart := time.Now()
+		cp, err := o.checkpointFor(p)
+		if err != nil {
+			return nil, err
+		}
+		snap, hier, pred := cp.Materialize(mem.DefaultHierarchyConfig())
+		ffSeconds = time.Since(ffStart).Seconds()
+		core, err = pipeline.BootFromSnapshot(cfg, p, hier, pol, snap, pred)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		hier := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		core, err = pipeline.New(cfg, p, hier, pol)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var warmCycles, warmInsts uint64
 	if o.WarmupInstructions > 0 {
@@ -85,46 +116,55 @@ func runProgram(p *isa.Program, o Options) (*Result, error) {
 	}
 
 	res := &Result{
-		Workload:     p.Name,
-		Scheme:       o.Scheme,
-		Model:        o.Model,
-		Cycles:       core.Stats.Cycles - warmCycles,
-		Instructions: core.Stats.Retired - warmInsts,
-		Pipeline:     core.Stats,
-		Memory:       hier.Stats,
-		L1D:          hier.L1D.Stats(),
-		L2:           hier.L2.Stats(),
-		L3:           hier.L3.Stats(),
-		TLBMisses:    hier.DTLB.Stats.Misses,
-		Predictor:    core.Pred.Stats,
-		Stats:        core.StatsRegistry().Dump(),
+		Workload:      p.Name,
+		Scheme:        o.Scheme,
+		Model:         o.Model,
+		Cycles:        core.Stats.Cycles - warmCycles,
+		Instructions:  core.Stats.Retired - warmInsts,
+		FastForwarded: core.Stats.FastForwarded,
+		Pipeline:      core.Stats,
+		Memory:        core.Hier.Stats,
+		L1D:           core.Hier.L1D.Stats(),
+		L2:            core.Hier.L2.Stats(),
+		L3:            core.Hier.L3.Stats(),
+		TLBMisses:     core.Hier.DTLB.Stats.Misses,
+		Predictor:     core.Pred.Stats,
+		Stats:         core.StatsRegistry().Dump(),
+		Taint:         taintResultStats(sptPol, sttPol),
 	}
 	res.Host.Seconds = hostSeconds
 	if insts := res.Instructions; insts > 0 && hostSeconds > 0 {
 		res.Host.SimKIPS = float64(insts) / hostSeconds / 1e3
 		res.Host.NsPerInstruction = hostSeconds * 1e9 / float64(insts)
 	}
+	if total := res.FastForwarded + res.Instructions; total > 0 && hostSeconds+ffSeconds > 0 {
+		res.Host.EffectiveSimKIPS = float64(total) / (hostSeconds + ffSeconds) / 1e3
+	}
+	return res, nil
+}
+
+// taintResultStats converts the run's policy counters to the public form;
+// nil for the unsafe baseline.
+func taintResultStats(sptPol *taint.SPT, sttPol *taint.STT) *TaintStats {
 	if sptPol != nil {
-		res.Taint = &TaintStats{Events: map[string]uint64{}}
+		ts := &TaintStats{Events: map[string]uint64{}}
 		for k, v := range sptPol.Stats.Events {
-			res.Taint.Events[EventName(k)] = v
+			ts.Events[EventName(k)] = v
 		}
-		res.Taint.UntaintingCycles = sptPol.Stats.UntaintingCycles
-		res.Taint.UntaintHist = sptPol.Stats.UntaintHist
-		res.Taint.BroadcastDeferred = sptPol.Stats.BroadcastDeferred
-		res.Taint.MemUntaints = sptPol.Stats.MemUntaints
-		res.Taint.TaintedAtRename = sptPol.Stats.TaintedAtRename
-		res.Taint.STLPublicHits = sptPol.Stats.STLPublicHits
+		ts.UntaintingCycles = sptPol.Stats.UntaintingCycles
+		ts.UntaintHist = sptPol.Stats.UntaintHist
+		ts.BroadcastDeferred = sptPol.Stats.BroadcastDeferred
+		ts.MemUntaints = sptPol.Stats.MemUntaints
+		ts.TaintedAtRename = sptPol.Stats.TaintedAtRename
+		ts.STLPublicHits = sptPol.Stats.STLPublicHits
+		return ts
 	}
 	if sttPol != nil {
-		res.Taint = &TaintStats{
+		return &TaintStats{
 			Events:          map[string]uint64{"stt-untaint": sttPol.Stats.Untaints},
 			TaintedAtRename: sttPol.Stats.TaintedAtRename,
 			STLPublicHits:   sttPol.Stats.STLPublicHits,
 		}
 	}
-	if res.Taint != nil && res.Taint.Events == nil {
-		res.Taint.Events = map[string]uint64{}
-	}
-	return res, nil
+	return nil
 }
