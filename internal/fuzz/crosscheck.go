@@ -1,0 +1,138 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"spt/internal/attack"
+	"spt/internal/isa"
+	"spt/internal/symx"
+)
+
+// SymxConfig is the symbolic oracle configuration matching the fuzz
+// harness's gadget contract: a one-byte secret at attack.SecretAddr.
+func SymxConfig() symx.Config {
+	return symx.Config{Secret: symx.SecretSpec{Addr: attack.SecretAddr, Size: 1}}
+}
+
+// Agreement classifies one two-oracle comparison.
+type Agreement string
+
+const (
+	// AgreeSecure: both oracles say the cell is clean.
+	AgreeSecure Agreement = "agree-secure"
+	// AgreeLeak: both oracles observe a leak.
+	AgreeLeak Agreement = "agree-leak"
+	// SymLeakConfirmed: the symbolic oracle found a leak the fuzzer's
+	// default secret pair missed, and replaying the symbolic witness pair
+	// through the differential oracle confirmed the divergence. The
+	// fuzzer was under-testing this cell; the witness makes a reproducer.
+	SymLeakConfirmed Agreement = "sym-leak-confirmed"
+	// SymUnknown: the symbolic oracle abstained; the fuzzer's verdict
+	// stands uncontested.
+	SymUnknown Agreement = "sym-unknown"
+	// SoundnessBug: the symbolic oracle proved the cell secure but the
+	// concrete fuzzer observed a divergence — one of the two oracles is
+	// wrong about the semantics. Always a hard failure.
+	SoundnessBug Agreement = "soundness-bug"
+	// WitnessUnconfirmed: the symbolic oracle claims a leak but its own
+	// witness pair does not diverge the concrete pipeline — the symbolic
+	// model over-approximates this cell. Always a hard failure.
+	WitnessUnconfirmed Agreement = "witness-unconfirmed"
+)
+
+// CrossCheck is the outcome of running both oracles on one cell.
+type CrossCheck struct {
+	Name      string
+	Scheme    string
+	Model     string
+	Agreement Agreement
+	// FuzzLeaked is the differential oracle's verdict on the default
+	// secret pair.
+	FuzzLeaked bool
+	// Sym is the symbolic oracle's full result.
+	Sym symx.Result
+	// Detail describes the divergence (or the abstention reason).
+	Detail string
+}
+
+// OK reports whether the comparison is consistent: anything but a
+// soundness bug or an unconfirmable witness.
+func (c CrossCheck) OK() bool {
+	return c.Agreement != SoundnessBug && c.Agreement != WitnessUnconfirmed
+}
+
+func (c CrossCheck) String() string {
+	return fmt.Sprintf("%s %s/%s: %s (fuzz leak=%v, symx %s via %s) %s",
+		c.Name, c.Scheme, c.Model, c.Agreement, c.FuzzLeaked, c.Sym.Verdict, c.Sym.Method, c.Detail)
+}
+
+// CrossCheckProgram runs the differential and the symbolic oracle on one
+// (program, scheme, model) cell and reconciles the verdicts. Errors are
+// contract violations (architectural secret transmission,
+// non-termination) on which both oracles agree by construction — the
+// symbolic executor mirrors the fuzzer's arch-sameness precheck.
+func CrossCheckProgram(prog *isa.Program, scheme, model string) (CrossCheck, error) {
+	cc := CrossCheck{Name: prog.Name, Scheme: scheme, Model: model}
+	fv, err := CheckLeak(prog, scheme, model)
+	if err != nil {
+		return cc, err
+	}
+	cc.FuzzLeaked = fv.Leaked
+	sym, err := symx.Verify(prog, scheme, model, SymxConfig())
+	if err != nil {
+		return cc, err
+	}
+	cc.Sym = sym
+
+	switch sym.Verdict {
+	case symx.VerdictUnknown:
+		cc.Agreement = SymUnknown
+		cc.Detail = sym.Reason
+	case symx.VerdictSecure:
+		if fv.Leaked {
+			cc.Agreement = SoundnessBug
+			cc.Detail = fv.Div.String()
+		} else {
+			cc.Agreement = AgreeSecure
+		}
+	case symx.VerdictLeak:
+		if fv.Leaked {
+			cc.Agreement = AgreeLeak
+			cc.Detail = sym.Witness.Divergence
+			break
+		}
+		// The fuzzer's fixed pair saw nothing; replay the symbolic
+		// witness pair through the concrete pipeline.
+		wa, wb := sym.Witness.SecretA[0], sym.Witness.SecretB[0]
+		rv, err := CheckLeakWith(prog, scheme, model, wa, wb)
+		if err != nil {
+			return cc, fmt.Errorf("fuzz: witness replay %#x/%#x: %w", wa, wb, err)
+		}
+		if rv.Leaked {
+			cc.Agreement = SymLeakConfirmed
+			cc.Detail = fmt.Sprintf("secrets %#x vs %#x: %s", wa, wb, rv.Div)
+		} else {
+			cc.Agreement = WitnessUnconfirmed
+			cc.Detail = fmt.Sprintf("secrets %#x vs %#x: pipeline traces identical, symbolic says %s",
+				wa, wb, sym.Witness.Divergence)
+		}
+	}
+	return cc, nil
+}
+
+// WitnessEntry packages a confirmed symbolic-only leak (SymLeakConfirmed)
+// as a corpus reproducer: the program with the witness's first secret
+// baked in, annotated with the pair that diverges. Checked in, the
+// regression tests replay it with CheckLeakWith.
+func WitnessEntry(prog *isa.Program, scheme, model string, w *symx.Witness) CorpusEntry {
+	return CorpusEntry{
+		Name: fmt.Sprintf("%s-symx-witness", prog.Name),
+		Meta: map[string]string{
+			"found-by":    "symx",
+			"leaks-under": SchemeModel{Scheme: scheme, Model: model}.String(),
+			"secret-pair": fmt.Sprintf("%#x %#x", w.SecretA[0], w.SecretB[0]),
+			"divergence":  w.Divergence,
+		},
+		Prog: prog,
+	}
+}

@@ -157,8 +157,16 @@ type Verdict struct {
 // transmits its secret architecturally, so a divergence would not be a
 // speculation leak).
 func CheckLeak(prog *isa.Program, scheme, model string) (Verdict, error) {
-	pa := PatchSecret(prog, SecretA)
-	pb := PatchSecret(prog, SecretB)
+	return CheckLeakWith(prog, scheme, model, SecretA, SecretB)
+}
+
+// CheckLeakWith is CheckLeak with an explicit secret pair. The symbolic
+// oracle's leak witnesses are replayed through it: a cell where the
+// default pair happens to collide is re-checked on the pair the
+// relational analysis says must diverge.
+func CheckLeakWith(prog *isa.Program, scheme, model string, secretA, secretB byte) (Verdict, error) {
+	pa := PatchSecret(prog, secretA)
+	pb := PatchSecret(prog, secretB)
 	same, err := ArchSame(pa, pb)
 	if err != nil {
 		return Verdict{}, err
@@ -180,11 +188,11 @@ func CheckLeak(prog *isa.Program, scheme, model string) (Verdict, error) {
 	}
 	ta, err := attack.ObservationTrace(pa, m, polA)
 	if err != nil {
-		return Verdict{}, fmt.Errorf("fuzz: %s secret=%#x: %w", prog.Name, SecretA, err)
+		return Verdict{}, fmt.Errorf("fuzz: %s secret=%#x: %w", prog.Name, secretA, err)
 	}
 	tb, err := attack.ObservationTrace(pb, m, polB)
 	if err != nil {
-		return Verdict{}, fmt.Errorf("fuzz: %s secret=%#x: %w", prog.Name, SecretB, err)
+		return Verdict{}, fmt.Errorf("fuzz: %s secret=%#x: %w", prog.Name, secretB, err)
 	}
 	div := DiffTraces(ta, tb)
 	return Verdict{Leaked: div != nil, Div: div}, nil

@@ -1,0 +1,223 @@
+package symx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spt/internal/emu"
+	"spt/internal/isa"
+)
+
+// regRegALU is every register-register operation emu.ALU defines.
+var regRegALU = []isa.Op{
+	isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SRA,
+	isa.MUL, isa.DIV, isa.REM, isa.SLT, isa.SLTU, isa.MIN, isa.MAX,
+	isa.MINU, isa.MAXU, isa.ADDW, isa.SUBW, isa.ROLW, isa.RORW,
+}
+
+// regImmALU is every register-immediate operation emu.ALU defines.
+var regImmALU = []isa.Op{
+	isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI, isa.SRAI, isa.SLTI,
+}
+
+// TestOpcodeTransferConcrete pins that constructing a term from concrete
+// operands folds to exactly emu.ALU's answer, for every ALU opcode, on
+// random states. The term engine and the emulator share emu.ALU by
+// construction; the test guards the constructors' folding paths.
+func TestOpcodeTransferConcrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	interesting := []uint64{0, 1, 63, 64, ^uint64(0), 1 << 63, 0x8000000080000000}
+	sample := func() uint64 {
+		if rng.Intn(3) == 0 {
+			return interesting[rng.Intn(len(interesting))]
+		}
+		return rng.Uint64()
+	}
+	for _, op := range regRegALU {
+		for i := 0; i < 500; i++ {
+			a, b := sample(), sample()
+			got := Op2(op, Const(a), Const(b))
+			v, ok := got.ConstVal()
+			if !ok {
+				t.Fatalf("%v(const, const) did not fold: %v", op, got)
+			}
+			if want := emu.ALU(op, a, b, 0); v != want {
+				t.Fatalf("%v(%#x, %#x) = %#x, emu says %#x", op, a, b, v, want)
+			}
+		}
+	}
+	for _, op := range regImmALU {
+		for i := 0; i < 500; i++ {
+			a, imm := sample(), int64(sample())
+			got := OpImm(op, Const(a), imm)
+			v, ok := got.ConstVal()
+			if !ok {
+				t.Fatalf("%v(const, %d) did not fold: %v", op, imm, got)
+			}
+			if want := emu.ALU(op, a, 0, imm); v != want {
+				t.Fatalf("%v(%#x, imm %d) = %#x, emu says %#x", op, a, imm, v, want)
+			}
+		}
+	}
+}
+
+// randTerm builds a random term DAG over secret byte 0, depth-bounded.
+func randTerm(rng *rand.Rand, depth int) *Term {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return SecretByte(0)
+		case 1:
+			return Const(rng.Uint64())
+		default:
+			return Const(uint64(rng.Intn(256)))
+		}
+	}
+	if rng.Intn(3) == 0 {
+		op := regImmALU[rng.Intn(len(regImmALU))]
+		imm := int64(rng.Intn(1 << 16))
+		if rng.Intn(2) == 0 {
+			imm = int64(rng.Uint64())
+		}
+		return OpImm(op, randTerm(rng, depth-1), imm)
+	}
+	op := regRegALU[rng.Intn(len(regRegALU))]
+	return Op2(op, randTerm(rng, depth-1), randTerm(rng, depth-1))
+}
+
+// TestOpcodeTransferSymbolic checks, exhaustively over the byte-secret
+// domain, that every random symbolic term evaluates to the same value the
+// emulator computes on the concrete inputs — i.e. folding and varbits
+// never change a term's meaning.
+func TestOpcodeTransferSymbolic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		a := randTerm(rng, 4)
+		for _, op := range regRegALU {
+			b := randTerm(rng, 2)
+			got := Op2(op, a, b)
+			for s := 0; s < 256; s++ {
+				secret := []byte{byte(s)}
+				want := emu.ALU(op, a.Eval(secret), b.Eval(secret), 0)
+				if v := got.Eval(secret); v != want {
+					t.Fatalf("%v: secret %#x: got %#x want %#x (term %v)", op, s, v, want, got)
+				}
+			}
+		}
+		for _, op := range regImmALU {
+			imm := int64(rng.Uint64())
+			got := OpImm(op, a, imm)
+			for s := 0; s < 256; s++ {
+				secret := []byte{byte(s)}
+				want := emu.ALU(op, a.Eval(secret), 0, imm)
+				if v := got.Eval(secret); v != want {
+					t.Fatalf("%v imm %d: secret %#x: got %#x want %#x", op, imm, s, v, want)
+				}
+			}
+		}
+	}
+}
+
+// TestVarbitsSound pins the varbits contract on random term DAGs: a bit
+// outside varbits never differs from the base value on any secret.
+func TestVarbitsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		tm := randTerm(rng, 6)
+		for s := 0; s < 256; s++ {
+			v := tm.Eval([]byte{byte(s)})
+			if diff := (v ^ tm.base) &^ tm.varbits; diff != 0 {
+				t.Fatalf("trial %d: secret %#x: bits %#x vary outside varbits %#x (term %v)",
+					trial, s, diff, tm.varbits, tm)
+			}
+		}
+	}
+}
+
+// TestUniformAndWitness checks ctx.uniform and witnessPair against brute
+// force on random terms.
+func TestUniformAndWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ctx := newTermCtx(1)
+	for trial := 0; trial < 500; trial++ {
+		tm := randTerm(rng, 5)
+		first := tm.Eval([]byte{0})
+		bruteUniform := true
+		for s := 1; s < 256; s++ {
+			if tm.Eval([]byte{byte(s)}) != first {
+				bruteUniform = false
+				break
+			}
+		}
+		v, ok := ctx.uniform(tm)
+		if ok != bruteUniform {
+			t.Fatalf("trial %d: uniform=%v, brute force says %v (term %v)", trial, ok, bruteUniform, tm)
+		}
+		if ok && v != first {
+			t.Fatalf("trial %d: uniform value %#x, brute force says %#x", trial, v, first)
+		}
+		wa, wb, wok := ctx.witnessPair(tm)
+		if wok == bruteUniform {
+			t.Fatalf("trial %d: witnessPair ok=%v on uniform=%v term", trial, wok, bruteUniform)
+		}
+		if wok && tm.Eval(wa) == tm.Eval(wb) {
+			t.Fatalf("trial %d: witness pair %#x/%#x does not distinguish the term", trial, wa, wb)
+		}
+	}
+}
+
+// TestVecTermFolds checks that a uniform value table folds to a constant
+// and a varying one round-trips through Eval.
+func TestVecTermFolds(t *testing.T) {
+	ctx := newTermCtx(1)
+	same := make([]uint64, 256)
+	for i := range same {
+		same[i] = 0xABCD
+	}
+	if v, ok := ctx.vecTerm(same).ConstVal(); !ok || v != 0xABCD {
+		t.Fatalf("uniform vec did not fold to its value: %v %v", v, ok)
+	}
+	vary := make([]uint64, 256)
+	for i := range vary {
+		vary[i] = uint64(i) * 3
+	}
+	vt := ctx.vecTerm(vary)
+	if vt.IsConst() {
+		t.Fatal("varying vec folded to a constant")
+	}
+	for s := 0; s < 256; s++ {
+		if got := vt.Eval([]byte{byte(s)}); got != uint64(s)*3 {
+			t.Fatalf("vec eval at %d: got %d want %d", s, got, s*3)
+		}
+	}
+}
+
+// TestDomainRoundTrip pins the canonical enumeration order both ways.
+func TestDomainRoundTrip(t *testing.T) {
+	f := func(idx uint16) bool {
+		s := domainSecret(int(idx), 2)
+		return domainIndex(s) == int(idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if domainIndex([]byte{0x34, 0x12}) != 0x1234 {
+		t.Fatal("domainIndex is not little-endian")
+	}
+}
+
+// TestTwoByteSecretVals checks per-byte extraction over a 2-byte domain.
+func TestTwoByteSecretVals(t *testing.T) {
+	ctx := newTermCtx(2)
+	sum := Op2(isa.ADD, SecretByte(0), OpImm(isa.SHLI, SecretByte(1), 8))
+	vals := ctx.vals(sum)
+	for i := 0; i < ctx.size; i += 257 {
+		if vals[i] != uint64(i) {
+			t.Fatalf("2-byte reassembly at %d: got %d", i, vals[i])
+		}
+	}
+	if _, ok := ctx.uniform(sum); ok {
+		t.Fatal("secret sum reported uniform")
+	}
+}
