@@ -28,12 +28,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"spt"
 	"spt/internal/attack"
@@ -91,7 +95,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spt-bench: %v\n", err)
 		os.Exit(1)
 	}
-	opt := spt.EvalOptions{Budget: *budget, Jobs: *jobs, Skip: *skip, Sample: sampleSpec}
+	// SIGINT/SIGTERM cancel the evaluation context: the worker pool stops
+	// picking up grid cells after the in-flight simulations finish, so a
+	// long campaign exits cleanly instead of needing a hard kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opt := spt.EvalOptions{Budget: *budget, Jobs: *jobs, Skip: *skip, Sample: sampleSpec, Context: ctx}
 	if *ckptDir != "" {
 		opt.Checkpoints = spt.NewCheckpointStore(*ckptDir)
 	}
@@ -112,6 +121,10 @@ func main() {
 			return
 		}
 		if err := f(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "spt-bench: %s: interrupted (partial grid discarded)\n", name)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "spt-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}

@@ -17,12 +17,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"spt"
 	"spt/internal/fuzz"
@@ -69,11 +73,17 @@ func main() {
 		}()
 	}
 
+	// SIGINT/SIGTERM cancel the campaign context: the oracle pool stops
+	// picking up cells once the in-flight checks finish, so a long campaign
+	// exits cleanly mid-grid instead of needing a hard kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	opt := spt.FuzzOptions{
 		Seed:     *seed,
 		Count:    *count,
 		Jobs:     *jobs,
 		Minimize: *minimize,
+		Context:  ctx,
 	}
 	for _, name := range splitList(*schemes) {
 		if _, err := fuzz.PolicyByName(name); err != nil {
@@ -98,6 +108,10 @@ func main() {
 
 	rep, err := spt.RunFuzz(opt)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "spt-fuzz: interrupted (partial campaign discarded)")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 

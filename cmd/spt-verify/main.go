@@ -20,10 +20,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"spt"
 	"spt/internal/fuzz"
@@ -47,11 +51,17 @@ func main() {
 		fatal(fmt.Errorf("nothing to verify: pass -corpus and/or -count"))
 	}
 
+	// SIGINT/SIGTERM cancel the campaign context: the cell pool stops
+	// picking up work once the in-flight oracle runs finish, so a long
+	// cross-check exits cleanly mid-grid instead of needing a hard kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	opt := spt.VerifyOptions{
 		CorpusDir: *corpus,
 		Seed:      *seed,
 		Count:     *count,
 		Jobs:      *jobs,
+		Context:   ctx,
 	}
 	for _, name := range splitList(*schemes) {
 		if _, err := fuzz.PolicyByName(name); err != nil {
@@ -76,6 +86,10 @@ func main() {
 
 	rep, err := spt.RunVerify(opt)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "spt-verify: interrupted (partial campaign discarded)")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 

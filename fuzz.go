@@ -117,6 +117,9 @@ type MinimizedRepro struct {
 // (Seed, Count, Schemes, Models, Minimize) are byte-identical regardless
 // of Jobs.
 type FuzzReport struct {
+	// Engine is the EngineVersion that produced the report, so archived
+	// or cached reports are distinguishable across code changes.
+	Engine    string           `json:"engine"`
 	Seed      int64            `json:"seed"`
 	Count     int              `json:"count"`
 	Schemes   []Scheme         `json:"schemes"`
@@ -221,7 +224,7 @@ func RunFuzz(opt FuzzOptions) (*FuzzReport, error) {
 	}
 
 	// Aggregate strictly in enumeration order.
-	rep := &FuzzReport{Seed: opt.Seed, Count: opt.Count, Schemes: opt.Schemes, Models: opt.Models}
+	rep := &FuzzReport{Engine: EngineVersion, Seed: opt.Seed, Count: opt.Count, Schemes: opt.Schemes, Models: opt.Models}
 	cellIdx := map[FuzzJob]int{}
 	for _, s := range opt.Schemes {
 		for _, m := range opt.Models {

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// cache is the content-addressed result cache: an in-memory LRU over
+// payload bytes, optionally backed by an on-disk layer that survives
+// restarts. Keys are JobSpec.Key() values — they already include the
+// engine version and the workload program content hashes, so a stale
+// entry is unreachable by construction and no validation is needed on
+// read.
+type cache struct {
+	entries int    // memory capacity (number of payloads)
+	dir     string // "" disables the disk layer
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	payload []byte
+}
+
+func newCache(entries int, dir string) (*cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &cache{
+		entries: entries,
+		dir:     dir,
+		ll:      list.New(),
+		items:   map[string]*list.Element{},
+	}, nil
+}
+
+// keyPattern guards the disk layer against ever turning a malformed id
+// into a path: keys are SHA-256 hex and nothing else reaches the disk.
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// path shards entries by the key's first byte to keep directories small.
+func (c *cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// get returns the cached payload and which layer served it ("memory",
+// "disk", or "" for a miss). A disk hit is promoted into memory.
+func (c *cache) get(key string) ([]byte, string) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		p := el.Value.(*cacheEntry).payload
+		c.mu.Unlock()
+		return p, "memory"
+	}
+	c.mu.Unlock()
+
+	if c.dir == "" || !keyPattern.MatchString(key) {
+		return nil, ""
+	}
+	p, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, ""
+	}
+	c.insert(key, p)
+	return p, "disk"
+}
+
+// put stores a payload in memory and, when configured, on disk. Disk
+// writes are atomic (tmp + rename) so a crashed server never leaves a
+// torn payload for its successor to serve.
+func (c *cache) put(key string, payload []byte) {
+	c.insert(key, payload)
+	if c.dir == "" || !keyPattern.MatchString(key) {
+		return
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return // the disk layer is best-effort; memory already has it
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cache-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+func (c *cache) insert(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).payload = payload
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, payload: payload})
+	for c.ll.Len() > c.entries {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of in-memory entries (for tests and metrics).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// hexKey builds a syntactically valid cache key from a label.
+func hexKey(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := newCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2, k3 := hexKey("1"), hexKey("2"), hexKey("3")
+	c.put(k1, []byte("one"))
+	c.put(k2, []byte("two"))
+	if _, layer := c.get(k1); layer != "memory" {
+		t.Fatal("k1 missing before eviction")
+	}
+	c.put(k3, []byte("three")) // evicts k2 (k1 was just touched)
+	if _, layer := c.get(k2); layer != "" {
+		t.Fatal("k2 survived eviction")
+	}
+	if p, layer := c.get(k1); layer != "memory" || string(p) != "one" {
+		t.Fatalf("k1 lost: %q %q", p, layer)
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.len())
+	}
+	// Re-put of an existing key updates in place without growing.
+	c.put(k1, []byte("uno"))
+	if p, _ := c.get(k1); string(p) != "uno" {
+		t.Fatalf("re-put did not update: %q", p)
+	}
+	if c.len() != 2 {
+		t.Fatalf("re-put grew the cache: %d", c.len())
+	}
+}
+
+func TestCacheDiskLayerSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	key := hexKey("persist")
+	payload := []byte(`{"answer": 42}` + "\n")
+
+	c1, err := newCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.put(key, payload)
+
+	// A new cache instance (fresh memory) must find the payload on disk
+	// and promote it.
+	c2, err := newCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, layer := c2.get(key)
+	if layer != "disk" || !bytes.Equal(p, payload) {
+		t.Fatalf("disk layer miss: layer=%q payload=%q", layer, p)
+	}
+	if _, layer := c2.get(key); layer != "memory" {
+		t.Fatal("disk hit was not promoted to memory")
+	}
+
+	// No stray temp files: every write is tmp+rename.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && e.Name()[0] == '.' {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestCacheRejectsMalformedKeysOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := newCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A key that is not SHA-256 hex must never touch the filesystem — but
+	// the memory layer still works.
+	evil := "../../etc/passwd"
+	c.put(evil, []byte("x"))
+	if p, layer := c.get(evil); layer != "memory" || string(p) != "x" {
+		t.Fatalf("memory layer broken for non-hex key: %q %q", p, layer)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("malformed key reached the disk layer: %v", entries)
+	}
+}
+
+func TestCacheMemoryOnly(t *testing.T) {
+	c, err := newCache(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hexKey("mem")
+	if _, layer := c.get(key); layer != "" {
+		t.Fatal("empty cache hit")
+	}
+	c.put(key, []byte("v"))
+	if p, layer := c.get(key); layer != "memory" || string(p) != "v" {
+		t.Fatalf("memory-only cache broken: %q %q", p, layer)
+	}
+}
+
+func TestCacheManyKeysShard(t *testing.T) {
+	dir := t.TempDir()
+	c, err := newCache(1, dir) // memory holds 1; disk holds all
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c.put(hexKey(fmt.Sprint(i)), []byte{byte(i)})
+	}
+	for i := 0; i < 8; i++ {
+		p, layer := c.get(hexKey(fmt.Sprint(i)))
+		if layer == "" || len(p) != 1 || p[0] != byte(i) {
+			t.Fatalf("key %d lost (layer=%q)", i, layer)
+		}
+	}
+}
+
+func TestNewCacheBadDir(t *testing.T) {
+	dir := t.TempDir()
+	file := dir + "/not-a-dir"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newCache(4, file); err == nil {
+		t.Fatal("newCache accepted a file as its directory")
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"spt"
+)
+
+// These tests run the real evaluation engine through the server and
+// assert the determinism contract end to end: the payload a client gets
+// from spt-serve is byte-identical to what a direct library call
+// produces. This is acceptance criterion (c) and the property that makes
+// the content-addressed cache sound.
+
+func submitAndWait(t *testing.T, s *Server, spec *JobSpec) *JobStatus {
+	t.Helper()
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, s, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job failed: %s %q", final.State, final.Error)
+	}
+	return final
+}
+
+func TestE2EGridMatchesDirectRunJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine e2e in -short mode")
+	}
+	s := newTestServer(t, Config{Workers: 2}, nil) // nil: the real runSpec
+	defer shutdownNow(t, s)
+
+	spec := &JobSpec{Type: TypeGrid, Cells: []CellSpec{
+		{Workload: "mcf", Budget: 3000},
+		{Workload: "mcf", Scheme: "spt", Budget: 3000},
+		{Workload: "chacha20", Scheme: "stt", Model: "spectre", Budget: 3000},
+	}}
+	final := submitAndWait(t, s, spec)
+
+	// The direct path: same cells through the library, rendered with the
+	// same payload helper a client of the Go API would use.
+	direct := &JobSpec{Type: TypeGrid, Cells: []CellSpec{
+		{Workload: "mcf", Budget: 3000},
+		{Workload: "mcf", Scheme: "spt", Budget: 3000},
+		{Workload: "chacha20", Scheme: "stt", Model: "spectre", Budget: 3000},
+	}}
+	if err := direct.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]spt.Job, len(direct.Cells))
+	for i, c := range direct.Cells {
+		j, err := c.Job()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	results, err := spt.RunJobs(jobs, spt.EvalOptions{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GridPayload(direct.Cells, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final.Result, want) {
+		t.Fatalf("server payload differs from direct RunJobs output:\nserver %d bytes, direct %d bytes", len(final.Result), len(want))
+	}
+
+	// The replayed (cached) payload is the same bytes again.
+	again, err := s.Submit(&JobSpec{Type: TypeGrid, Cells: []CellSpec{
+		{Workload: "mcf", Budget: 3000},
+		{Workload: "mcf", Scheme: "spt", Budget: 3000},
+		{Workload: "chacha20", Scheme: "stt", Model: "spectre", Budget: 3000},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != StateDone || !bytes.Equal(again.Result, want) {
+		t.Fatal("cached replay diverged from the computed payload")
+	}
+	if got := metricValue(t, s, "serve.backend_runs"); got != 1 {
+		t.Fatalf("replay re-ran the backend: %d runs", got)
+	}
+}
+
+func TestE2ESimulateMatchesDirectRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine e2e in -short mode")
+	}
+	s := newTestServer(t, Config{Workers: 1}, nil)
+	defer shutdownNow(t, s)
+
+	spec := &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{Workload: "xz", Scheme: "spt", Budget: 2000}}}
+	final := submitAndWait(t, s, spec)
+
+	direct := &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{Workload: "xz", Scheme: "spt", Budget: 2000}}}
+	if err := direct.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	j, err := direct.Cells[0].Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := spt.RunJobs([]spt.Job{j}, spt.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SimulatePayload(direct.Cells[0], results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final.Result, want) {
+		t.Fatal("simulate payload differs from direct Run output")
+	}
+	if !bytes.Contains(final.Result, []byte(`"engine": "`+spt.EngineVersion+`"`)) {
+		t.Fatal("payload missing the engine version stamp")
+	}
+}
+
+func TestE2EFuzzMatchesDirectRunFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine e2e in -short mode")
+	}
+	s := newTestServer(t, Config{Workers: 1}, nil)
+	defer shutdownNow(t, s)
+
+	spec := &JobSpec{Type: TypeFuzz, Fuzz: &FuzzSpec{
+		Seed: 7, Count: 3, Schemes: []string{"unsafe", "spt"}, Models: []string{"futuristic"},
+	}}
+	final := submitAndWait(t, s, spec)
+
+	rep, err := spt.RunFuzz(spt.FuzzOptions{
+		Seed: 7, Count: 3,
+		Schemes: []spt.Scheme{spt.UnsafeBaseline, spt.SPTFull},
+		Models:  []spt.AttackModel{spt.Futuristic},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(final.Result) != want {
+		t.Fatal("fuzz payload differs from direct RunFuzz output")
+	}
+}
+
+func TestE2EVerifyMatchesDirectRunVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine e2e in -short mode")
+	}
+	s := newTestServer(t, Config{Workers: 1}, nil)
+	defer shutdownNow(t, s)
+
+	spec := &JobSpec{Type: TypeVerify, Verify: &VerifySpec{
+		Seed: 3, Count: 2, Schemes: []string{"unsafe"}, Models: []string{"futuristic"},
+	}}
+	final := submitAndWait(t, s, spec)
+
+	rep, err := spt.RunVerify(spt.VerifyOptions{
+		Seed: 3, Count: 2,
+		Schemes: []spt.Scheme{spt.UnsafeBaseline},
+		Models:  []spt.AttackModel{spt.Futuristic},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(final.Result) != want {
+		t.Fatal("verify payload differs from direct RunVerify output")
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"spt"
+)
+
+// runSpec executes a normalized spec against the evaluation engine and
+// renders the canonical result payload. It is the server's only coupling
+// to the engine, and the seam the unit tests stub: everything above it
+// (queue, coalescing, cache, HTTP) is engine-agnostic.
+//
+// gridJobs is the engine-level worker count per job (EvalOptions.Jobs /
+// FuzzOptions.Jobs); the server's own concurrency is jobs-in-flight, so
+// the default keeps each job sequential and lets the queue provide the
+// parallelism.
+func runSpec(ctx context.Context, spec *JobSpec, gridJobs int, progress func(done, total int)) ([]byte, error) {
+	switch spec.Type {
+	case TypeSimulate, TypeGrid:
+		jobs := make([]spt.Job, len(spec.Cells))
+		for i, c := range spec.Cells {
+			j, err := c.Job()
+			if err != nil {
+				return nil, err
+			}
+			jobs[i] = j
+		}
+		opt := spt.EvalOptions{Jobs: gridJobs, Context: ctx}
+		if progress != nil {
+			opt.Progress = func(done, total int, _ spt.Job) { progress(done, total) }
+		}
+		results, err := spt.RunJobs(jobs, opt)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Type == TypeSimulate {
+			return SimulatePayload(spec.Cells[0], results)
+		}
+		return GridPayload(spec.Cells, results)
+
+	case TypeFuzz:
+		f := spec.Fuzz
+		opt := spt.FuzzOptions{
+			Seed:     f.Seed,
+			Count:    f.Count,
+			Schemes:  schemeList(f.Schemes),
+			Models:   modelList(f.Models),
+			Minimize: f.Minimize,
+			Jobs:     gridJobs,
+			Context:  ctx,
+		}
+		if progress != nil {
+			opt.Progress = func(done, total int, _ spt.FuzzJob) { progress(done, total) }
+		}
+		rep, err := spt.RunFuzz(opt)
+		if err != nil {
+			return nil, err
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			return nil, err
+		}
+		return []byte(js), nil
+
+	case TypeVerify:
+		v := spec.Verify
+		opt := spt.VerifyOptions{
+			Seed:    v.Seed,
+			Count:   v.Count,
+			Schemes: schemeList(v.Schemes),
+			Models:  modelList(v.Models),
+			Jobs:    gridJobs,
+			Context: ctx,
+		}
+		if progress != nil {
+			opt.Progress = func(done, total int, _ spt.VerifyJob) { progress(done, total) }
+		}
+		rep, err := spt.RunVerify(opt)
+		if err != nil {
+			return nil, err
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			return nil, err
+		}
+		return []byte(js), nil
+	}
+	return nil, fmt.Errorf("serve: unknown job type %q", spec.Type)
+}
+
+// deterministicResult strips the host-dependent measurements from a result
+// so the payload is a pure function of the spec and the engine version —
+// the property content addressing relies on.
+func deterministicResult(r *spt.Result) *spt.Result {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	cp.Host = spt.HostStats{}
+	return &cp
+}
+
+// SimulatePayload renders a one-cell job's payload: the single result as
+// indented JSON with host stats zeroed. Exported so tests and tooling can
+// reproduce server payloads from a direct spt.RunJobs call.
+func SimulatePayload(cell CellSpec, results map[spt.Job]*spt.Result) ([]byte, error) {
+	j, err := cell.Job()
+	if err != nil {
+		return nil, err
+	}
+	res, ok := results[j]
+	if !ok {
+		return nil, fmt.Errorf("serve: missing result for cell %v", j)
+	}
+	b, err := json.MarshalIndent(deterministicResult(res), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// GridPayload renders a grid job's payload: the results in cell order as
+// an indented JSON array with host stats zeroed. Byte-identical output is
+// guaranteed for identical specs at any engine worker count, because
+// spt.RunJobs aggregates deterministically and encoding/json sorts map
+// keys.
+func GridPayload(cells []CellSpec, results map[spt.Job]*spt.Result) ([]byte, error) {
+	out := make([]*spt.Result, len(cells))
+	for i, c := range cells {
+		j, err := c.Job()
+		if err != nil {
+			return nil, err
+		}
+		res, ok := results[j]
+		if !ok {
+			return nil, fmt.Errorf("serve: missing result for cell %v", j)
+		}
+		out[i] = deterministicResult(res)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

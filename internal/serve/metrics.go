@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"spt"
+	"spt/internal/stats"
+)
+
+// metrics holds the server's operational counters, exposed through the
+// same gem5-style registry the simulator uses for hardware counters so
+// /v1/metrics speaks the established stats-dump JSON format.
+//
+// The registry's counters are plain (non-atomic) uint64s by design — the
+// simulator increments them in single-threaded hot loops. The server is
+// concurrent, so every increment and every Dump happens under the server
+// mutex; nothing here touches the fields without it.
+type metrics struct {
+	submitted            uint64 // jobs accepted (new, coalesced, or cached)
+	coalesced            uint64 // requests attached to an in-flight identical job
+	cacheHitsMem         uint64 // requests served from the in-memory result cache
+	cacheHitsDisk        uint64 // requests served from the on-disk result cache
+	backendRuns          uint64 // jobs actually executed by the engine
+	completed            uint64 // jobs that reached the done state
+	failed               uint64 // jobs that reached the failed state
+	cancelled            uint64 // jobs cancelled (queued or running)
+	resumed              uint64 // jobs re-enqueued from the journal at startup
+	rejectedQuota        uint64 // submissions refused by a tenant quota
+	rejectedBackpressure uint64 // submissions refused by queue-depth backpressure
+	rejectedDraining     uint64 // submissions refused during graceful drain
+
+	// latency records POST-to-terminal wall time in milliseconds per job
+	// type. Host-dependent, so it lives only in /v1/metrics — never in a
+	// result payload.
+	latency map[string]*stats.Hist
+
+	reg *stats.Registry
+}
+
+// newMetrics builds the registry. queueDepth reads the live queue length;
+// it is called at Dump time, under the same server mutex as everything
+// else here.
+func newMetrics(queueDepth func() int) *metrics {
+	m := &metrics{
+		latency: map[string]*stats.Hist{
+			TypeSimulate: {}, TypeGrid: {}, TypeFuzz: {}, TypeVerify: {},
+		},
+		reg: stats.New(),
+	}
+	r := m.reg
+	r.Scalar("serve.submitted", "jobs accepted (new, coalesced, or cached)", &m.submitted)
+	r.Scalar("serve.coalesced", "requests attached to an in-flight identical job", &m.coalesced)
+	r.Scalar("serve.cache_hits_mem", "requests served from the in-memory result cache", &m.cacheHitsMem)
+	r.Scalar("serve.cache_hits_disk", "requests served from the on-disk result cache", &m.cacheHitsDisk)
+	r.Scalar("serve.backend_runs", "jobs executed by the evaluation engine", &m.backendRuns)
+	r.Scalar("serve.completed", "jobs finished successfully", &m.completed)
+	r.Scalar("serve.failed", "jobs finished with an error", &m.failed)
+	r.Scalar("serve.cancelled", "jobs cancelled while queued or running", &m.cancelled)
+	r.Scalar("serve.resumed", "jobs re-enqueued from the journal at startup", &m.resumed)
+	r.Scalar("serve.rejected_quota", "submissions refused by a tenant quota", &m.rejectedQuota)
+	r.Scalar("serve.rejected_backpressure", "submissions refused by queue-depth backpressure", &m.rejectedBackpressure)
+	r.Scalar("serve.rejected_draining", "submissions refused during graceful drain", &m.rejectedDraining)
+	r.Formula("serve.queue_depth", "jobs currently queued", func() float64 {
+		return float64(queueDepth())
+	})
+	r.Formula("serve.coalesce_rate", "coalesced requests per accepted job", func() float64 {
+		if m.submitted == 0 {
+			return 0
+		}
+		return float64(m.coalesced) / float64(m.submitted)
+	})
+	r.Formula("serve.cache_hit_rate", "cache hits per accepted job", func() float64 {
+		if m.submitted == 0 {
+			return 0
+		}
+		return float64(m.cacheHitsMem+m.cacheHitsDisk) / float64(m.submitted)
+	})
+	for _, t := range []string{TypeSimulate, TypeGrid, TypeFuzz, TypeVerify} {
+		r.Hist("serve.latency_ms."+t, "submit-to-terminal latency (ms) for "+t+" jobs", m.latency[t])
+	}
+	return m
+}
+
+// dump snapshots the registry, stamped with the engine version like every
+// other JSON artifact the repo emits. Caller holds the server mutex.
+func (m *metrics) dump() *stats.Dump {
+	d := m.reg.Dump()
+	d.Engine = spt.EngineVersion
+	return d
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotaTable implements per-tenant token buckets: each tenant accrues
+// rate tokens per second up to burst, and admitting a job costs one
+// token. A zero rate disables quotas entirely. Coalesced and cached
+// requests are never charged — only work that would occupy a backend
+// worker consumes tokens.
+type quotaTable struct {
+	rate  float64 // tokens per second; <= 0 disables
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	now     func() time.Time // test hook
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaTable(rate float64, burst int) *quotaTable {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &quotaTable{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: map[string]*tokenBucket{},
+		now:     time.Now,
+	}
+}
+
+// allow charges one token to the tenant's bucket. On refusal it returns
+// the duration after which a retry would succeed (the Retry-After value).
+func (q *quotaTable) allow(tenant string) (bool, time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	b.tokens = math.Min(q.burst, b.tokens+now.Sub(b.last).Seconds()*q.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuotaDisabled(t *testing.T) {
+	q := newQuotaTable(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.allow("t"); !ok {
+			t.Fatal("disabled quota refused a request")
+		}
+	}
+}
+
+func TestQuotaBurstAndRefill(t *testing.T) {
+	q := newQuotaTable(1, 2) // 1 token/sec, burst 2
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.allow("alice"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, wait := q.allow("alice")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry-after = %v, want (0, 1s]", wait)
+	}
+
+	// Tenants are isolated.
+	if ok, _ := q.allow("bob"); !ok {
+		t.Fatal("bob charged for alice's tokens")
+	}
+
+	// Time refills the bucket.
+	now = now.Add(1500 * time.Millisecond)
+	if ok, _ := q.allow("alice"); !ok {
+		t.Fatal("refill did not admit")
+	}
+	if ok, _ := q.allow("alice"); ok {
+		t.Fatal("1.5s refilled two tokens at 1/sec")
+	}
+
+	// The bucket caps at burst, never beyond.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.allow("alice"); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("after a long idle, admitted %d, want burst=2", admitted)
+	}
+}

@@ -1,0 +1,635 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"spt/internal/stats"
+)
+
+// Config sizes a Server. The zero value is usable: one backend worker per
+// core, sequential engine runs per job, memory-only queue and cache.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (the server-level
+	// parallelism). 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// GridJobs is the engine-level worker count within one job
+	// (EvalOptions.Jobs). 0 means 1: the queue, not the engine, provides
+	// parallelism, which keeps many small jobs from fighting over cores.
+	GridJobs int
+	// QueueDir persists the job queue as a JSONL journal so pending work
+	// survives a restart. Empty disables persistence.
+	QueueDir string
+	// CacheDir adds an on-disk layer to the result cache. Empty keeps the
+	// cache memory-only.
+	CacheDir string
+	// CacheEntries bounds the in-memory result cache. 0 means 256.
+	CacheEntries int
+	// MaxQueueDepth rejects new work (429) once this many jobs are queued.
+	// 0 means 1024.
+	MaxQueueDepth int
+	// QuotaRate admits at most this many new backend jobs per second per
+	// tenant (token bucket). 0 disables quotas.
+	QuotaRate float64
+	// QuotaBurst is the token-bucket capacity. 0 means 8.
+	QuotaBurst int
+	// KeepDone bounds the terminal job records kept for GET /v1/jobs/{id}.
+	// 0 means 256. Evicted results remain reachable through the cache.
+	KeepDone int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.GridJobs <= 0 {
+		c.GridJobs = 1
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxQueueDepth <= 0 {
+		c.MaxQueueDepth = 1024
+	}
+	if c.QuotaBurst <= 0 {
+		c.QuotaBurst = 8
+	}
+	if c.KeepDone <= 0 {
+		c.KeepDone = 256
+	}
+	return c
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors for job lookup and cancellation.
+var (
+	// ErrNotFound reports an unknown job id (404).
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrConflict reports a cancel of an already-terminal job (409).
+	ErrConflict = errors.New("serve: job already finished")
+	// ErrCancelled is the cancellation cause a DELETE injects into a
+	// running job's context; runPool surfaces it via context.Cause.
+	ErrCancelled = errors.New("serve: job cancelled")
+	// errShutdown is the cancellation cause Shutdown injects when its
+	// deadline expires; jobs cancelled by it are requeued, not failed.
+	errShutdown = errors.New("serve: server shutting down")
+)
+
+// RejectError is an admission refusal: quota, backpressure, or drain.
+type RejectError struct {
+	Code       int // HTTP status (429 or 503)
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *RejectError) Error() string { return "serve: " + e.Reason }
+
+// Event is one SSE frame's worth of job news.
+type Event struct {
+	Type  string `json:"type"` // "progress" or "state"
+	State State  `json:"state,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+}
+
+// JobStatus is the API view of a job.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Type     string `json:"type"`
+	State    State  `json:"state"`
+	Priority int    `json:"priority,omitempty"`
+	Done     int    `json:"done,omitempty"`
+	Total    int    `json:"total,omitempty"`
+	// Coalesced counts requests folded into this job beyond the first.
+	Coalesced uint64 `json:"coalesced,omitempty"`
+	// Cached names the cache layer that served the result ("memory",
+	// "disk"), empty for freshly computed results.
+	Cached string `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Result is the payload, present once State is done.
+	Result []byte `json:"result,omitempty"`
+}
+
+// job is the server-side record.
+type job struct {
+	id        string
+	spec      *JobSpec
+	state     State
+	errMsg    string
+	payload   []byte
+	cached    string
+	coalesced uint64
+	done      int
+	total     int
+	seq       uint64
+	priority  int
+	submitted time.Time
+	cancel    context.CancelCauseFunc // non-nil while running
+	doneCh    chan struct{}           // closed on terminal transition
+	subs      map[chan Event]bool
+}
+
+// Server is the simulation service: a persistent priority queue feeding a
+// worker pool, with coalescing, content-addressed caching, quotas, and
+// backpressure in front of it.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	quotas  *quotaTable
+	cache   *cache
+	journal *journal
+
+	// runCtx parents every job context; stopRun cancels them with
+	// errShutdown when a drain deadline expires.
+	runCtx  context.Context
+	stopRun context.CancelCauseFunc
+
+	// run executes one job (runSpec in production; stubbed in tests).
+	run func(ctx context.Context, spec *JobSpec, gridJobs int, progress func(done, total int)) ([]byte, error)
+	now func() time.Time
+
+	mu        sync.Mutex
+	jobs      map[string]*job // active and recent-terminal records, by id
+	q         *queue
+	doneOrder []string // terminal ids, oldest first, bounded by KeepDone
+	seq       uint64
+	draining  bool
+	started   bool
+
+	wake     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a server and replays the queue journal (pending jobs from a
+// previous process re-enter the queue). Call Start to begin executing.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	c, err := newCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	jrnl, pending, err := openJournal(cfg.QueueDir)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, stopRun := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		quotas:  newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst),
+		cache:   c,
+		journal: jrnl,
+		runCtx:  runCtx,
+		stopRun: stopRun,
+		run:     runSpec,
+		now:     time.Now,
+		jobs:    map[string]*job{},
+		q:       newQueue(),
+		wake:    make(chan struct{}, cfg.Workers),
+		stop:    make(chan struct{}),
+	}
+	s.metrics = newMetrics(func() int { return s.q.len() })
+	for _, rec := range pending {
+		j := &job{
+			id:        rec.ID,
+			spec:      rec.Spec,
+			state:     StateQueued,
+			seq:       rec.Seq,
+			priority:  rec.Priority,
+			submitted: s.now(),
+			doneCh:    make(chan struct{}),
+			subs:      map[chan Event]bool{},
+		}
+		s.jobs[j.id] = j
+		s.q.push(j.id, j.priority, j.seq)
+		if rec.Seq > s.seq {
+			s.seq = rec.Seq
+		}
+		s.metrics.resumed++
+	}
+	return s, nil
+}
+
+// Start launches the worker pool. It is safe to call once.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+}
+
+// Shutdown drains the server: new submissions are refused, workers finish
+// their current job and exit, and queued jobs stay journaled for the next
+// process. If ctx expires first, running jobs are cancelled (between
+// simulations) and requeued. Shutdown then closes the journal.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	var err error
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		s.stopRun(errShutdown)
+		<-idle
+		err = ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cerr := s.journal.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	s.journal = nil
+	return err
+}
+
+// Submit admits a job: coalesced onto an identical in-flight job, served
+// from the result cache, or queued for execution. The returned status
+// reflects the job's state at admission time.
+func (s *Server) Submit(spec *JobSpec) (*JobStatus, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	id, err := spec.Key()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if j, ok := s.jobs[id]; ok {
+		switch {
+		case !j.state.terminal():
+			// Coalesce: one backend run answers every identical request.
+			s.metrics.submitted++
+			s.metrics.coalesced++
+			j.coalesced++
+			s.q.bump(id, spec.Priority)
+			if spec.Priority > j.priority && j.state == StateQueued {
+				j.priority = spec.Priority
+			}
+			return s.statusLocked(j, false), nil
+		case j.state == StateDone:
+			// A retained terminal record is a memory cache hit.
+			s.metrics.submitted++
+			s.metrics.cacheHitsMem++
+			s.metrics.latency[j.spec.Type].Observe(0)
+			return s.statusLocked(j, true), nil
+		default:
+			// failed and cancelled records do not block a retry: forget the
+			// old record and admit the resubmission as new work.
+			s.removeDoneLocked(id)
+		}
+	}
+
+	if payload, layer := s.cache.get(id); layer != "" {
+		j := s.adoptCachedLocked(id, spec, payload, layer)
+		s.metrics.submitted++
+		if layer == "disk" {
+			s.metrics.cacheHitsDisk++
+		} else {
+			s.metrics.cacheHitsMem++
+		}
+		s.metrics.latency[spec.Type].Observe(0)
+		return s.statusLocked(j, true), nil
+	}
+
+	// Admission control applies only to work that will occupy a backend
+	// worker; coalesced and cached answers above are free.
+	if s.draining {
+		s.metrics.rejectedDraining++
+		return nil, &RejectError{Code: 503, Reason: "server is draining"}
+	}
+	if ok, wait := s.quotas.allow(spec.Tenant); !ok {
+		s.metrics.rejectedQuota++
+		return nil, &RejectError{Code: 429, Reason: "tenant quota exceeded", RetryAfter: wait}
+	}
+	if s.q.len() >= s.cfg.MaxQueueDepth {
+		s.metrics.rejectedBackpressure++
+		return nil, &RejectError{Code: 429, Reason: "queue full", RetryAfter: time.Second}
+	}
+
+	s.seq++
+	j := &job{
+		id:        id,
+		spec:      spec,
+		state:     StateQueued,
+		seq:       s.seq,
+		priority:  spec.Priority,
+		submitted: s.now(),
+		doneCh:    make(chan struct{}),
+		subs:      map[chan Event]bool{},
+	}
+	if err := s.journal.append(journalRecord{Op: "submit", ID: id, Seq: j.seq, Priority: j.priority, Spec: spec}); err != nil {
+		return nil, err
+	}
+	s.jobs[id] = j
+	s.q.push(id, j.priority, j.seq)
+	s.metrics.submitted++
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return s.statusLocked(j, false), nil
+}
+
+// adoptCachedLocked materializes a cache hit as a terminal job record so
+// GET /v1/jobs/{id} works for it like any other job.
+func (s *Server) adoptCachedLocked(id string, spec *JobSpec, payload []byte, layer string) *job {
+	j := &job{
+		id:        id,
+		spec:      spec,
+		state:     StateDone,
+		payload:   payload,
+		cached:    layer,
+		submitted: s.now(),
+		doneCh:    make(chan struct{}),
+		subs:      map[chan Event]bool{},
+	}
+	close(j.doneCh)
+	s.jobs[id] = j
+	s.doneOrder = append(s.doneOrder, id)
+	s.trimDoneLocked()
+	return j
+}
+
+// Status returns a job's current state; the payload is attached once the
+// job is done.
+func (s *Server) Status(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s.statusLocked(j, true), nil
+}
+
+// Cancel cancels a job: a queued job is removed from the queue, a running
+// job has ErrCancelled injected as its context cause (the pool stops
+// picking up work after the in-flight simulation). Cancelling a terminal
+// job returns ErrConflict.
+func (s *Server) Cancel(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		s.q.remove(id)
+		if err := s.journal.append(journalRecord{Op: "cancel", ID: id}); err != nil {
+			return nil, err
+		}
+		j.state = StateCancelled
+		j.errMsg = "cancelled before start"
+		s.metrics.cancelled++
+		s.finishLocked(j)
+	case StateRunning:
+		j.cancel(ErrCancelled) // the worker completes the transition
+	default:
+		return nil, ErrConflict
+	}
+	return s.statusLocked(j, false), nil
+}
+
+// Watcher streams a job's events. Events is lossy for progress (slow
+// consumers skip ticks) but Done always fires on the terminal transition;
+// read the final state through Status after Done closes.
+type Watcher struct {
+	Events <-chan Event
+	Done   <-chan struct{}
+	s      *Server
+	id     string
+	ch     chan Event
+}
+
+// Close unsubscribes the watcher.
+func (w *Watcher) Close() {
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	if j, ok := w.s.jobs[w.id]; ok {
+		delete(j.subs, w.ch)
+	}
+}
+
+// Watch subscribes to a job's progress and state transitions.
+func (s *Server) Watch(id string) (*Watcher, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	ch := make(chan Event, 64)
+	j.subs[ch] = true
+	return &Watcher{Events: ch, Done: j.doneCh, s: s, id: id, ch: ch}, nil
+}
+
+// Metrics snapshots the server's operational counters as a stats dump.
+func (s *Server) Metrics() *stats.Dump {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics.dump()
+}
+
+// QueueDepth reports the number of queued jobs (tests and tooling).
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.len()
+}
+
+func (s *Server) statusLocked(j *job, withResult bool) *JobStatus {
+	st := &JobStatus{
+		ID:        j.id,
+		Type:      j.spec.Type,
+		State:     j.state,
+		Priority:  j.priority,
+		Done:      j.done,
+		Total:     j.total,
+		Coalesced: j.coalesced,
+		Cached:    j.cached,
+		Error:     j.errMsg,
+	}
+	if withResult && j.state == StateDone {
+		st.Result = j.payload
+	}
+	return st
+}
+
+// notifyLocked fans an event out to subscribers without blocking: a full
+// subscriber skips the tick (the terminal transition is signalled
+// reliably through doneCh instead).
+func (s *Server) notifyLocked(j *job, ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finishLocked completes a terminal transition: latency accounting, the
+// final state event, the done signal, and the bounded terminal ring.
+func (s *Server) finishLocked(j *job) {
+	ms := s.now().Sub(j.submitted).Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	s.metrics.latency[j.spec.Type].Observe(uint64(ms))
+	s.notifyLocked(j, Event{Type: "state", State: j.state})
+	close(j.doneCh)
+	s.doneOrder = append(s.doneOrder, j.id)
+	s.trimDoneLocked()
+}
+
+func (s *Server) trimDoneLocked() {
+	for len(s.doneOrder) > s.cfg.KeepDone {
+		old := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.jobs, old)
+	}
+}
+
+func (s *Server) removeDoneLocked(id string) {
+	delete(s.jobs, id)
+	for i, d := range s.doneOrder {
+		if d == id {
+			s.doneOrder = append(s.doneOrder[:i], s.doneOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// worker pulls jobs off the queue until the server stops. It always
+// finishes the job it is running; Shutdown's deadline, not worker exit,
+// is what can interrupt in-flight work.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		id := s.popLocked()
+		if id == "" {
+			select {
+			case <-s.stop:
+				return
+			case <-s.wake:
+				continue
+			}
+		}
+		s.runJob(id)
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+	}
+}
+
+func (s *Server) popLocked() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ""
+	}
+	return s.q.pop()
+}
+
+// runJob executes one job end to end and records its terminal state.
+func (s *Server) runJob(id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.state != StateQueued {
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancelCause(s.runCtx)
+	j.state = StateRunning
+	j.cancel = cancel
+	s.metrics.backendRuns++
+	s.notifyLocked(j, Event{Type: "state", State: StateRunning})
+	spec := j.spec
+	s.mu.Unlock()
+
+	progress := func(done, total int) {
+		s.mu.Lock()
+		j.done, j.total = done, total
+		s.notifyLocked(j, Event{Type: "progress", Done: done, Total: total})
+		s.mu.Unlock()
+	}
+	payload, err := s.run(ctx, spec, s.cfg.GridJobs, progress)
+	cancel(nil)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.payload = payload
+		s.cache.put(id, payload)
+		s.journalDoneLocked(id, "done")
+		s.metrics.completed++
+	case errors.Is(err, errShutdown):
+		// A drain-deadline cancellation is not a job outcome: put the job
+		// back in the queue. Its journal submit record is still pending, so
+		// the next process resumes it.
+		j.state = StateQueued
+		s.q.push(id, j.priority, j.seq)
+		return
+	case errors.Is(err, ErrCancelled), errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = "cancelled"
+		s.journalDoneLocked(id, "cancelled")
+		s.metrics.cancelled++
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.journalDoneLocked(id, "failed")
+		s.metrics.failed++
+	}
+	s.finishLocked(j)
+}
+
+// journalDoneLocked retires a job in the journal. Failed and cancelled
+// jobs are retired too — a deterministic engine would only fail the same
+// way again on resume, so a restart must not retry them. An append error
+// here costs at worst one redundant re-run after a restart; the in-memory
+// state stays authoritative, so it is deliberately not fatal.
+func (s *Server) journalDoneLocked(id, state string) {
+	_ = s.journal.append(journalRecord{Op: "done", ID: id, State: state})
+}

@@ -1,0 +1,697 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"spt"
+)
+
+// runFn matches the Server.run hook.
+type runFn func(ctx context.Context, spec *JobSpec, gridJobs int, progress func(done, total int)) ([]byte, error)
+
+// instantRun completes immediately with a payload derived from the spec.
+func instantRun(ctx context.Context, spec *JobSpec, _ int, progress func(done, total int)) ([]byte, error) {
+	if progress != nil {
+		progress(1, 1)
+	}
+	key, err := spec.Key()
+	if err != nil {
+		return nil, err
+	}
+	return []byte(`{"key":"` + key + `"}` + "\n"), nil
+}
+
+// blockingRun returns a run hook that parks jobs until release is closed
+// (or the job context is cancelled), plus a counter of started runs.
+func blockingRun(release <-chan struct{}) (runFn, *int32) {
+	var mu sync.Mutex
+	var started int32
+	fn := func(ctx context.Context, spec *JobSpec, _ int, _ func(done, total int)) ([]byte, error) {
+		mu.Lock()
+		started++
+		mu.Unlock()
+		select {
+		case <-release:
+			return []byte(`{"ok":true}` + "\n"), nil
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+	return fn, &started
+}
+
+func newTestServer(t *testing.T, cfg Config, run runFn) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run != nil {
+		s.run = run
+	}
+	s.Start()
+	return s
+}
+
+func shutdownNow(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+func gridSpec(workload string, budget uint64) *JobSpec {
+	return &JobSpec{Type: TypeGrid, Cells: []CellSpec{{Workload: workload, Budget: budget}}}
+}
+
+func waitDone(t *testing.T, s *Server, id string) *JobStatus {
+	t.Helper()
+	w, err := s.Watch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	select {
+	case <-w.Done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not reach a terminal state", id)
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func metricValue(t *testing.T, s *Server, name string) uint64 {
+	t.Helper()
+	d := s.Metrics()
+	v, ok := d.Get(name)
+	if !ok {
+		t.Fatalf("metric %s not registered", name)
+	}
+	return v.Scalar
+}
+
+// TestCoalescingRunsBackendOnce is acceptance criterion (a): N identical
+// concurrent submissions execute the backend exactly once and every
+// caller sees the same completed job.
+func TestCoalescingRunsBackendOnce(t *testing.T) {
+	release := make(chan struct{})
+	run, started := blockingRun(release)
+	s := newTestServer(t, Config{Workers: 4}, run)
+	defer shutdownNow(t, s)
+
+	const n = 8
+	first, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := s.Submit(gridSpec("mcf", 1000))
+			if err != nil {
+				t.Errorf("coalesced submit failed: %v", err)
+				return
+			}
+			if st.ID != first.ID {
+				t.Errorf("coalesced submit got id %s, want %s", st.ID, first.ID)
+			}
+		}()
+	}
+	wg.Wait()
+	close(release)
+
+	st := waitDone(t, s, first.ID)
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want done (err %q)", st.State, st.Error)
+	}
+	if *started != 1 {
+		t.Fatalf("backend ran %d times for %d identical submissions", *started, n)
+	}
+	if got := metricValue(t, s, "serve.backend_runs"); got != 1 {
+		t.Fatalf("serve.backend_runs = %d, want 1", got)
+	}
+	if got := metricValue(t, s, "serve.coalesced"); got != n-1 {
+		t.Fatalf("serve.coalesced = %d, want %d", got, n-1)
+	}
+	if got := metricValue(t, s, "serve.submitted"); got != n {
+		t.Fatalf("serve.submitted = %d, want %d", got, n)
+	}
+}
+
+// TestCacheReplay is acceptance criterion (b): a repeated job is served
+// from the cache with zero additional backend work.
+func TestCacheReplay(t *testing.T) {
+	runs := 0
+	var mu sync.Mutex
+	run := func(ctx context.Context, spec *JobSpec, g int, p func(int, int)) ([]byte, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return instantRun(ctx, spec, g, p)
+	}
+	s := newTestServer(t, Config{Workers: 2}, run)
+	defer shutdownNow(t, s)
+
+	st1, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done1 := waitDone(t, s, st1.ID)
+	if done1.State != StateDone {
+		t.Fatalf("first run failed: %s %s", done1.State, done1.Error)
+	}
+
+	st2, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != StateDone {
+		t.Fatalf("replay not served immediately: state %s", st2.State)
+	}
+	if string(st2.Result) != string(done1.Result) {
+		t.Fatal("replayed payload differs from the original")
+	}
+	if runs != 1 {
+		t.Fatalf("backend ran %d times, want 1", runs)
+	}
+	if got := metricValue(t, s, "serve.cache_hits_mem"); got != 1 {
+		t.Fatalf("serve.cache_hits_mem = %d, want 1", got)
+	}
+
+	// A distinct spec still runs.
+	st3, err := s.Submit(gridSpec("mcf", 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.ID == st1.ID {
+		t.Fatal("distinct specs share an id")
+	}
+	waitDone(t, s, st3.ID)
+	if runs != 2 {
+		t.Fatalf("distinct spec did not run: %d runs", runs)
+	}
+}
+
+// TestDiskCacheAcrossRestart: with a cache directory, a new server
+// process serves a previous process's result without any backend work.
+func TestDiskCacheAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{Workers: 1, CacheDir: dir}, instantRun)
+	st, err := s1.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitDone(t, s1, st.ID).Result
+	shutdownNow(t, s1)
+
+	var ran bool
+	s2 := newTestServer(t, Config{Workers: 1, CacheDir: dir}, func(ctx context.Context, spec *JobSpec, g int, p func(int, int)) ([]byte, error) {
+		ran = true
+		return instantRun(ctx, spec, g, p)
+	})
+	defer shutdownNow(t, s2)
+	st2, err := s2.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != StateDone || st2.Cached != "disk" {
+		t.Fatalf("want immediate disk hit, got state=%s cached=%q", st2.State, st2.Cached)
+	}
+	if string(st2.Result) != string(want) {
+		t.Fatal("disk-cached payload differs")
+	}
+	if ran {
+		t.Fatal("backend ran despite a disk cache hit")
+	}
+	if got := metricValue(t, s2, "serve.cache_hits_disk"); got != 1 {
+		t.Fatalf("serve.cache_hits_disk = %d, want 1", got)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	run, _ := blockingRun(release)
+	s := newTestServer(t, Config{Workers: 1}, run)
+	defer func() { close(release); shutdownNow(t, s) }()
+
+	blocker, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(gridSpec("mcf", 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+	if _, err := s.Cancel(queued.ID); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second cancel: want ErrConflict, got %v", err)
+	}
+	if _, err := s.Cancel("0000000000000000000000000000000000000000000000000000000000000000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id: want ErrNotFound, got %v", err)
+	}
+	_ = blocker
+	if got := metricValue(t, s, "serve.cancelled"); got != 1 {
+		t.Fatalf("serve.cancelled = %d, want 1", got)
+	}
+}
+
+func TestCancelRunningJobPropagatesCause(t *testing.T) {
+	entered := make(chan struct{})
+	run := func(ctx context.Context, _ *JobSpec, _ int, _ func(int, int)) ([]byte, error) {
+		close(entered)
+		<-ctx.Done()
+		return nil, context.Cause(ctx)
+	}
+	s := newTestServer(t, Config{Workers: 1}, run)
+	defer shutdownNow(t, s)
+
+	st, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if _, err := s.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, s, st.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", final.State)
+	}
+}
+
+// TestFailedJobIsRetryable: a failure is terminal for that submission but
+// does not poison the key — resubmitting runs again.
+func TestFailedJobIsRetryable(t *testing.T) {
+	fail := true
+	run := func(ctx context.Context, spec *JobSpec, g int, p func(int, int)) ([]byte, error) {
+		if fail {
+			return nil, errors.New("boom")
+		}
+		return instantRun(ctx, spec, g, p)
+	}
+	s := newTestServer(t, Config{Workers: 1}, run)
+	defer shutdownNow(t, s)
+
+	st, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, s, st.ID)
+	if final.State != StateFailed || final.Error != "boom" {
+		t.Fatalf("want failed/boom, got %s/%q", final.State, final.Error)
+	}
+	if got := metricValue(t, s, "serve.failed"); got != 1 {
+		t.Fatalf("serve.failed = %d, want 1", got)
+	}
+
+	fail = false
+	st2, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2 := waitDone(t, s, st2.ID)
+	if final2.State != StateDone {
+		t.Fatalf("retry after failure: %s %q", final2.State, final2.Error)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	run, _ := blockingRun(release)
+	s := newTestServer(t, Config{Workers: 1, MaxQueueDepth: 1}, run)
+	defer func() { close(release); shutdownNow(t, s) }()
+
+	if _, err := s.Submit(gridSpec("mcf", 1000)); err != nil { // running
+		t.Fatal(err)
+	}
+	waitForRunning(t, s)
+	if _, err := s.Submit(gridSpec("mcf", 2000)); err != nil { // queued
+		t.Fatal(err)
+	}
+	_, err := s.Submit(gridSpec("mcf", 3000))
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Code != 429 {
+		t.Fatalf("want 429 backpressure, got %v", err)
+	}
+	if got := metricValue(t, s, "serve.rejected_backpressure"); got != 1 {
+		t.Fatalf("serve.rejected_backpressure = %d, want 1", got)
+	}
+	// Coalescing onto the queued job is still free.
+	if _, err := s.Submit(gridSpec("mcf", 2000)); err != nil {
+		t.Fatalf("coalesce rejected under backpressure: %v", err)
+	}
+}
+
+// waitForRunning parks until some job has left the queue (so queue-depth
+// assertions don't race the worker picking the head up).
+func waitForRunning(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		running := false
+		for _, j := range s.jobs {
+			if j.state == StateRunning {
+				running = true
+			}
+		}
+		s.mu.Unlock()
+		if running {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no job started running")
+}
+
+func TestQuotaRejection(t *testing.T) {
+	release := make(chan struct{})
+	run, _ := blockingRun(release)
+	s := newTestServer(t, Config{Workers: 1, QuotaRate: 0.001, QuotaBurst: 1}, run)
+	defer func() { close(release); shutdownNow(t, s) }()
+
+	if _, err := s.Submit(gridSpec("mcf", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit(gridSpec("mcf", 2000))
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Code != 429 || rej.RetryAfter <= 0 {
+		t.Fatalf("want 429 with Retry-After, got %v", err)
+	}
+	// A different tenant has its own bucket.
+	other := gridSpec("mcf", 2000)
+	other.Tenant = "other"
+	if _, err := s.Submit(other); err != nil {
+		t.Fatalf("tenant isolation broken: %v", err)
+	}
+	// Coalescing is never charged: resubmitting the running job succeeds
+	// even with an empty bucket.
+	if _, err := s.Submit(gridSpec("mcf", 1000)); err != nil {
+		t.Fatalf("coalesce charged against quota: %v", err)
+	}
+	if got := metricValue(t, s, "serve.rejected_quota"); got != 1 {
+		t.Fatalf("serve.rejected_quota = %d, want 1", got)
+	}
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	release := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	run := func(ctx context.Context, spec *JobSpec, _ int, _ func(int, int)) ([]byte, error) {
+		mu.Lock()
+		order = append(order, spec.Cells[0].Workload)
+		mu.Unlock()
+		if spec.Cells[0].Workload == "mcf" { // only the blocker parks
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, context.Cause(ctx)
+			}
+		}
+		return []byte("{}\n"), nil
+	}
+	s := newTestServer(t, Config{Workers: 1}, run)
+	defer shutdownNow(t, s)
+
+	if _, err := s.Submit(gridSpec("mcf", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	waitForRunning(t, s)
+	low := gridSpec("xz", 1000)
+	if _, err := s.Submit(low); err != nil {
+		t.Fatal(err)
+	}
+	high := gridSpec("gcc", 1000)
+	high.Priority = 10
+	hst, err := s.Submit(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	waitDone(t, s, hst.ID)
+	lst, _ := low.Key()
+	waitDone(t, s, lst)
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"mcf", "gcc", "xz"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want %v", order, want)
+	}
+}
+
+// TestDrainAndResume is acceptance criterion (d): SIGTERM-style shutdown
+// requeues in-flight work past the deadline, keeps the queue journaled,
+// and a new server resumes every pending job.
+func TestDrainAndResume(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	run, _ := blockingRun(release)
+	s1 := newTestServer(t, Config{Workers: 1, QueueDir: dir}, run)
+
+	ids := make([]string, 3)
+	for i, budget := range []uint64{1000, 2000, 3000} {
+		st, err := s1.Submit(gridSpec("mcf", budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	waitForRunning(t, s1)
+
+	// Drain with an immediate deadline: the running job is cancelled with
+	// the shutdown cause and requeued, not failed.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err == nil {
+		t.Fatal("expedited drain should report the deadline error")
+	}
+
+	// A new process over the same queue dir resumes all three jobs.
+	s2, err := New(Config{Workers: 2, QueueDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.run = instantRun
+	if got := metricValue(t, s2, "serve.resumed"); got != 3 {
+		t.Fatalf("serve.resumed = %d, want 3", got)
+	}
+	s2.Start()
+	defer shutdownNow(t, s2)
+	for _, id := range ids {
+		st := waitDone(t, s2, id)
+		if st.State != StateDone {
+			t.Fatalf("resumed job %s: state %s (%s)", id, st.State, st.Error)
+		}
+	}
+
+	// After completion the journal retires everything: a third server
+	// starts with an empty queue.
+	shutdownNow(t, s2)
+	s3, err := New(Config{Workers: 1, QueueDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, s3, "serve.resumed"); got != 0 {
+		t.Fatalf("journal not retired: %d jobs resumed", got)
+	}
+	s3.Start()
+	shutdownNow(t, s3)
+}
+
+// TestGracefulDrainFinishesInFlight: with a generous deadline, Shutdown
+// lets the running job finish and it completes as done.
+func TestGracefulDrainFinishesInFlight(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	run, _ := blockingRun(release)
+	s := newTestServer(t, Config{Workers: 1, QueueDir: dir}, run)
+
+	st, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForRunning(t, s)
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+
+	// While draining, new work is refused with 503.
+	time.Sleep(10 * time.Millisecond)
+	_, serr := s.Submit(gridSpec("mcf", 2000))
+	var rej *RejectError
+	if !errors.As(serr, &rej) || rej.Code != 503 {
+		t.Fatalf("submit during drain: want 503, got %v", serr)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("graceful drain errored: %v", err)
+	}
+	final, err := s.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("in-flight job not finished by drain: %s", final.State)
+	}
+
+	// The finished job is retired: a restart resumes nothing.
+	s2, err := New(Config{QueueDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, s2, "serve.resumed"); got != 0 {
+		t.Fatalf("drained job not retired in journal: resumed %d", got)
+	}
+	s2.Start()
+	shutdownNow(t, s2)
+}
+
+func TestWatchStreamsProgressAndFinal(t *testing.T) {
+	step := make(chan struct{})
+	run := func(ctx context.Context, _ *JobSpec, _ int, progress func(int, int)) ([]byte, error) {
+		for i := 1; i <= 3; i++ {
+			<-step
+			progress(i, 3)
+		}
+		return []byte("{}\n"), nil
+	}
+	s := newTestServer(t, Config{Workers: 1}, run)
+	defer shutdownNow(t, s)
+
+	st, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Watch(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	var progress []int
+	timeout := time.After(10 * time.Second)
+	for i := 0; i < 3; i++ {
+		step <- struct{}{}
+	loop:
+		for {
+			select {
+			case ev := <-w.Events:
+				if ev.Type == "progress" {
+					progress = append(progress, ev.Done)
+					break loop
+				}
+			case <-timeout:
+				t.Fatal("no progress event")
+			}
+		}
+	}
+	select {
+	case <-w.Done:
+	case <-timeout:
+		t.Fatal("no terminal signal")
+	}
+	if len(progress) != 3 || progress[2] != 3 {
+		t.Fatalf("progress ticks %v, want [1 2 3]", progress)
+	}
+	final, _ := s.Status(st.ID)
+	if final.State != StateDone || final.Done != 3 || final.Total != 3 {
+		t.Fatalf("final status %+v", final)
+	}
+}
+
+func TestMetricsDumpIsStamped(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, instantRun)
+	defer shutdownNow(t, s)
+	d := s.Metrics()
+	if d.Engine != spt.EngineVersion {
+		t.Fatalf("metrics engine stamp %q, want %q", d.Engine, spt.EngineVersion)
+	}
+	if _, ok := d.Get("serve.queue_depth"); !ok {
+		t.Fatal("queue_depth formula missing")
+	}
+	if _, ok := d.Get("serve.latency_ms.grid"); !ok {
+		t.Fatal("latency histogram missing")
+	}
+}
+
+func TestStatusUnknownJob(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, instantRun)
+	defer shutdownNow(t, s)
+	if _, err := s.Status("deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, err := s.Watch("deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("watch: want ErrNotFound, got %v", err)
+	}
+}
+
+func TestSubmitRejectsInvalidSpec(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, instantRun)
+	defer shutdownNow(t, s)
+	if _, err := s.Submit(&JobSpec{Type: "bogus"}); err == nil {
+		t.Fatal("invalid spec admitted")
+	}
+}
+
+// TestKeepDoneBound: terminal records are bounded; evicted results remain
+// reachable through the cache (resubmission is a memory hit, not a rerun).
+func TestKeepDoneBound(t *testing.T) {
+	runs := 0
+	var mu sync.Mutex
+	run := func(ctx context.Context, spec *JobSpec, g int, p func(int, int)) ([]byte, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return instantRun(ctx, spec, g, p)
+	}
+	s := newTestServer(t, Config{Workers: 1, KeepDone: 2}, run)
+	defer shutdownNow(t, s)
+
+	var first string
+	for i := 0; i < 4; i++ {
+		st, err := s.Submit(gridSpec("mcf", uint64(1000*(i+1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = st.ID
+		}
+		waitDone(t, s, st.ID)
+	}
+	if _, err := s.Status(first); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest record not evicted: %v", err)
+	}
+	st, err := s.Submit(gridSpec("mcf", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Cached != "memory" {
+		t.Fatalf("evicted record not served from cache: %+v", st)
+	}
+	if runs != 4 {
+		t.Fatalf("cache miss after record eviction: %d runs", runs)
+	}
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func simulateSpec(workload string) *JobSpec {
+	return &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{Workload: workload}}}
+}
+
+func TestNormalizeFillsDefaults(t *testing.T) {
+	s := simulateSpec("mcf")
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Cells[0]
+	if c.Scheme != "unsafe" || c.Model != "futuristic" || c.Width != 3 || c.Budget != defaultBudget {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+
+	f := &JobSpec{Type: TypeFuzz}
+	if err := f.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Fuzz.Seed != 1 || f.Fuzz.Count != 32 {
+		t.Fatalf("fuzz defaults not applied: %+v", f.Fuzz)
+	}
+	if len(f.Fuzz.Schemes) == 0 || len(f.Fuzz.Models) == 0 {
+		t.Fatalf("fuzz grids not defaulted: %+v", f.Fuzz)
+	}
+
+	v := &JobSpec{Type: TypeVerify, Verify: &VerifySpec{Count: 4}}
+	if err := v.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Verify.Seed != 1 || len(v.Verify.Schemes) == 0 {
+		t.Fatalf("verify defaults not applied: %+v", v.Verify)
+	}
+}
+
+func TestNormalizeRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *JobSpec
+		want string
+	}{
+		{"unknown type", &JobSpec{Type: "nope"}, "unknown job type"},
+		{"simulate no cells", &JobSpec{Type: TypeSimulate}, "exactly one cell"},
+		{"simulate two cells", &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{Workload: "mcf"}, {Workload: "xz"}}}, "exactly one cell"},
+		{"grid no cells", &JobSpec{Type: TypeGrid}, "at least one cell"},
+		{"unknown workload", simulateSpec("no-such-workload"), "workload"},
+		{"unknown scheme", &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{Workload: "mcf", Scheme: "bogus"}}}, "unknown scheme"},
+		{"unknown model", &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{Workload: "mcf", Model: "bogus"}}}, "unknown attack model"},
+		{"skip and sample", &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{Workload: "mcf", Skip: 100, Sample: "4"}}}, "mutually exclusive"},
+		{"bad sample", &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{Workload: "mcf", Sample: "x:y"}}}, "sample"},
+		{"simulate with fuzz", &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{Workload: "mcf"}}, Fuzz: &FuzzSpec{}}, "cells only"},
+		{"fuzz with cells", &JobSpec{Type: TypeFuzz, Cells: []CellSpec{{Workload: "mcf"}}}, "fuzz section only"},
+		{"fuzz bad scheme", &JobSpec{Type: TypeFuzz, Fuzz: &FuzzSpec{Schemes: []string{"bogus"}}}, "unknown scheme"},
+		{"fuzz negative", &JobSpec{Type: TypeFuzz, Fuzz: &FuzzSpec{Count: -1}}, "non-negative"},
+		{"verify no count", &JobSpec{Type: TypeVerify, Verify: &VerifySpec{}}, "count > 0"},
+		{"verify nil", &JobSpec{Type: TypeVerify}, "count > 0"},
+		{"verify with fuzz", &JobSpec{Type: TypeVerify, Verify: &VerifySpec{Count: 1}, Fuzz: &FuzzSpec{}}, "verify section only"},
+		{"verify bad model", &JobSpec{Type: TypeVerify, Verify: &VerifySpec{Count: 1, Models: []string{"bogus"}}}, "unknown attack model"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Normalize()
+		if err == nil {
+			t.Errorf("%s: Normalize accepted an invalid spec", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func mustKey(t *testing.T, s *JobSpec) string {
+	t.Helper()
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	k, err := s.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestKeyCanonicalization is the coalescing correctness core: a spec that
+// spells out the defaults must produce the same content address as one
+// that omits them, and scheduling hints (priority, tenant) must not
+// change the key.
+func TestKeyCanonicalization(t *testing.T) {
+	base := mustKey(t, simulateSpec("mcf"))
+
+	explicit := &JobSpec{Type: TypeSimulate, Cells: []CellSpec{{
+		Workload: "mcf", Scheme: "unsafe", Model: "futuristic", Width: 3, Budget: defaultBudget,
+	}}}
+	if k := mustKey(t, explicit); k != base {
+		t.Fatalf("defaulted and explicit specs disagree: %s vs %s", base, k)
+	}
+
+	hinted := simulateSpec("mcf")
+	hinted.Priority = 9
+	hinted.Tenant = "alice"
+	if k := mustKey(t, hinted); k != base {
+		t.Fatal("priority/tenant leaked into the content address")
+	}
+
+	if k := mustKey(t, simulateSpec("xz")); k == base {
+		t.Fatal("different workloads share a key")
+	}
+	other := simulateSpec("mcf")
+	other.Cells[0].Scheme = "spt"
+	if k := mustKey(t, other); k == base {
+		t.Fatal("different schemes share a key")
+	}
+	budget := simulateSpec("mcf")
+	budget.Cells[0].Budget = 5000
+	if k := mustKey(t, budget); k == base {
+		t.Fatal("different budgets share a key")
+	}
+}
+
+func TestKeyDistinguishesTypes(t *testing.T) {
+	fz := mustKey(t, &JobSpec{Type: TypeFuzz, Fuzz: &FuzzSpec{Count: 4}})
+	vf := mustKey(t, &JobSpec{Type: TypeVerify, Verify: &VerifySpec{Count: 4}})
+	if fz == vf {
+		t.Fatal("fuzz and verify jobs share a key")
+	}
+	fz2 := mustKey(t, &JobSpec{Type: TypeFuzz, Fuzz: &FuzzSpec{Count: 8}})
+	if fz == fz2 {
+		t.Fatal("different fuzz counts share a key")
+	}
+}
+
+func TestProgramHashMemoized(t *testing.T) {
+	h1, err := programHash("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := programHash("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || h1 == "" {
+		t.Fatalf("program hash unstable: %q vs %q", h1, h2)
+	}
+	if _, err := programHash("no-such-workload"); err == nil {
+		t.Fatal("unknown workload hashed")
+	}
+}

@@ -176,7 +176,11 @@ type Value struct {
 
 // Dump is a deterministic snapshot of a registry: values in registration
 // order, formulas evaluated. It is fully detached from the live counters.
+// Engine, when set by the caller (spt stamps its EngineVersion), versions
+// the JSON form so archived counter dumps are distinguishable across code
+// changes.
 type Dump struct {
+	Engine string  `json:"engine,omitempty"`
 	Values []Value `json:"values"`
 }
 

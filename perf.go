@@ -38,6 +38,9 @@ type PerfRow struct {
 
 // PerfReport is the simulator-throughput suite's result.
 type PerfReport struct {
+	// Engine is the EngineVersion that produced the report, so archived
+	// BENCH_*.json snapshots are distinguishable across code changes.
+	Engine string
 	Model  AttackModel
 	Budget uint64
 	Rows   []PerfRow
@@ -53,7 +56,7 @@ func RunPerf(opt EvalOptions) (*PerfReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &PerfReport{Model: Futuristic, Budget: opt.Budget}
+	rep := &PerfReport{Engine: EngineVersion, Model: Futuristic, Budget: opt.Budget}
 	// One store for the whole suite: with opt.Skip set, each workload's
 	// functional prefix runs once, not once per scheme.
 	store := opt.Checkpoints
@@ -100,7 +103,7 @@ func RunPerf(opt EvalOptions) (*PerfReport, error) {
 // zeroed. Golden fixtures compare this form; the host columns vary from
 // machine to machine and run to run.
 func (r *PerfReport) Deterministic() *PerfReport {
-	out := &PerfReport{Model: r.Model, Budget: r.Budget, Rows: make([]PerfRow, len(r.Rows))}
+	out := &PerfReport{Engine: r.Engine, Model: r.Model, Budget: r.Budget, Rows: make([]PerfRow, len(r.Rows))}
 	copy(out.Rows, r.Rows)
 	for i := range out.Rows {
 		out.Rows[i].HostSeconds = 0

@@ -190,8 +190,8 @@ func runPool[J comparable, R any](jobs []J, cfg poolConfig[J], run func(J) (R, e
 
 	if workers == 1 {
 		for k := range order {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+			if ctx.Err() != nil {
+				return nil, context.Cause(ctx)
 			}
 			exec(k)
 			if errs[k] != nil {
@@ -238,8 +238,11 @@ func runPool[J comparable, R any](jobs []J, cfg poolConfig[J], run func(J) (R, e
 				return nil, err
 			}
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		// Cancellation surfaces its cause (context.Cause), so a caller that
+		// cancels with a reason — spt-serve's DELETE handler, a CLI signal
+		// context — sees that reason, not a bare context.Canceled.
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -226,6 +227,108 @@ func TestRunGridProgressCountsFailedJobs(t *testing.T) {
 		// cancel never execute — and correctly never report.)
 		if workers == 1 && lastDone != n {
 			t.Errorf("final tick = %d, want %d (the panicking job must report)", lastDone, n)
+		}
+	}
+}
+
+// checkNoGoroutineLeak registers a cleanup that fails the test if the
+// goroutine count has not returned to (at most) its starting level shortly
+// after the test body finishes — a worker goroutine leaked past wg.Wait
+// would hold the count up forever.
+func checkNoGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutine leak: %d goroutines before, %d after", before, runtime.NumGoroutine())
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+// TestRunGridCancelMidGridAccounting cancels the grid at several points and
+// pins the exact completion-accounting contract under cancellation: every
+// executed job ticks progress exactly once, no job starts after the pool
+// observed the cancellation, and no worker goroutine leaks. This extends
+// TestRunGridProgressCountsFailedJobs to the cancellation path spt-serve's
+// DELETE handler and the CLI signal contexts rely on.
+func TestRunGridCancelMidGridAccounting(t *testing.T) {
+	const n = 48
+	for _, workers := range []int{1, 4, 8} {
+		for _, cancelAt := range []int{1, n / 2, n - 1} {
+			t.Run(fmt.Sprintf("workers=%d/cancelAt=%d", workers, cancelAt), func(t *testing.T) {
+				checkNoGoroutineLeak(t)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var mu sync.Mutex
+				executed := 0
+				ticks := 0
+				_, err := runGrid(testGrid(n), EvalOptions{
+					Jobs:    workers,
+					Context: ctx,
+					Progress: func(done, total int, j Job) {
+						mu.Lock()
+						ticks++
+						if done != ticks {
+							t.Errorf("done = %d at tick %d", done, ticks)
+						}
+						mu.Unlock()
+					},
+				}, func(j Job) (*Result, error) {
+					mu.Lock()
+					executed++
+					if executed == cancelAt {
+						cancel()
+					}
+					mu.Unlock()
+					return stubResult(j), nil
+				})
+				if err != context.Canceled {
+					t.Fatalf("err = %v, want context.Canceled", err)
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				// Promptness: after the cancelling job, only simulations
+				// already in flight may finish — at most workers-1 of them,
+				// plus (parallel only) one more the feed had already handed
+				// over before it observed the cancellation.
+				if max := cancelAt + workers; executed > max {
+					t.Errorf("executed = %d jobs, want <= %d (cancel at %d with %d workers)",
+						executed, max, cancelAt, workers)
+				}
+				if ticks != executed {
+					t.Errorf("progress ticks = %d but %d jobs executed", ticks, executed)
+				}
+			})
+		}
+	}
+}
+
+// TestRunPoolCancellationCause pins that a cancellation reason set via
+// context.WithCancelCause surfaces from runPool, so a server cancelling a
+// job can tell its callers why the grid stopped.
+func TestRunPoolCancellationCause(t *testing.T) {
+	wantCause := fmt.Errorf("cancelled by DELETE /v1/jobs")
+	for _, workers := range []int{1, 4} {
+		checkNoGoroutineLeak(t)
+		ctx, cancel := context.WithCancelCause(context.Background())
+		var calls atomic.Int64
+		_, err := runGrid(testGrid(32), EvalOptions{Jobs: workers, Context: ctx}, func(j Job) (*Result, error) {
+			if calls.Add(1) == 2 {
+				cancel(wantCause)
+			}
+			return stubResult(j), nil
+		})
+		cancel(nil)
+		if err != wantCause {
+			t.Errorf("Jobs=%d: err = %v, want the cancellation cause", workers, err)
 		}
 	}
 }

@@ -209,6 +209,7 @@ func runSampled(p *isa.Program, o Options) (*Result, error) {
 		Stats:     last.StatsRegistry().Dump(),
 		Taint:     lastTaint,
 	}
+	res.Stats.Engine = EngineVersion
 	res.Host.Seconds = hostSeconds
 	if hostSeconds > 0 {
 		res.Host.SimKIPS = float64(detailed) / hostSeconds / 1e3

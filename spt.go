@@ -132,6 +132,7 @@ func runProgram(p *isa.Program, o Options) (*Result, error) {
 		Stats:         core.StatsRegistry().Dump(),
 		Taint:         taintResultStats(sptPol, sttPol),
 	}
+	res.Stats.Engine = EngineVersion
 	res.Host.Seconds = hostSeconds
 	if insts := res.Instructions; insts > 0 && hostSeconds > 0 {
 		res.Host.SimKIPS = float64(insts) / hostSeconds / 1e3

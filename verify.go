@@ -120,6 +120,9 @@ type VerifyWitness struct {
 // same (CorpusDir, Seed, Count, Schemes, Models) are byte-identical
 // regardless of Jobs.
 type VerifyReport struct {
+	// Engine is the EngineVersion that produced the report, so archived
+	// or cached reports are distinguishable across code changes.
+	Engine    string            `json:"engine"`
 	CorpusDir string            `json:"corpus_dir,omitempty"`
 	Seed      int64             `json:"seed"`
 	Count     int               `json:"count"`
@@ -273,6 +276,7 @@ func RunVerify(opt VerifyOptions) (*VerifyReport, error) {
 	}
 
 	rep := &VerifyReport{
+		Engine:    EngineVersion,
 		CorpusDir: opt.CorpusDir, Seed: opt.Seed, Count: opt.Count,
 		Programs: len(entries) + opt.Count,
 		Schemes:  opt.Schemes, Models: opt.Models,
