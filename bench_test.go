@@ -152,6 +152,48 @@ func BenchmarkFigure7Sampled(b *testing.B) {
 	}
 }
 
+// BenchmarkSampledWindows measures the parallel-window sampling driver:
+// the same sampled grid run twice, once with each cell's measured windows
+// strictly serial and once with eight windows in flight (cell-level
+// concurrency pinned to 1 both times, so the ratio isolates window
+// parallelism). The "speedup-x" metric is the wall-clock ratio — CI floors
+// it — and the sanity check asserts the estimates are identical, which is
+// the whole point of the deterministic window pool.
+func BenchmarkSampledWindows(b *testing.B) {
+	// Windows must dominate the serial checkpoint walker for parallelism to
+	// pay: detailed simulation runs ~6-7x slower per instruction than the
+	// warming walker, so a near-full detail fraction (8 x 3600 of 32k) puts
+	// >85% of each cell's host time inside the window pool.
+	sample := spt.SampleSpec{Intervals: 8, Warmup: 400, Detail: 3200}
+	var jobs []spt.Job
+	for _, w := range []string{"gcc", "mcf", "xz", "chacha20"} {
+		for _, s := range []spt.Scheme{spt.UnsafeBaseline, spt.SPTFull} {
+			jobs = append(jobs, spt.Job{
+				Workload: w, Scheme: s, Model: spt.Futuristic,
+				Budget: 32_000, Sample: sample,
+			})
+		}
+	}
+	grid := func(windowJobs int) (float64, map[spt.Job]*spt.Result) {
+		start := time.Now()
+		res, err := spt.RunJobs(jobs, spt.EvalOptions{Jobs: 1, WindowJobs: windowJobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds(), res
+	}
+	for i := 0; i < b.N; i++ {
+		serialSec, serial := grid(1)
+		parSec, par := grid(8)
+		for _, j := range jobs {
+			if serial[j].Cycles != par[j].Cycles {
+				b.Fatalf("%s: sampled estimate differs between WindowJobs 1 and 8", j)
+			}
+		}
+		b.ReportMetric(serialSec/parSec, "speedup-x")
+	}
+}
+
 // BenchmarkFigure8Breakdown regenerates the untaint-event breakdown
 // (Figure 8) on the full SPT design for both models, reporting the share
 // of forward untaints in the futuristic rows.

@@ -9,15 +9,18 @@
 //	spt-bench -what stats     # Fig. 10-style "where did the slowdown go" breakdown
 //	spt-bench -what pentest   # §9.1 penetration testing
 //	spt-bench -what perf      # simulator-throughput suite (host-side)
-//	spt-bench -what all       # everything
+//	spt-bench -what samplebench  # BENCH_sample.json (fast-forward + window-pool timings)
+//	spt-bench -what all       # everything (except samplebench)
 //
 // -budget scales the per-run retired-instruction count (the SimPoint
 // stand-in); -workloads restricts the suite; -jobs sets how many
 // simulations run concurrently (0 = one per core, 1 = sequential — the
-// figures are bit-identical either way); -progress reports grid completion
-// on stderr. -json switches the perf report to JSON (the format of
-// BENCH_core.json). -cpuprofile/-memprofile write pprof profiles of the
-// whole invocation.
+// figures are bit-identical either way); -window-jobs additionally overlaps
+// each sampled run's measured windows (also bit-identical); -progress
+// reports grid completion on stderr. -json switches the perf report to JSON
+// (the format of BENCH_core.json); -bench-out names the samplebench output
+// file. -cpuprofile/-memprofile write pprof profiles of the whole
+// invocation.
 //
 // -skip fast-forwards every run past a functional prefix (executed once per
 // workload and shared across the grid; -checkpoint-dir persists the
@@ -51,11 +54,13 @@ func main() {
 		budget     = flag.Uint64("budget", 120_000, "retired instructions per run")
 		workloads  = flag.String("workloads", "", "comma-separated subset (default: all)")
 		jobs       = flag.Int("jobs", 0, "concurrent simulations (0 = one per core, 1 = sequential)")
+		windowJobs = flag.Int("window-jobs", 0, "concurrent measured windows per sampled run (0/1 = serial)")
 		skip       = flag.Uint64("skip", 0, "fast-forward this many instructions functionally before each detailed run")
 		ckptDir    = flag.String("checkpoint-dir", "", "persist architectural checkpoints here (reused across runs)")
 		sample     = flag.String("sample", "", "SMARTS sampling spec: \"intervals\" or \"intervals:warmup:detail\"")
 		progress   = flag.Bool("progress", false, "report per-simulation grid progress on stderr")
 		jsonOut    = flag.Bool("json", false, "emit the perf report as JSON")
+		benchOut   = flag.String("bench-out", "", "samplebench output file (default stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -100,7 +105,7 @@ func main() {
 	// long campaign exits cleanly instead of needing a hard kill.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	opt := spt.EvalOptions{Budget: *budget, Jobs: *jobs, Skip: *skip, Sample: sampleSpec, Context: ctx}
+	opt := spt.EvalOptions{Budget: *budget, Jobs: *jobs, WindowJobs: *windowJobs, Skip: *skip, Sample: sampleSpec, Context: ctx}
 	if *ckptDir != "" {
 		opt.Checkpoints = spt.NewCheckpointStore(*ckptDir)
 	}
@@ -128,6 +133,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spt-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+
+	// samplebench is opt-in only: it regenerates a benchmark artifact with
+	// repeated timed runs, so "all" does not include it.
+	if *what == "samplebench" {
+		run("samplebench", func() error { return runSampleBench(ctx, *benchOut) })
+		return
 	}
 
 	run("machine", func() error {

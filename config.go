@@ -19,6 +19,7 @@
 package spt
 
 import (
+	"context"
 	"fmt"
 
 	"spt/internal/mem"
@@ -163,6 +164,18 @@ type Options struct {
 	// when Skip is set; set this to also share across separate calls or to
 	// use an on-disk cache directory.
 	Checkpoints *CheckpointStore
+
+	// Jobs is the number of measured windows a sampled run simulates
+	// concurrently (each window boots from its own copy-on-write snapshot
+	// and cloned warm state). 0 or 1 runs windows serially. Results are
+	// bit-identical for every value — only host wall-clock time changes.
+	// Ignored outside sampled mode.
+	Jobs int
+	// Context, if non-nil, cancels the run cooperatively: it is checked
+	// between sample windows and every few thousand simulated cycles within
+	// a detailed region. On cancellation Run returns context.Cause. The
+	// functional fast-forward pass itself is not interruptible.
+	Context context.Context
 }
 
 const defaultBroadcastWidth = 3

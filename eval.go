@@ -25,6 +25,12 @@ type EvalOptions struct {
 	// Aggregation is always a sequential pass in grid order, so every figure
 	// and sweep produces bit-identical output regardless of Jobs.
 	Jobs int
+	// WindowJobs is each cell's Options.Jobs: how many measured windows a
+	// sampled simulation runs concurrently. It composes multiplicatively
+	// with Jobs (cells x windows workers can oversubscribe the host), so
+	// prefer WindowJobs when the grid is small and Jobs when it is large.
+	// Results are bit-identical for every value. Ignored without Sample.
+	WindowJobs int
 	// Context, if non-nil, cancels an in-flight evaluation between
 	// simulations (an individual simulation is not interruptible).
 	Context context.Context

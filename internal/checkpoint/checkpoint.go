@@ -108,8 +108,11 @@ func NewWalker(p *isa.Program, hcfg mem.HierarchyConfig, warm bool) *Walker {
 }
 
 // Advance executes functionally until the emulator has retired target
-// instructions in total. Reaching HALT before the target is an error: a
-// checkpoint past the end of the program is meaningless.
+// instructions in total, through the emulator's predecoded basic-block
+// engine (warm mode attaches warmOne as the per-instruction hook, so
+// warming events are byte-identical to the old instruction-at-a-time
+// pass). Reaching HALT before the target is an error: a checkpoint past
+// the end of the program is meaningless.
 func (w *Walker) Advance(target uint64) error {
 	st := &w.Em.State
 	for st.Retired < target {
@@ -117,10 +120,13 @@ func (w *Walker) Advance(target uint64) error {
 			return fmt.Errorf("checkpoint: %s halted after %d instructions (fast-forward target %d)",
 				w.Em.Prog.Name, st.Retired, target)
 		}
-		if w.Hier != nil && st.PC < uint64(len(w.Em.Prog.Code)) {
-			w.warmOne(w.Em.Prog.Code[st.PC])
+		var err error
+		if w.Hier != nil {
+			_, err = w.Em.RunHooked(target-st.Retired, w.warmOne)
+		} else {
+			_, err = w.Em.Run(target - st.Retired)
 		}
-		if err := w.Em.Step(); err != nil {
+		if err != nil {
 			return fmt.Errorf("checkpoint: %s: %w", w.Em.Prog.Name, err)
 		}
 	}
@@ -128,13 +134,14 @@ func (w *Walker) Advance(target uint64) error {
 }
 
 // warmOne streams the next instruction's microarchitectural events into
-// the warm structures before the emulator executes it. Branch training
-// mirrors the detailed pipeline's resolution path (predict, resolve,
-// recover on mispredict) so the predictor reaches the same trained state
-// it would after in-order execution of the prefix.
-func (w *Walker) warmOne(ins isa.Instruction) {
+// the warm structures before the emulator executes it (it runs as the
+// block engine's pre-execution hook, so the registers it reads are still
+// the pre-execution values). Branch training mirrors the detailed
+// pipeline's resolution path (predict, resolve, recover on mispredict) so
+// the predictor reaches the same trained state it would after in-order
+// execution of the prefix.
+func (w *Walker) warmOne(pc uint64, ins *isa.Instruction) {
 	st := &w.Em.State
-	pc := st.PC
 	w.now++
 	w.Hier.AccessInstr(w.now, pc*uint64(isa.WordSize))
 	switch {

@@ -1,0 +1,535 @@
+package emu
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"spt/internal/isa"
+)
+
+// Threaded-code execution engine: instead of re-decoding every instruction
+// on every visit (the Step path), Run predecodes straight-line runs of code
+// into basic blocks of dense micro-op records — operands, immediates, and
+// branch targets already extracted, the handler selected — and executes
+// them in a tight dispatch loop. Blocks are cached per entry PC, so loop
+// bodies decode once and then execute with no per-instruction fetch,
+// bounds check, or operand extraction.
+//
+// Correctness contract: the block engine and Step implement identical
+// architectural semantics (block_test.go cross-checks them instruction for
+// instruction on random programs). Step remains the golden reference; the
+// block engine is the throughput path behind Run and RunHooked.
+//
+// The cache holds no architectural state — only a decoded view of
+// Prog.Code — so snapshots and copy-on-write restores (snapshot.go) never
+// interact with it: restoring architectural state onto an emulator keeps
+// its decoded blocks valid because the code is unchanged. The only way
+// code changes is through SetCode/InvalidateCode, which drop every cached
+// block overlapping the modified range.
+
+// uKind selects a micro-op handler in the dispatch loop. Hot operations
+// get dedicated kinds with the semantics inlined; the rarer ALU ops
+// (division, comparisons, min/max) share the generic uAlu kind, which
+// falls back to the ALU function — the same single source of truth the
+// pipeline's execute stage uses.
+type uKind uint8
+
+const (
+	uNop uKind = iota
+	uHalt
+	uMovi
+	uMov
+	uLoad8
+	uLoad4
+	uLoad1
+	uStore8
+	uStore4
+	uStore1
+	uJal
+	uJalr
+	uBeq
+	uBne
+	uBlt
+	uBge
+	uBltu
+	uBgeu
+	uAdd
+	uSub
+	uAnd
+	uOr
+	uXor
+	uShl
+	uShr
+	uSra
+	uMul
+	uAddw
+	uSubw
+	uRolw
+	uRorw
+	uAddi
+	uAndi
+	uOri
+	uXori
+	uShli
+	uShri
+	uSrai
+	uSlti
+	uAlu // anything else register-writing: DIV, REM, SLT(U), MIN/MAX(U), ...
+)
+
+// uOp is one predecoded micro-op: 32 bytes, everything the dispatch loop
+// needs without touching isa.Instruction again.
+type uOp struct {
+	kind uKind
+	op   isa.Op // original opcode, for uAlu dispatch
+	rd   uint8
+	rs1  uint8
+	rs2  uint8
+
+	imm int64
+	// target is the statically known control-flow destination (pc+imm) for
+	// conditional branches and uJal; link is pc+1 for uJal/uJalr.
+	target uint64
+	link   uint64
+}
+
+// maxBlockLen bounds a block so the budget arithmetic in execBlock stays
+// cheap and a pathological straight-line program cannot decode the whole
+// code section in one shot.
+const maxBlockLen = 128
+
+// block is a predecoded straight-line run starting at start. The last op
+// is the first control-flow instruction (or HALT) at or after start, or
+// the maxBlockLen'th op, whichever comes first. next and tkn chain to the
+// fallthrough and taken-branch successor blocks (resolved lazily on first
+// transition), so steady-state execution hops block to block without
+// consulting the cache index.
+type block struct {
+	start uint64
+	ops   []uOp
+	next  *block // fallthrough successor
+	tkn   *block // statically known taken/jump successor
+}
+
+// execBlock exit reasons: how control left the block.
+const (
+	exitFall  uint8 = iota // ran off the end (or a not-taken terminal branch)
+	exitTaken              // terminal branch taken or uJal: PC = static target
+	exitDyn                // uJalr or budget truncation: PC needs a fresh lookup
+	exitHalt               // HALT retired
+)
+
+// decodeOne predecodes the instruction at pc. Register-writing ops whose
+// destination is the hardwired zero register are architectural no-ops
+// (loads included: a functional memory read has no side effects), so they
+// decode to uNop and the dispatch loop never needs an rd != Zero check on
+// those paths.
+func decodeOne(ins isa.Instruction, pc uint64) uOp {
+	u := uOp{op: ins.Op, rd: uint8(ins.Rd), rs1: uint8(ins.Rs1), rs2: uint8(ins.Rs2), imm: ins.Imm}
+	switch ins.Op {
+	case isa.NOP:
+		u.kind = uNop
+	case isa.HALT:
+		u.kind = uHalt
+	case isa.MOVI:
+		u.kind = uMovi
+	case isa.MOV:
+		u.kind = uMov
+	case isa.LD:
+		u.kind = uLoad8
+	case isa.LDW:
+		u.kind = uLoad4
+	case isa.LDB:
+		u.kind = uLoad1
+	case isa.ST:
+		u.kind = uStore8
+	case isa.STW:
+		u.kind = uStore4
+	case isa.STB:
+		u.kind = uStore1
+	case isa.JAL:
+		u.kind = uJal
+		u.target = pc + uint64(ins.Imm)
+		u.link = pc + 1
+	case isa.JALR:
+		u.kind = uJalr
+		u.link = pc + 1
+	case isa.BEQ:
+		u.kind = uBeq
+		u.target = pc + uint64(ins.Imm)
+	case isa.BNE:
+		u.kind = uBne
+		u.target = pc + uint64(ins.Imm)
+	case isa.BLT:
+		u.kind = uBlt
+		u.target = pc + uint64(ins.Imm)
+	case isa.BGE:
+		u.kind = uBge
+		u.target = pc + uint64(ins.Imm)
+	case isa.BLTU:
+		u.kind = uBltu
+		u.target = pc + uint64(ins.Imm)
+	case isa.BGEU:
+		u.kind = uBgeu
+		u.target = pc + uint64(ins.Imm)
+	case isa.ADD:
+		u.kind = uAdd
+	case isa.SUB:
+		u.kind = uSub
+	case isa.AND:
+		u.kind = uAnd
+	case isa.OR:
+		u.kind = uOr
+	case isa.XOR:
+		u.kind = uXor
+	case isa.SHL:
+		u.kind = uShl
+	case isa.SHR:
+		u.kind = uShr
+	case isa.SRA:
+		u.kind = uSra
+	case isa.MUL:
+		u.kind = uMul
+	case isa.ADDW:
+		u.kind = uAddw
+	case isa.SUBW:
+		u.kind = uSubw
+	case isa.ROLW:
+		u.kind = uRolw
+	case isa.RORW:
+		u.kind = uRorw
+	case isa.ADDI:
+		u.kind = uAddi
+	case isa.ANDI:
+		u.kind = uAndi
+	case isa.ORI:
+		u.kind = uOri
+	case isa.XORI:
+		u.kind = uXori
+	case isa.SHLI:
+		u.kind = uShli
+	case isa.SHRI:
+		u.kind = uShri
+	case isa.SRAI:
+		u.kind = uSrai
+	case isa.SLTI:
+		u.kind = uSlti
+	default:
+		// Every remaining opcode is a register-writing ALU operation; ALU
+		// panics on anything it does not know, exactly like Step would.
+		u.kind = uAlu
+	}
+	if u.rd == 0 {
+		switch u.kind {
+		case uMovi, uMov, uLoad8, uLoad4, uLoad1, uAdd, uSub, uAnd, uOr, uXor, uShl, uShr, uSra,
+			uMul, uAddw, uSubw, uRolw, uRorw, uAddi, uAndi, uOri, uXori,
+			uShli, uShri, uSrai, uSlti, uAlu:
+			u.kind = uNop
+		}
+	}
+	return u
+}
+
+// decodeBlock predecodes the straight-line run starting at start.
+func decodeBlock(code []isa.Instruction, start uint64) *block {
+	b := &block{start: start}
+	for pc := start; pc < uint64(len(code)) && len(b.ops) < maxBlockLen; pc++ {
+		ins := code[pc]
+		b.ops = append(b.ops, decodeOne(ins, pc))
+		if ins.IsControlFlow() || ins.Op == isa.HALT {
+			break
+		}
+	}
+	return b
+}
+
+// blockAt returns the cached block entered at pc, decoding it on first
+// visit. The caller guarantees pc < len(Prog.Code).
+func (e *Emulator) blockAt(pc uint64) *block {
+	if e.blocks == nil {
+		e.blocks = make([]*block, len(e.Prog.Code))
+	}
+	b := e.blocks[pc]
+	if b == nil {
+		b = decodeBlock(e.Prog.Code, pc)
+		e.blocks[pc] = b
+	}
+	return b
+}
+
+// SetCode replaces the instruction at pc and invalidates every cached
+// block that decoded it, so the next execution re-decodes the new code.
+// This is the self-modifying-code hook: µRISC keeps code in an immutable
+// section separate from data memory, so stores can never alias it —
+// mutation happens only through this explicit API. The program is mutated
+// in place; the caller owns sharing (an isa.Program handed to several
+// emulators is mutated for all of them, but only this emulator's block
+// cache is invalidated — use one program per emulator when patching code).
+func (e *Emulator) SetCode(pc uint64, ins isa.Instruction) {
+	e.Prog.Code[pc] = ins
+	e.InvalidateCode(pc, pc+1)
+}
+
+// InvalidateCode drops cached blocks covering [from, to), forcing a
+// re-decode on next entry. Use it after mutating Prog.Code directly.
+// Invalidation is coarse — one overlapping block drops the whole cache —
+// because blocks chain successor pointers to each other, so a surviving
+// block could otherwise keep a stale neighbor reachable. Code patching is
+// rare and decode is cheap; correctness wins over precision here.
+func (e *Emulator) InvalidateCode(from, to uint64) {
+	for _, b := range e.blocks {
+		if b != nil && b.start < to && from < b.start+uint64(len(b.ops)) {
+			e.blocks = nil
+			return
+		}
+	}
+}
+
+// execBlock executes up to budget micro-ops of b, which must be entered at
+// b.start == State.PC. It updates PC and Retired and returns the number of
+// instructions executed plus the exit reason (run's chaining decision). A
+// control-flow op or HALT always terminates the run through the block;
+// otherwise execution falls off the end (or stops at the budget) with PC
+// pointing at the next sequential instruction. hook, if non-nil, observes
+// each instruction (original encoding, pre-execution state) before it
+// executes.
+func (e *Emulator) execBlock(b *block, budget uint64, hook func(pc uint64, ins *isa.Instruction)) (uint64, uint8) {
+	s := &e.State
+	regs := &s.Regs
+	m := s.Mem
+	ops := b.ops
+	if budget < uint64(len(ops)) {
+		ops = ops[:budget]
+	}
+	pc := b.start
+	for j := range ops {
+		i := uint64(j)
+		o := &ops[j]
+		if hook != nil {
+			hook(pc, &e.Prog.Code[pc])
+		}
+		switch o.kind {
+		case uNop:
+		case uHalt:
+			s.Halted = true
+			s.PC = pc + 1
+			s.Retired += i + 1
+			return i + 1, exitHalt
+		case uMovi:
+			regs[o.rd&31] = uint64(o.imm)
+		case uMov:
+			regs[o.rd&31] = regs[o.rs1&31]
+		case uLoad8:
+			// Loads and stores inline the page-cache hit path per access
+			// width; any miss (cold slot, page-crossing, copy-on-write)
+			// falls back to the general Read/Write.
+			a := regs[o.rs1&31] + uint64(o.imm)
+			off := a & (pageSize - 1)
+			pn := a >> pageShift
+			si := pn & (pcacheSlots - 1)
+			if off <= pageSize-8 && m.ctags[si] == pn+1 {
+				regs[o.rd&31] = binary.LittleEndian.Uint64(m.cptrs[si][off : off+8])
+			} else {
+				regs[o.rd&31] = m.Read(a, 8)
+			}
+		case uLoad4:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			off := a & (pageSize - 1)
+			pn := a >> pageShift
+			si := pn & (pcacheSlots - 1)
+			if off <= pageSize-4 && m.ctags[si] == pn+1 {
+				regs[o.rd&31] = uint64(binary.LittleEndian.Uint32(m.cptrs[si][off : off+4]))
+			} else {
+				regs[o.rd&31] = m.Read(a, 4)
+			}
+		case uLoad1:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			pn := a >> pageShift
+			si := pn & (pcacheSlots - 1)
+			if m.ctags[si] == pn+1 {
+				regs[o.rd&31] = uint64(m.cptrs[si][a&(pageSize-1)])
+			} else {
+				regs[o.rd&31] = m.Read(a, 1)
+			}
+		case uStore8:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			off := a & (pageSize - 1)
+			pn := a >> pageShift
+			si := pn & (pcacheSlots - 1)
+			if off <= pageSize-8 && m.wtags[si] == pn+1 {
+				binary.LittleEndian.PutUint64(m.wptrs[si][off:off+8], regs[o.rs2&31])
+			} else {
+				m.Write(a, 8, regs[o.rs2&31])
+			}
+		case uStore4:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			off := a & (pageSize - 1)
+			pn := a >> pageShift
+			si := pn & (pcacheSlots - 1)
+			if off <= pageSize-4 && m.wtags[si] == pn+1 {
+				binary.LittleEndian.PutUint32(m.wptrs[si][off:off+4], uint32(regs[o.rs2&31]))
+			} else {
+				m.Write(a, 4, regs[o.rs2&31])
+			}
+		case uStore1:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			pn := a >> pageShift
+			si := pn & (pcacheSlots - 1)
+			if m.wtags[si] == pn+1 {
+				m.wptrs[si][a&(pageSize-1)] = byte(regs[o.rs2&31])
+			} else {
+				m.Write(a, 1, regs[o.rs2&31])
+			}
+		case uJal:
+			if o.rd != 0 {
+				regs[o.rd&31] = o.link
+			}
+			s.PC = o.target
+			s.Retired += i + 1
+			return i + 1, exitTaken
+		case uJalr:
+			// Read rs1 before writing the link: JALR may use its own
+			// destination as the jump base.
+			t := regs[o.rs1&31] + uint64(o.imm)
+			if o.rd != 0 {
+				regs[o.rd&31] = o.link
+			}
+			s.PC = t
+			s.Retired += i + 1
+			return i + 1, exitDyn
+		case uBeq:
+			if regs[o.rs1&31] == regs[o.rs2&31] {
+				s.PC = o.target
+				s.Retired += i + 1
+				return i + 1, exitTaken
+			}
+		case uBne:
+			if regs[o.rs1&31] != regs[o.rs2&31] {
+				s.PC = o.target
+				s.Retired += i + 1
+				return i + 1, exitTaken
+			}
+		case uBlt:
+			if int64(regs[o.rs1&31]) < int64(regs[o.rs2&31]) {
+				s.PC = o.target
+				s.Retired += i + 1
+				return i + 1, exitTaken
+			}
+		case uBge:
+			if int64(regs[o.rs1&31]) >= int64(regs[o.rs2&31]) {
+				s.PC = o.target
+				s.Retired += i + 1
+				return i + 1, exitTaken
+			}
+		case uBltu:
+			if regs[o.rs1&31] < regs[o.rs2&31] {
+				s.PC = o.target
+				s.Retired += i + 1
+				return i + 1, exitTaken
+			}
+		case uBgeu:
+			if regs[o.rs1&31] >= regs[o.rs2&31] {
+				s.PC = o.target
+				s.Retired += i + 1
+				return i + 1, exitTaken
+			}
+		case uAdd:
+			regs[o.rd&31] = regs[o.rs1&31] + regs[o.rs2&31]
+		case uSub:
+			regs[o.rd&31] = regs[o.rs1&31] - regs[o.rs2&31]
+		case uAnd:
+			regs[o.rd&31] = regs[o.rs1&31] & regs[o.rs2&31]
+		case uOr:
+			regs[o.rd&31] = regs[o.rs1&31] | regs[o.rs2&31]
+		case uXor:
+			regs[o.rd&31] = regs[o.rs1&31] ^ regs[o.rs2&31]
+		case uShl:
+			regs[o.rd&31] = regs[o.rs1&31] << (regs[o.rs2&31] & 63)
+		case uShr:
+			regs[o.rd&31] = regs[o.rs1&31] >> (regs[o.rs2&31] & 63)
+		case uSra:
+			regs[o.rd&31] = uint64(int64(regs[o.rs1&31]) >> (regs[o.rs2&31] & 63))
+		case uMul:
+			regs[o.rd&31] = regs[o.rs1&31] * regs[o.rs2&31]
+		case uAddw:
+			regs[o.rd&31] = uint64(uint32(regs[o.rs1&31]) + uint32(regs[o.rs2&31]))
+		case uSubw:
+			regs[o.rd&31] = uint64(uint32(regs[o.rs1&31]) - uint32(regs[o.rs2&31]))
+		case uRolw:
+			regs[o.rd&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs1&31]), int(regs[o.rs2&31]&31)))
+		case uRorw:
+			regs[o.rd&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs1&31]), -int(regs[o.rs2&31]&31)))
+		case uAddi:
+			regs[o.rd&31] = regs[o.rs1&31] + uint64(o.imm)
+		case uAndi:
+			regs[o.rd&31] = regs[o.rs1&31] & uint64(o.imm)
+		case uOri:
+			regs[o.rd&31] = regs[o.rs1&31] | uint64(o.imm)
+		case uXori:
+			regs[o.rd&31] = regs[o.rs1&31] ^ uint64(o.imm)
+		case uShli:
+			regs[o.rd&31] = regs[o.rs1&31] << (uint64(o.imm) & 63)
+		case uShri:
+			regs[o.rd&31] = regs[o.rs1&31] >> (uint64(o.imm) & 63)
+		case uSrai:
+			regs[o.rd&31] = uint64(int64(regs[o.rs1&31]) >> (uint64(o.imm) & 63))
+		case uSlti:
+			if int64(regs[o.rs1&31]) < o.imm {
+				regs[o.rd&31] = 1
+			} else {
+				regs[o.rd&31] = 0
+			}
+		case uAlu:
+			regs[o.rd&31] = ALU(o.op, regs[o.rs1&31], regs[o.rs2&31], o.imm)
+		}
+		pc++
+	}
+	n := uint64(len(ops))
+	s.PC = pc
+	s.Retired += n
+	if n < uint64(len(b.ops)) {
+		return n, exitDyn // budget truncation: resume mid-block next call
+	}
+	return n, exitFall
+}
+
+// run is the shared engine behind Run and RunHooked. The inner loop
+// follows the blocks' successor chains (resolving them on first use);
+// only dynamic jumps and budget truncation fall back to a cache lookup.
+func (e *Emulator) run(maxInstructions uint64, hook func(pc uint64, ins *isa.Instruction)) (uint64, error) {
+	s := &e.State
+	codeLen := uint64(len(e.Prog.Code))
+	var done uint64
+	for !s.Halted && done < maxInstructions {
+		if s.PC >= codeLen {
+			return done, ErrPCOutOfRange{s.PC}
+		}
+		b := e.blockAt(s.PC)
+		for done < maxInstructions {
+			n, exit := e.execBlock(b, maxInstructions-done, hook)
+			done += n
+			switch exit {
+			case exitFall:
+				if b.next == nil {
+					if s.PC >= codeLen {
+						return done, ErrPCOutOfRange{s.PC}
+					}
+					b.next = e.blockAt(s.PC)
+				}
+				b = b.next
+			case exitTaken:
+				if b.tkn == nil {
+					if s.PC >= codeLen {
+						return done, ErrPCOutOfRange{s.PC}
+					}
+					b.tkn = e.blockAt(s.PC)
+				}
+				b = b.tkn
+			default: // exitDyn, exitHalt: back to the outer checks
+				goto outer
+			}
+		}
+	outer:
+	}
+	return done, nil
+}

@@ -6,6 +6,7 @@
 package emu
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -36,8 +37,10 @@ const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
 	// pcacheSlots is the number of direct-mapped page-cache slots (a power
-	// of two). 64 slots cover 256 KiB of hot footprint.
-	pcacheSlots = 64
+	// of two). 256 slots cover 1 MiB of hot footprint — enough that the
+	// pointer-chasing kernels (mcf, x264, lbm) mostly stay out of the page
+	// map.
+	pcacheSlots = 256
 )
 
 type page [pageSize]byte
@@ -131,10 +134,19 @@ func (m *Memory) SetByte(addr uint64, b byte) {
 func (m *Memory) Read(addr uint64, size int) uint64 {
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
-		// Fast path: the access stays within one page.
+		// Fast path: the access stays within one page. The common widths
+		// load whole words instead of assembling bytes.
 		p := m.lookup(addr >> pageShift)
 		if p == nil {
 			return 0
+		}
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off : off+8])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off : off+4]))
+		case 1:
+			return uint64(p[off])
 		}
 		var v uint64
 		for i := 0; i < size; i++ {
@@ -154,6 +166,17 @@ func (m *Memory) Write(addr uint64, size int, v uint64) {
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
 		p := m.ensure(addr >> pageShift)
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:off+8], v)
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:off+4], uint32(v))
+			return
+		case 1:
+			p[off] = byte(v)
+			return
+		}
 		for i := 0; i < size; i++ {
 			p[off+uint64(i)] = byte(v >> (8 * i))
 		}
@@ -177,10 +200,20 @@ type State struct {
 	Retired uint64
 }
 
-// Emulator executes µRISC programs one instruction at a time.
+// Emulator executes µRISC programs. Step interprets one instruction at a
+// time from the program text (the golden reference path); Run and
+// RunHooked execute through the predecoded basic-block cache (block.go),
+// which is semantically identical but several times faster. The two paths
+// can be mixed freely on one emulator.
 type Emulator struct {
 	Prog  *isa.Program
 	State State
+
+	// blocks caches predecoded basic blocks by entry PC (block.go). It is
+	// a pure decode cache over the immutable code section — no
+	// architectural state — so snapshot/restore never touches it and it
+	// survives Restore. SetCode/InvalidateCode drop stale entries.
+	blocks []*block
 }
 
 // New creates an emulator with the program's data image loaded and the PC
@@ -256,16 +289,21 @@ func (e *Emulator) Step() error {
 	return nil
 }
 
-// Run executes until the machine halts or maxInstructions retire. It
-// reports the number of instructions retired by this call.
+// Run executes until the machine halts or maxInstructions retire, through
+// the predecoded basic-block engine. It reports the number of instructions
+// retired by this call.
 func (e *Emulator) Run(maxInstructions uint64) (uint64, error) {
-	start := e.State.Retired
-	for !e.State.Halted && e.State.Retired-start < maxInstructions {
-		if err := e.Step(); err != nil {
-			return e.State.Retired - start, err
-		}
-	}
-	return e.State.Retired - start, nil
+	return e.run(maxInstructions, nil)
+}
+
+// RunHooked is Run with a per-instruction observer: hook is called before
+// each instruction executes, with the instruction's PC and its encoding
+// (a pointer into Prog.Code — do not retain it) while State still holds
+// the pre-execution register file. The checkpoint walker uses it to
+// stream cache/TLB/predictor warming events without paying the Step
+// loop's per-instruction decode.
+func (e *Emulator) RunHooked(maxInstructions uint64, hook func(pc uint64, ins *isa.Instruction)) (uint64, error) {
+	return e.run(maxInstructions, hook)
 }
 
 // BranchTaken evaluates a conditional branch's predicate.

@@ -1,0 +1,9 @@
+//go:build race
+
+package emu
+
+// raceEnabled reports whether the race detector is active. The block
+// dispatch allocation test skips under -race: detector instrumentation
+// allocates shadow state on code paths that are allocation-free in normal
+// builds, so AllocsPerRun would report false positives.
+const raceEnabled = true

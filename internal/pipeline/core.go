@@ -12,6 +12,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"spt/internal/emu"
@@ -851,9 +852,30 @@ func (c *Core) Step() {
 // Run simulates until HALT retires, maxInstructions retire, or maxCycles
 // pass. It returns an error on livelock (no retirement for a long window).
 func (c *Core) Run(maxInstructions, maxCycles uint64) error {
+	return c.RunCtx(nil, maxInstructions, maxCycles)
+}
+
+// ctxPollMask sets how often RunCtx polls its context: every 8192 cycles —
+// rare enough that the poll is invisible in profiles, frequent enough that
+// cancelling a run aborts within microseconds of host time.
+const ctxPollMask = 8192 - 1
+
+// RunCtx is Run with cooperative cancellation: every few thousand cycles
+// it polls ctx and, once the context is done, stops mid-run and returns
+// context.Cause(ctx). The core is left in a consistent (resumable) state.
+// A nil ctx is never polled, so Run's hot loop pays nothing for the
+// feature.
+func (c *Core) RunCtx(ctx context.Context, maxInstructions, maxCycles uint64) error {
 	lastRetired := c.Stats.Retired
 	lastProgress := c.cycle
 	for !c.finished && c.Stats.Retired < maxInstructions && c.cycle < maxCycles {
+		if ctx != nil && c.cycle&ctxPollMask == 0 {
+			select {
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			default:
+			}
+		}
 		c.Step()
 		if c.Stats.Retired != lastRetired {
 			lastRetired = c.Stats.Retired

@@ -26,8 +26,11 @@ type PerfRow struct {
 	FastForwarded uint64
 	IPC           float64
 
-	// Host-side simulator throughput for this run.
+	// Host-side simulator throughput for this run. HostSeconds is wall
+	// clock; HostCPUSeconds is aggregate CPU time across concurrent window
+	// workers (the two coincide for serial runs — see HostStats).
 	HostSeconds      float64
+	HostCPUSeconds   float64
 	SimKIPS          float64
 	NsPerInstruction float64
 	// EffectiveKIPS includes fast-forwarded instructions in the numerator
@@ -78,6 +81,8 @@ func RunPerf(opt EvalOptions) (*PerfReport, error) {
 				SkipInstructions:      opt.Skip,
 				Sample:                opt.Sample,
 				Checkpoints:           store,
+				Jobs:                  opt.WindowJobs,
+				Context:               opt.Context,
 			})
 			if err != nil {
 				return nil, err
@@ -90,6 +95,7 @@ func RunPerf(opt EvalOptions) (*PerfReport, error) {
 				FastForwarded:    res.FastForwarded,
 				IPC:              res.IPC(),
 				HostSeconds:      res.Host.Seconds,
+				HostCPUSeconds:   res.Host.CPUSeconds,
 				SimKIPS:          res.Host.SimKIPS,
 				NsPerInstruction: res.Host.NsPerInstruction,
 				EffectiveKIPS:    res.Host.EffectiveSimKIPS,
@@ -107,6 +113,7 @@ func (r *PerfReport) Deterministic() *PerfReport {
 	copy(out.Rows, r.Rows)
 	for i := range out.Rows {
 		out.Rows[i].HostSeconds = 0
+		out.Rows[i].HostCPUSeconds = 0
 		out.Rows[i].SimKIPS = 0
 		out.Rows[i].NsPerInstruction = 0
 		out.Rows[i].EffectiveKIPS = 0
@@ -127,12 +134,12 @@ func (r *PerfReport) JSON() (string, error) {
 func (r *PerfReport) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Simulator throughput (%s model, budget %d instructions/run)\n", r.Model, r.Budget)
-	fmt.Fprintf(&b, "%-12s %-8s %12s %12s %10s %7s %12s %12s %10s %10s\n",
-		"benchmark", "scheme", "cycles", "insts", "ff-insts", "ipc", "host-sec", "sim-KIPS", "ns/inst", "eff-KIPS")
+	fmt.Fprintf(&b, "%-12s %-8s %12s %12s %10s %7s %12s %12s %12s %10s %10s\n",
+		"benchmark", "scheme", "cycles", "insts", "ff-insts", "ipc", "host-sec", "cpu-sec", "sim-KIPS", "ns/inst", "eff-KIPS")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-12s %-8s %12d %12d %10d %7.3f %12.3f %12.1f %10.1f %10.1f\n",
+		fmt.Fprintf(&b, "%-12s %-8s %12d %12d %10d %7.3f %12.3f %12.3f %12.1f %10.1f %10.1f\n",
 			row.Workload, row.Scheme, row.Cycles, row.Instructions, row.FastForwarded, row.IPC,
-			row.HostSeconds, row.SimKIPS, row.NsPerInstruction, row.EffectiveKIPS)
+			row.HostSeconds, row.HostCPUSeconds, row.SimKIPS, row.NsPerInstruction, row.EffectiveKIPS)
 	}
 	return b.String()
 }

@@ -49,6 +49,9 @@ func TestHostStatsPopulated(t *testing.T) {
 	if res.Host.Seconds <= 0 || res.Host.SimKIPS <= 0 || res.Host.NsPerInstruction <= 0 {
 		t.Fatalf("host stats not populated: %+v", res.Host)
 	}
+	if res.Host.CPUSeconds < res.Host.Seconds {
+		t.Fatalf("CPUSeconds %.6f below wall Seconds %.6f for a serial run", res.Host.CPUSeconds, res.Host.Seconds)
+	}
 	for _, field := range []string{"host", "KIPS", "ns/inst"} {
 		if containsFold(res.StatsText(), field) {
 			t.Fatalf("StatsText leaks host-dependent field %q", field)

@@ -57,16 +57,27 @@ type Result struct {
 // HostStats reports simulator throughput: wall-clock cost of the run on
 // the host, not a property of the simulated machine.
 type HostStats struct {
-	// Seconds is the host wall-clock time of the measured window.
+	// Seconds is the host wall-clock time of the run (for sampled runs, the
+	// whole sampled pass; otherwise the measured window).
 	Seconds float64
-	// SimKIPS is simulated (retired) kilo-instructions per host second.
+	// CPUSeconds is the aggregate host CPU time the run consumed across
+	// every concurrent worker: the functional pass plus the sum of each
+	// detailed region's own time. For serial runs CPUSeconds ≈ Seconds
+	// (plus the fast-forward pass, which Seconds excludes for checkpointed
+	// runs); for parallel-window sampled runs CPUSeconds exceeds Seconds,
+	// and their ratio is the effective parallel speedup.
+	CPUSeconds float64
+	// SimKIPS is simulated (retired) kilo-instructions per host CPU second
+	// of detailed simulation — per-core simulator throughput, independent
+	// of how many windows ran concurrently.
 	SimKIPS float64
 	// NsPerInstruction is host nanoseconds per simulated instruction.
 	NsPerInstruction float64
 	// EffectiveSimKIPS counts fast-forwarded instructions too: total
-	// instructions covered (functional + detailed) per host second,
-	// including the functional pass's own wall time. Equals SimKIPS for
-	// runs without fast-forwarding.
+	// instructions covered (functional + detailed) per wall-clock second,
+	// including the functional pass's own time. This is the
+	// methodology-level throughput — it improves both with fast-forwarding
+	// and with parallel windows.
 	EffectiveSimKIPS float64
 }
 

@@ -74,7 +74,10 @@ func runJob(j Job) (*Result, error) { return Run(j.Workload, j.options()) }
 // jobRunner returns the per-cell runner for a grid. When any cell
 // fast-forwards, the cells share a checkpoint store (opt.Checkpoints, or an
 // ephemeral in-memory one) so each distinct workload prefix executes once
-// for the whole grid instead of once per cell.
+// for the whole grid instead of once per cell. The harness context and
+// per-cell window concurrency (opt.WindowJobs) flow into every cell's
+// Options, so sampled cells can overlap their measured windows and a
+// cancelled harness also aborts the simulation it is inside of.
 func jobRunner(jobs []Job, opt EvalOptions) func(Job) (*Result, error) {
 	store := opt.Checkpoints
 	if store == nil {
@@ -85,12 +88,14 @@ func jobRunner(jobs []Job, opt EvalOptions) func(Job) (*Result, error) {
 			}
 		}
 	}
-	if store == nil {
+	if store == nil && opt.WindowJobs == 0 && opt.Context == nil {
 		return runJob
 	}
 	return func(j Job) (*Result, error) {
 		o := j.options()
 		o.Checkpoints = store
+		o.Jobs = opt.WindowJobs
+		o.Context = opt.Context
 		return Run(j.Workload, o)
 	}
 }

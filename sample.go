@@ -1,10 +1,13 @@
 package spt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"spt/internal/checkpoint"
@@ -115,11 +118,78 @@ type SampleStats struct {
 	WarmupInstructions uint64
 }
 
+// windowRun is one measured window's contribution to the sampled estimate.
+// cycles/insts cover the measured region only; warmInsts is the detailed
+// warmup executed before it. seconds is the window's own host CPU time
+// (checkpoint materialization through the last detailed cycle), which
+// aggregates into HostStats.CPUSeconds. core and taint are retained only
+// for the run's last window, which supplies the representative
+// microarchitectural counters.
+type windowRun struct {
+	cycles    uint64
+	insts     uint64
+	warmInsts uint64
+	seconds   float64
+	core      *pipeline.Core
+	taint     *TaintStats
+}
+
+// runWindow boots a detailed core from cp and executes sample window idx
+// (warmup then measured detail). It touches nothing shared: the checkpoint
+// hands out copy-on-write snapshots and cloned warm state, and the policy
+// is built fresh per window, so any number of windows run concurrently.
+// The computation depends only on (cp, options, idx) — never on which
+// worker runs it or when — which is what keeps sampled results
+// bit-identical for every Options.Jobs value.
+func runWindow(ctx context.Context, p *isa.Program, o Options, cfg pipeline.Config,
+	hcfg mem.HierarchyConfig, spec SampleSpec, idx int, cp *checkpoint.Checkpoint) (*windowRun, error) {
+	start := time.Now()
+	snap, hier, pred := cp.Materialize(hcfg)
+	pol, sptPol, sttPol, err := o.policy()
+	if err != nil {
+		return nil, err
+	}
+	core, err := pipeline.BootFromSnapshot(cfg, p, hier, pol, snap, pred)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Warmup > 0 {
+		if err := core.RunCtx(ctx, spec.Warmup, o.MaxCycles); err != nil {
+			return nil, fmt.Errorf("spt: %s sample interval %d warmup: %w", p.Name, idx, err)
+		}
+	}
+	warmCycles, warmInsts := core.Stats.Cycles, core.Stats.Retired
+	target := warmInsts + spec.Detail
+	if err := core.RunCtx(ctx, target, o.MaxCycles); err != nil {
+		return nil, fmt.Errorf("spt: %s sample interval %d: %w", p.Name, idx, err)
+	}
+	if !core.Finished() && core.Stats.Retired < target {
+		return nil, fmt.Errorf("spt: %s sample interval %d under %s/%s: hit the cycle bound (%d cycles, %d retired)",
+			p.Name, idx, o.Scheme, o.Model, core.Stats.Cycles, core.Stats.Retired)
+	}
+	cycles := core.Stats.Cycles - warmCycles
+	insts := core.Stats.Retired - warmInsts
+	if insts == 0 {
+		return nil, fmt.Errorf("spt: %s sample interval %d measured no instructions", p.Name, idx)
+	}
+	return &windowRun{
+		cycles:    cycles,
+		insts:     insts,
+		warmInsts: warmInsts,
+		seconds:   time.Since(start).Seconds(),
+		core:      core,
+		taint:     taintResultStats(sptPol, sttPol),
+	}, nil
+}
+
 // runSampled is the sampled-simulation driver behind Run: one functional
-// walker pass over the budget, pausing at each interval's window to boot a
-// detailed core from a warm checkpoint. Fully deterministic: the walker,
-// the checkpoints, and each detailed window depend only on the program and
-// options.
+// walker pass over the budget, checkpointing at each interval's window and
+// booting a detailed core from the warm checkpoint. With Options.Jobs > 1
+// the walker becomes a streaming producer and up to Jobs windows simulate
+// concurrently, each on its own copy-on-write snapshot and cloned warm
+// state. Fully deterministic at any Jobs value: the walker, the
+// checkpoints, and each detailed window depend only on the program and
+// options, and aggregation always runs in window-index order.
 func runSampled(p *isa.Program, o Options) (*Result, error) {
 	spec, err := o.Sample.normalized(o.MaxInstructions)
 	if err != nil {
@@ -133,54 +203,131 @@ func runSampled(p *isa.Program, o Options) (*Result, error) {
 	cfg.Model = model
 	hcfg := mem.DefaultHierarchyConfig()
 	interval := o.MaxInstructions / uint64(spec.Intervals)
+	windowStart := func(i int) uint64 {
+		return uint64(i+1)*interval - (spec.Warmup + spec.Detail)
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jobs := o.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > spec.Intervals {
+		jobs = spec.Intervals
+	}
 
 	hostStart := time.Now()
 	w := checkpoint.NewWalker(p, hcfg, true)
-	samp := &SampleStats{Spec: spec, IntervalCPI: make([]float64, 0, spec.Intervals)}
-	var last *pipeline.Core
-	var lastTaint *TaintStats
-	for i := 0; i < spec.Intervals; i++ {
-		windowStart := uint64(i+1)*interval - (spec.Warmup + spec.Detail)
-		if err := w.Advance(windowStart); err != nil {
-			return nil, err
-		}
-		snap, hier, pred := w.Checkpoint().Materialize(hcfg)
+	results := make([]*windowRun, spec.Intervals)
+	var walkSeconds float64
 
-		pol, sptPol, sttPol, err := o.policy()
-		if err != nil {
-			return nil, err
+	if jobs == 1 {
+		// Serial: produce and consume each window in turn. This is the
+		// reference order; the concurrent path below computes the exact same
+		// windows from the exact same checkpoints.
+		for i := 0; i < spec.Intervals; i++ {
+			if ctx.Err() != nil {
+				return nil, context.Cause(ctx)
+			}
+			t0 := time.Now()
+			if err := w.Advance(windowStart(i)); err != nil {
+				return nil, err
+			}
+			cp := w.Checkpoint()
+			walkSeconds += time.Since(t0).Seconds()
+			r, err := runWindow(ctx, p, o, cfg, hcfg, spec, i, cp)
+			if err != nil {
+				return nil, err
+			}
+			if i != spec.Intervals-1 {
+				r.core = nil // retain only the last window's core
+			}
+			results[i] = r
 		}
-		core, err := pipeline.BootFromSnapshot(cfg, p, hier, pol, snap, pred)
-		if err != nil {
-			return nil, err
+	} else {
+		// Concurrent: this goroutine is the producer — it walks the program
+		// serially (the walker is inherently sequential) and feeds each
+		// window's checkpoint to a worker pool. Workers never share state:
+		// every window gets its own CoW snapshot and warm-state clones.
+		//
+		// Error semantics mirror the serial path deterministically: windows
+		// are produced in index order and every produced window runs to
+		// completion even after a failure elsewhere (an error only stops
+		// further production), so the earliest failure by window index is
+		// exactly the error the serial loop would have returned. Parent
+		// context cancellation is the exception — it aborts in-flight
+		// windows promptly (RunCtx polls) and wins error selection.
+		type windowJob struct {
+			idx int
+			cp  *checkpoint.Checkpoint
 		}
-		if spec.Warmup > 0 {
-			if err := core.Run(spec.Warmup, o.MaxCycles); err != nil {
-				return nil, fmt.Errorf("spt: %s sample interval %d warmup: %w", p.Name, i, err)
+		feed := make(chan windowJob)
+		errs := make([]error, spec.Intervals)
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(jobs)
+		for k := 0; k < jobs; k++ {
+			go func() {
+				defer wg.Done()
+				for jb := range feed {
+					r, err := runWindow(ctx, p, o, cfg, hcfg, spec, jb.idx, jb.cp)
+					if err != nil {
+						errs[jb.idx] = err
+						stop.Store(true)
+						continue
+					}
+					if jb.idx != spec.Intervals-1 {
+						r.core = nil
+					}
+					results[jb.idx] = r
+				}
+			}()
+		}
+		var prodErr error
+		for i := 0; i < spec.Intervals && !stop.Load() && ctx.Err() == nil; i++ {
+			t0 := time.Now()
+			if err := w.Advance(windowStart(i)); err != nil {
+				prodErr = err
+				break
+			}
+			cp := w.Checkpoint()
+			walkSeconds += time.Since(t0).Seconds()
+			feed <- windowJob{idx: i, cp: cp}
+		}
+		close(feed)
+		wg.Wait()
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		// Earliest window failure in index order; every window preceding a
+		// walker failure has already run, so window errors outrank prodErr.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
 		}
-		warmCycles, warmInsts := core.Stats.Cycles, core.Stats.Retired
-		target := warmInsts + spec.Detail
-		if err := core.Run(target, o.MaxCycles); err != nil {
-			return nil, fmt.Errorf("spt: %s sample interval %d: %w", p.Name, i, err)
+		if prodErr != nil {
+			return nil, prodErr
 		}
-		if !core.Finished() && core.Stats.Retired < target {
-			return nil, fmt.Errorf("spt: %s sample interval %d under %s/%s: hit the cycle bound (%d cycles, %d retired)",
-				p.Name, i, o.Scheme, o.Model, core.Stats.Cycles, core.Stats.Retired)
-		}
-		cycles := core.Stats.Cycles - warmCycles
-		insts := core.Stats.Retired - warmInsts
-		if insts == 0 {
-			return nil, fmt.Errorf("spt: %s sample interval %d measured no instructions", p.Name, i)
-		}
-		samp.IntervalCPI = append(samp.IntervalCPI, float64(cycles)/float64(insts))
-		samp.DetailCycles += cycles
-		samp.DetailInstructions += insts
-		samp.WarmupInstructions += warmInsts
-		last = core
-		lastTaint = taintResultStats(sptPol, sttPol)
 	}
+
+	// Aggregate in window-index order. The per-interval CPI sequence (and
+	// therefore every derived statistic) is independent of scheduling.
+	samp := &SampleStats{Spec: spec, IntervalCPI: make([]float64, 0, spec.Intervals)}
+	var cpuSeconds float64
+	for _, r := range results {
+		samp.IntervalCPI = append(samp.IntervalCPI, float64(r.cycles)/float64(r.insts))
+		samp.DetailCycles += r.cycles
+		samp.DetailInstructions += r.insts
+		samp.WarmupInstructions += r.warmInsts
+		cpuSeconds += r.seconds
+	}
+	lastRun := results[spec.Intervals-1]
+	last := lastRun.core
 	hostSeconds := time.Since(hostStart).Seconds()
+	cpuSeconds += walkSeconds
 
 	mean, std := stats.MeanStd(samp.IntervalCPI)
 	samp.MeanCPI = mean
@@ -207,16 +354,21 @@ func runSampled(p *isa.Program, o Options) (*Result, error) {
 		TLBMisses: last.Hier.DTLB.Stats.Misses,
 		Predictor: last.Pred.Stats,
 		Stats:     last.StatsRegistry().Dump(),
-		Taint:     lastTaint,
+		Taint:     lastRun.taint,
 	}
 	res.Stats.Engine = EngineVersion
+	// Seconds is wall clock for the whole sampled run; CPUSeconds aggregates
+	// the walker pass plus every window's own simulation time, so the two
+	// split apart exactly when windows overlap (their ratio is the effective
+	// parallel speedup).
 	res.Host.Seconds = hostSeconds
+	res.Host.CPUSeconds = cpuSeconds
+	if cpuSeconds > 0 && detailed > 0 {
+		res.Host.SimKIPS = float64(detailed) / cpuSeconds / 1e3
+		res.Host.NsPerInstruction = cpuSeconds * 1e9 / float64(detailed)
+	}
 	if hostSeconds > 0 {
-		res.Host.SimKIPS = float64(detailed) / hostSeconds / 1e3
 		res.Host.EffectiveSimKIPS = float64(o.MaxInstructions) / hostSeconds / 1e3
-		if detailed > 0 {
-			res.Host.NsPerInstruction = hostSeconds * 1e9 / float64(detailed)
-		}
 	}
 	return res, nil
 }

@@ -99,14 +99,17 @@ func runProgram(p *isa.Program, o Options) (*Result, error) {
 		}
 	}
 	var warmCycles, warmInsts uint64
+	var warmSeconds float64
 	if o.WarmupInstructions > 0 {
-		if err := core.Run(o.WarmupInstructions, o.MaxCycles); err != nil {
+		warmStart := time.Now()
+		if err := core.RunCtx(o.Context, o.WarmupInstructions, o.MaxCycles); err != nil {
 			return nil, fmt.Errorf("spt: warmup: %w", err)
 		}
+		warmSeconds = time.Since(warmStart).Seconds()
 		warmCycles, warmInsts = core.Stats.Cycles, core.Stats.Retired
 	}
 	hostStart := time.Now()
-	if err := core.Run(warmInsts+o.MaxInstructions, o.MaxCycles); err != nil {
+	if err := core.RunCtx(o.Context, warmInsts+o.MaxInstructions, o.MaxCycles); err != nil {
 		return nil, fmt.Errorf("spt: %s under %s/%s: %w", p.Name, o.Scheme, o.Model, err)
 	}
 	hostSeconds := time.Since(hostStart).Seconds()
@@ -134,6 +137,10 @@ func runProgram(p *isa.Program, o Options) (*Result, error) {
 	}
 	res.Stats.Engine = EngineVersion
 	res.Host.Seconds = hostSeconds
+	// A plain run has no concurrency, so aggregate CPU time is just the
+	// phases Seconds excludes (fast-forward, warmup) plus the measured
+	// window itself.
+	res.Host.CPUSeconds = ffSeconds + warmSeconds + hostSeconds
 	if insts := res.Instructions; insts > 0 && hostSeconds > 0 {
 		res.Host.SimKIPS = float64(insts) / hostSeconds / 1e3
 		res.Host.NsPerInstruction = hostSeconds * 1e9 / float64(insts)
