@@ -1,0 +1,624 @@
+package spt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"spt/internal/attack"
+	"spt/internal/fuzz"
+	"spt/internal/isa"
+)
+
+// CampaignOptions configures a coverage-guided fuzzing campaign
+// (RunCampaign). A campaign's results are deterministic in
+// (Seed, Generations, PerGen, Schemes, Models, corpus contents): worker
+// count, sharding, interruption and resume cannot change a byte of the
+// final report.
+type CampaignOptions struct {
+	// Seed is the base seed. Default 1.
+	Seed int64
+	// Generations and PerGen size the campaign: Generations generations of
+	// PerGen units each. Defaults 4 and 64.
+	Generations int
+	PerGen      int
+	// Budget, when positive, stops the campaign at the first generation
+	// boundary past the deadline. The state file (StatePath) makes the
+	// truncated campaign resumable; the report is marked Stopped.
+	Budget time.Duration
+	// Schemes and Models define the per-unit oracle grid; defaults as in
+	// FuzzOptions.
+	Schemes []Scheme
+	Models  []AttackModel
+	// Minimize caps how many triage clusters get a minimized reproducer:
+	// 0 (default) minimizes every cluster representative, negative
+	// disables minimization.
+	Minimize int
+	// Jobs is the worker count; 0 = one per core. Never affects output.
+	Jobs int
+	// Shard/Shards select a slice of the oracle work: this process
+	// evaluates only units with unit%Shards == Shard (planning and shapes
+	// are computed everywhere — that is what makes merges exact). Shards 0
+	// or 1 means unsharded.
+	Shard, Shards int
+	// StatePath, when set, persists campaign state after every generation
+	// (atomically) and resumes from it when the file already exists.
+	StatePath string
+	// CorpusDir, when set, loads *.urisc reproducers to evolve alongside
+	// fresh generation.
+	CorpusDir string
+	// Context cancels the campaign between oracle runs; when StatePath is
+	// set the state is saved before returning, so cancellation is just an
+	// interruption.
+	Context context.Context
+	// Progress, if non-nil, is called (serialized) after each unit of work.
+	Progress func(done, total int, what string)
+	// StopAfterUnits, when positive, stops after evaluating that many
+	// units (the interruption test hook; the state file stays resumable).
+	StopAfterUnits int
+}
+
+func (o CampaignOptions) withDefaults() CampaignOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Generations == 0 {
+		o.Generations = 4
+	}
+	if o.PerGen == 0 {
+		o.PerGen = 64
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = Schemes()
+	}
+	if len(o.Models) == 0 {
+		o.Models = AttackModels()
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	return o
+}
+
+func (o CampaignOptions) config() fuzz.CampaignConfig {
+	cfg := fuzz.CampaignConfig{Seed: o.Seed, Generations: o.Generations, PerGen: o.PerGen}
+	for _, s := range o.Schemes {
+		cfg.Schemes = append(cfg.Schemes, string(s))
+	}
+	for _, m := range o.Models {
+		cfg.Models = append(cfg.Models, string(m))
+	}
+	return cfg
+}
+
+// CampaignBucket is one row of the coverage map.
+type CampaignBucket struct {
+	Bucket string `json:"bucket"`
+	Count  int    `json:"count"`
+	First  int    `json:"first"` // unit that opened the bucket
+}
+
+// CampaignCluster is one distinct leak in the triage table, optionally
+// backed by a minimized reproducer.
+type CampaignCluster struct {
+	fuzz.LeakCluster
+	// Name is the representative unit's program name.
+	Name string `json:"name"`
+	// Skeleton is the opcode-skeleton digest of the minimized reproducer;
+	// clusters sharing it were merged.
+	Skeleton string          `json:"skeleton,omitempty"`
+	Repro    *MinimizedRepro `json:"repro,omitempty"`
+}
+
+// CampaignReport is the campaign outcome, a pure function of the merged
+// state (plus the Minimize cap).
+type CampaignReport struct {
+	Engine    string              `json:"engine"`
+	Digest    string              `json:"digest"`
+	Config    fuzz.CampaignConfig `json:"config"`
+	Units     int                 `json:"units"`
+	Evaluated int                 `json:"evaluated"`
+	Rejected  int                 `json:"rejected"`
+	// Pending counts evaluable units with no oracle results yet: non-zero
+	// for a single shard's report or a stopped campaign, zero after a
+	// complete run or merge.
+	Pending    int               `json:"pending"`
+	Kinds      map[string]int    `json:"kinds"`
+	Buckets    int               `json:"buckets"`
+	Coverage   []CampaignBucket  `json:"coverage"`
+	Cells      []FuzzCellStats   `json:"cells"`
+	Clusters   []CampaignCluster `json:"clusters"`
+	EvalErrors []string          `json:"eval_errors,omitempty"`
+	Stopped    bool              `json:"stopped,omitempty"`
+}
+
+// Unexpected returns the clusters that contain a defense failure. An
+// empty result is the campaign's pass condition.
+func (r *CampaignReport) Unexpected() []CampaignCluster {
+	var out []CampaignCluster
+	for _, cl := range r.Clusters {
+		if cl.Unexpected {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// JSON renders the report as indented JSON.
+func (r *CampaignReport) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// Text renders the campaign summary: unit mix, coverage, the per-cell
+// verdict table, and the triaged distinct-leak table.
+func (r *CampaignReport) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Coverage-guided fuzzing campaign (seed=%d, %d generations x %d units)\n",
+		r.Config.Seed, r.Config.Generations, r.Config.PerGen)
+	fmt.Fprintf(&sb, "Units: %d planned", r.Units)
+	kinds := make([]string, 0, len(r.Kinds))
+	for k := range r.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, ", %d %s", r.Kinds[k], k)
+	}
+	fmt.Fprintf(&sb, "; %d evaluated, %d rejected, %d pending\n", r.Evaluated, r.Rejected, r.Pending)
+	fmt.Fprintf(&sb, "Coverage: %d observation-shape buckets\n", r.Buckets)
+	if r.Stopped {
+		sb.WriteString("NOTE: campaign stopped early (budget/interrupt); state file is resumable\n")
+	}
+
+	fmt.Fprintf(&sb, "\n%-14s %-11s %6s %6s %9s %11s %6s\n",
+		"SCHEME", "MODEL", "CASES", "LEAKS", "EXPECTED", "UNEXPECTED", "CLEAN")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%-14s %-11s %6d %6d %9d %11d %6d\n",
+			c.Scheme, c.Model, c.Cases, c.Leaks, c.Expected, c.Unexpected, c.Clean)
+	}
+
+	if len(r.Clusters) > 0 {
+		fmt.Fprintf(&sb, "\nDistinct leaks (%d clusters):\n", len(r.Clusters))
+		for _, cl := range r.Clusters {
+			tag := "expected"
+			if cl.Unexpected {
+				tag = "UNEXPECTED"
+			}
+			repro := ""
+			if cl.Repro != nil {
+				repro = fmt.Sprintf(" [min %d->%d insns]", cl.Repro.Before, cl.Repro.After)
+			}
+			fmt.Fprintf(&sb, "  %-10s x%-5d %-14s %-12s %-7s cells=%s kinds=%s%s\n",
+				tag, cl.Count, cl.Class, cl.Primitive, cl.Transmitter,
+				strings.Join(cl.Cells, ","), cl.Kinds, repro)
+		}
+	}
+	if len(r.EvalErrors) > 0 {
+		fmt.Fprintf(&sb, "\nEval errors (%d):\n", len(r.EvalErrors))
+		for _, e := range r.EvalErrors {
+			fmt.Fprintf(&sb, "  %s\n", e)
+		}
+	}
+	if bad := r.Unexpected(); len(bad) > 0 {
+		fmt.Fprintf(&sb, "\nVERDICT: FAIL — %d distinct unexpected leak(s)\n", len(bad))
+	} else if r.Pending > 0 {
+		sb.WriteString("\nVERDICT: PARTIAL — no unexpected leaks in the evaluated slice\n")
+	} else {
+		sb.WriteString("\nVERDICT: PASS — every distinct leak is a true-positive control\n")
+	}
+	return sb.String()
+}
+
+// RunCampaign runs a coverage-guided fuzzing campaign: generations of
+// planned units (fresh gadgets, corpus mutants, coverage-frontier
+// mutants), each shaped on the reference cell and evaluated under the
+// full oracle grid, with per-generation state persistence, sharding by
+// unit id, and triage of the results into distinct leaks. See
+// DESIGN.md §4j for the determinism contract.
+func RunCampaign(opt CampaignOptions) (*CampaignReport, error) {
+	opt = opt.withDefaults()
+	if opt.Shard < 0 || opt.Shard >= opt.Shards {
+		return nil, fmt.Errorf("spt: shard %d out of range [0,%d)", opt.Shard, opt.Shards)
+	}
+
+	var corpus []fuzz.CorpusEntry
+	if opt.CorpusDir != "" {
+		var err error
+		if corpus, err = fuzz.LoadCorpus(opt.CorpusDir); err != nil {
+			return nil, err
+		}
+	}
+	cfg := opt.config()
+	digest := cfg.Digest(corpus)
+
+	st := fuzz.NewCampaignState(cfg, digest, EngineVersion)
+	if opt.StatePath != "" {
+		if _, err := os.Stat(opt.StatePath); err == nil {
+			loaded, err := fuzz.LoadState(opt.StatePath)
+			if err != nil {
+				return nil, err
+			}
+			if loaded.Digest != digest {
+				return nil, fmt.Errorf("spt: state %s was built for campaign digest %s, this config/corpus digests to %s",
+					opt.StatePath, loaded.Digest, digest)
+			}
+			if loaded.Engine != EngineVersion {
+				return nil, fmt.Errorf("spt: state %s was built by %s, this binary is %s",
+					opt.StatePath, loaded.Engine, EngineVersion)
+			}
+			st = loaded
+		}
+	}
+
+	var deadline time.Time
+	if opt.Budget > 0 {
+		deadline = time.Now().Add(opt.Budget)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+	save := func() error {
+		if opt.StatePath == "" {
+			return nil
+		}
+		return st.Save(opt.StatePath)
+	}
+	// On failure or cancellation, persist what completed so the campaign
+	// resumes instead of restarting.
+	fail := func(err error) (*CampaignReport, error) {
+		if serr := save(); serr != nil {
+			return nil, fmt.Errorf("%w (and saving state failed: %v)", err, serr)
+		}
+		return nil, err
+	}
+
+	evaled, stopped := 0, false
+	for g := 0; g < cfg.Generations; g++ {
+		// Shape phase: plan and shape the generation unless the state
+		// already holds it (resume).
+		traces := map[int][]string{}
+		if st.UnitByID(g*cfg.PerGen) == -1 {
+			if expired() {
+				stopped = true
+				break
+			}
+			plan := fuzz.PlanGeneration(cfg, corpus, g, st.Units)
+			prior := st.Units
+			idxs := make([]int, len(plan))
+			for i := range idxs {
+				idxs[i] = i
+			}
+			type shaped struct {
+				rec   fuzz.UnitRecord
+				trace []string
+			}
+			res, err := runPool(idxs, poolConfig[int]{
+				Workers:  opt.Jobs,
+				Context:  opt.Context,
+				Progress: phaseProgress(opt.Progress, "shape gen %d", g),
+			}, func(i int) (shaped, error) {
+				rec, _, trace, err := fuzz.ShapeUnit(plan[i], prior, corpus)
+				return shaped{rec, trace}, err
+			})
+			if err != nil {
+				return fail(err)
+			}
+			for _, i := range idxs {
+				st.Units = append(st.Units, res[i].rec)
+				if res[i].trace != nil {
+					traces[res[i].rec.Unit] = res[i].trace
+				}
+			}
+		}
+
+		// Eval phase: the oracle grid for owned, shaped, unevaluated units.
+		var pending []int
+		for i, u := range st.Units {
+			if u.Gen == g && u.Rejected == "" && !u.Done && fuzz.OwnsUnit(u.Unit, opt.Shard, opt.Shards) {
+				pending = append(pending, i)
+			}
+		}
+		if expired() {
+			stopped = true
+		}
+		if opt.StopAfterUnits > 0 && evaled+len(pending) > opt.StopAfterUnits {
+			pending = pending[:opt.StopAfterUnits-evaled]
+			stopped = true
+		}
+		if stopped && len(pending) == 0 {
+			break
+		}
+		res, err := runPool(pending, poolConfig[int]{
+			Workers:  opt.Jobs,
+			Context:  opt.Context,
+			Progress: phaseProgress(opt.Progress, "eval gen %d", g),
+		}, func(i int) (fuzz.UnitRecord, error) {
+			rec := st.Units[i]
+			c, _, reject, err := fuzz.RealizeUnit(rec, st.Units, corpus)
+			if err != nil || reject != "" {
+				return rec, fmt.Errorf("spt: realizing unit %d: %v%s", rec.Unit, err, reject)
+			}
+			leaks, err := fuzz.EvalUnit(c, cfg.Schemes, cfg.Models, traces[rec.Unit])
+			if err != nil {
+				// Deterministic per-unit failures (a mutant the reference
+				// cell accepted but another policy cannot finish) are
+				// recorded, not fatal: every shard and resume sees the same
+				// string.
+				rec.EvalError = err.Error()
+			}
+			rec.Done = true
+			rec.Leaks = leaks
+			return rec, nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		for _, i := range pending {
+			st.Units[i] = res[i]
+		}
+		evaled += len(pending)
+		if err := save(); err != nil {
+			return nil, err
+		}
+		if stopped {
+			break
+		}
+	}
+
+	rep, err := CampaignReportFromState(st, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stopped = stopped
+	return rep, nil
+}
+
+// phaseProgress adapts the campaign progress callback to one pool phase.
+func phaseProgress(p func(done, total int, what string), format string, args ...any) func(int, int, int) {
+	if p == nil {
+		return nil
+	}
+	what := fmt.Sprintf(format, args...)
+	return func(done, total int, _ int) { p(done, total, what) }
+}
+
+// MergeCampaignStates loads shard state files and merges them into one
+// state. The merge is deterministic in the set of inputs (order does not
+// matter) and refuses states from different campaigns or engines.
+func MergeCampaignStates(paths []string) (*fuzz.CampaignState, error) {
+	states := make([]*fuzz.CampaignState, 0, len(paths))
+	for _, p := range paths {
+		st, err := fuzz.LoadState(p)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, st)
+	}
+	return fuzz.MergeStates(states)
+}
+
+// CampaignReportFromState derives the campaign report from a (possibly
+// merged) state: coverage map, per-cell tallies, triage clusters, and
+// minimized representative reproducers. Options supply the Minimize cap,
+// worker count, context, and the corpus directory (which must digest to
+// the state's campaign identity); everything the report says comes from
+// the state, so equal states render byte-identical reports.
+func CampaignReportFromState(st *fuzz.CampaignState, opt CampaignOptions) (*CampaignReport, error) {
+	opt.Shards = 0 // report derivation is never sharded
+	opt = opt.withDefaults()
+	cfg := st.Config
+
+	var corpus []fuzz.CorpusEntry
+	if opt.CorpusDir != "" {
+		var err error
+		if corpus, err = fuzz.LoadCorpus(opt.CorpusDir); err != nil {
+			return nil, err
+		}
+	}
+	if d := cfg.Digest(corpus); d != st.Digest {
+		return nil, fmt.Errorf("spt: corpus %q digests the campaign to %s, state says %s", opt.CorpusDir, d, st.Digest)
+	}
+
+	rep := &CampaignReport{
+		Engine: st.Engine, Digest: st.Digest, Config: cfg,
+		Units: len(st.Units), Kinds: map[string]int{},
+	}
+
+	cov := fuzz.CoverageFromRecords(st.Units)
+	for _, k := range cov.Keys() {
+		rep.Coverage = append(rep.Coverage, CampaignBucket{Bucket: k, Count: cov.Counts[k], First: cov.First[k]})
+	}
+	rep.Buckets = len(rep.Coverage)
+
+	cellIdx := map[fuzz.SchemeModel]int{}
+	for _, s := range cfg.Schemes {
+		for _, m := range cfg.Models {
+			cellIdx[fuzz.SchemeModel{Scheme: s, Model: m}] = len(rep.Cells)
+			rep.Cells = append(rep.Cells, FuzzCellStats{Scheme: Scheme(s), Model: AttackModel(m)})
+		}
+	}
+	for _, u := range st.Units {
+		rep.Kinds[u.Kind]++
+		switch {
+		case u.Rejected != "":
+			rep.Rejected++
+		case !u.Done:
+			rep.Pending++
+		case u.EvalError != "":
+			rep.Evaluated++
+			rep.EvalErrors = append(rep.EvalErrors, fmt.Sprintf("unit %d (%s): %s", u.Unit, u.Name, u.EvalError))
+		default:
+			rep.Evaluated++
+			for i := range rep.Cells {
+				rep.Cells[i].Cases++
+			}
+			leaked := map[int]bool{}
+			for _, l := range u.Leaks {
+				ci := cellIdx[fuzz.SchemeModel{Scheme: l.Scheme, Model: l.Model}]
+				cell := &rep.Cells[ci]
+				cell.Leaks++
+				leaked[ci] = true
+				if l.Expected {
+					cell.Expected++
+				} else {
+					cell.Unexpected++
+				}
+			}
+			for i := range rep.Cells {
+				if !leaked[i] {
+					rep.Cells[i].Clean++
+				}
+			}
+		}
+	}
+
+	for _, cl := range fuzz.Triage(st.Units) {
+		idx := st.UnitByID(cl.Representative)
+		name := ""
+		if idx >= 0 {
+			name = st.Units[idx].Name
+		}
+		rep.Clusters = append(rep.Clusters, CampaignCluster{LeakCluster: cl, Name: name})
+	}
+
+	if opt.Minimize >= 0 {
+		if err := minimizeClusters(rep, st, corpus, opt); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// minimizeClusters shrinks each cluster representative into a corpus
+// reproducer (on the worker pool; minimization of distinct clusters is
+// independent) and then merges clusters whose minimized programs share an
+// opcode skeleton and cell profile — different constants, same gadget.
+func minimizeClusters(rep *CampaignReport, st *fuzz.CampaignState, corpus []fuzz.CorpusEntry, opt CampaignOptions) error {
+	limit := len(rep.Clusters)
+	if opt.Minimize > 0 && opt.Minimize < limit {
+		limit = opt.Minimize
+	}
+	if limit == 0 {
+		return nil
+	}
+	cfg := st.Config
+
+	idxs := make([]int, limit)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	type minned struct {
+		skeleton string
+		repro    *MinimizedRepro
+	}
+	res, err := runPool(idxs, poolConfig[int]{
+		Workers:  opt.Jobs,
+		Context:  opt.Context,
+		Progress: phaseProgress(opt.Progress, "minimize clusters"),
+	}, func(i int) (minned, error) {
+		cl := rep.Clusters[i]
+		ui := st.UnitByID(cl.Representative)
+		if ui < 0 {
+			return minned{}, fmt.Errorf("spt: cluster representative unit %d missing from state", cl.Representative)
+		}
+		rec := st.Units[ui]
+		c, _, reject, err := fuzz.RealizeUnit(rec, st.Units, corpus)
+		if err != nil || reject != "" {
+			return minned{}, fmt.Errorf("spt: realizing cluster representative %d: %v%s", rec.Unit, err, reject)
+		}
+		// Shrink while preserving the leak in the cluster's anchor cell
+		// (the first unexpected cell when there is one).
+		anchor := rec.Leaks[0]
+		for _, l := range rec.Leaks {
+			if !l.Expected {
+				anchor = l
+				break
+			}
+		}
+		keep := func(p *isa.Program) bool {
+			v, err := fuzz.CheckLeak(p, anchor.Scheme, anchor.Model)
+			return err == nil && v.Leaked
+		}
+		min := fuzz.Minimize(c.Prog, keep)
+
+		var leaks, clean []string
+		for _, s := range cfg.Schemes {
+			for _, m := range cfg.Models {
+				v, err := fuzz.CheckLeak(min, s, m)
+				if err != nil {
+					return minned{}, fmt.Errorf("spt: re-verifying minimized %s under %s/%s: %w", c.Name, s, m, err)
+				}
+				if v.Leaked {
+					leaks = append(leaks, s+"/"+m)
+				} else {
+					clean = append(clean, s+"/"+m)
+				}
+			}
+		}
+		entry := fuzz.CorpusEntry{
+			Name: c.Name,
+			Meta: map[string]string{
+				"seed":        fmt.Sprintf("%d", c.Seed),
+				"class":       string(c.Class),
+				"primitive":   string(c.Primitive),
+				"transmitter": string(c.Transmit),
+				"secret-addr": fmt.Sprintf("%#x", uint64(attack.SecretAddr)),
+				"leaks-under": strings.Join(leaks, " "),
+				"clean-under": strings.Join(clean, " "),
+			},
+			Prog: min,
+		}
+		return minned{
+			skeleton: fmt.Sprintf("%016x", fuzz.SkeletonDigest(min)),
+			repro: &MinimizedRepro{
+				Name: c.Name, Seed: c.Seed,
+				Before: len(c.Prog.Code), After: len(min.Code),
+				LeaksUnder: leaks, CleanUnder: clean,
+				Corpus: fuzz.FormatCorpusEntry(entry),
+			},
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, i := range idxs {
+		rep.Clusters[i].Skeleton = res[i].skeleton
+		rep.Clusters[i].Repro = res[i].repro
+	}
+
+	// Second-level merge: clusters whose minimized reproducers share an
+	// opcode skeleton and cell profile are one distinct leak. Clusters are
+	// already ordered (unexpected first, then by representative), so the
+	// first of a group absorbs the rest.
+	byShape := map[string]int{}
+	merged := rep.Clusters[:0]
+	for _, cl := range rep.Clusters {
+		shapeKey := ""
+		if cl.Skeleton != "" {
+			shapeKey = cl.Skeleton + "|" + strings.Join(cl.Cells, ",")
+		}
+		if shapeKey != "" {
+			if fi, ok := byShape[shapeKey]; ok {
+				first := &merged[fi]
+				first.Count += cl.Count
+				for _, u := range cl.Units {
+					if len(first.Units) < 16 {
+						first.Units = append(first.Units, u)
+					}
+				}
+				sort.Ints(first.Units)
+				continue
+			}
+			byShape[shapeKey] = len(merged)
+		}
+		merged = append(merged, cl)
+	}
+	rep.Clusters = merged
+	return nil
+}

@@ -1,0 +1,200 @@
+// Campaign determinism tests: the ISSUE-level contract is that sharding,
+// interruption + resume, and worker count can never change a byte of the
+// final report. Each test renders full JSON reports (and state files
+// where relevant) and compares them byte-for-byte.
+package spt_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spt"
+)
+
+// testCampaignOpt is a campaign small enough for CI but still exercising
+// every unit kind: fresh generation, corpus mutants (testdata/fuzz), and
+// coverage mutants (generations > 1).
+func testCampaignOpt() spt.CampaignOptions {
+	return spt.CampaignOptions{
+		Seed:        11,
+		Generations: 3,
+		PerGen:      8,
+		Schemes:     []spt.Scheme{"unsafe", "spt", "stt"},
+		Models:      []spt.AttackModel{spt.Futuristic},
+		CorpusDir:   filepath.Join("testdata", "fuzz"),
+		Minimize:    0, // minimize every cluster representative
+		Jobs:        8,
+	}
+}
+
+func reportJSON(t *testing.T, rep *spt.CampaignReport) string {
+	t.Helper()
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+// TestCampaignShardMergeByteIdentical: a fixed-seed campaign split across
+// two shards, merged, must produce a state and report byte-identical to
+// the single-process run — the CI-matrix soak contract.
+func TestCampaignShardMergeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	full := testCampaignOpt()
+	full.StatePath = filepath.Join(dir, "full.json")
+	fullRep, err := spt.RunCampaign(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullRep.Pending != 0 || fullRep.Stopped {
+		t.Fatalf("full run incomplete: pending=%d stopped=%v", fullRep.Pending, fullRep.Stopped)
+	}
+
+	shardPaths := make([]string, 2)
+	for s := 0; s < 2; s++ {
+		opt := testCampaignOpt()
+		opt.Shard, opt.Shards = s, 2
+		opt.StatePath = filepath.Join(dir, "shard.json")
+		shardPaths[s] = opt.StatePath + "." + string(rune('0'+s))
+		opt.StatePath = shardPaths[s]
+		rep, err := spt.RunCampaign(opt)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if rep.Pending == 0 {
+			t.Fatalf("shard %d evaluated everything; sharding is not slicing the work", s)
+		}
+	}
+
+	// Merge in reverse order: the result must not depend on input order.
+	merged, err := spt.MergeCampaignStates([]string{shardPaths[1], shardPaths[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedPath := filepath.Join(dir, "merged.json")
+	if err := merged.Save(mergedPath); err != nil {
+		t.Fatal(err)
+	}
+
+	fullState, err := os.ReadFile(full.StatePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedState, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fullState) != string(mergedState) {
+		t.Error("merged shard state differs from single-process state")
+	}
+
+	mergedRep, err := spt.CampaignReportFromState(merged, testCampaignOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reportJSON(t, mergedRep), reportJSON(t, fullRep); got != want {
+		t.Error("merged report differs from single-process report")
+	}
+}
+
+// TestCampaignResumeMatchesUninterrupted: a campaign killed mid-shard
+// (after 5 evaluated units) and resumed from its state file must converge
+// to the same state and report as a never-interrupted run.
+func TestCampaignResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+
+	straight := testCampaignOpt()
+	straight.StatePath = filepath.Join(dir, "straight.json")
+	straightRep, err := spt.RunCampaign(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interrupted := testCampaignOpt()
+	interrupted.StatePath = filepath.Join(dir, "resumed.json")
+	interrupted.StopAfterUnits = 5
+	partial, err := spt.RunCampaign(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partial.Stopped || partial.Pending == 0 {
+		t.Fatalf("interruption hook did not interrupt: stopped=%v pending=%d", partial.Stopped, partial.Pending)
+	}
+
+	resumed := testCampaignOpt()
+	resumed.StatePath = interrupted.StatePath
+	resumedRep, err := spt.RunCampaign(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reportJSON(t, resumedRep), reportJSON(t, straightRep); got != want {
+		t.Error("resumed report differs from uninterrupted report")
+	}
+
+	a, err := os.ReadFile(straight.StatePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed.StatePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("resumed state differs from uninterrupted state")
+	}
+}
+
+// TestCampaignJobsDeterminism: triage clustering (and everything else in
+// the report) is stable across worker counts.
+func TestCampaignJobsDeterminism(t *testing.T) {
+	serial := testCampaignOpt()
+	serial.Jobs = 1
+	serialRep, err := spt.RunCampaign(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := testCampaignOpt()
+	parallel.Jobs = 8
+	parallelRep, err := spt.RunCampaign(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reportJSON(t, parallelRep), reportJSON(t, serialRep); got != want {
+		t.Error("Jobs=8 report differs from Jobs=1 report")
+	}
+	if len(serialRep.Clusters) == 0 {
+		t.Error("campaign found no leak clusters; triage path untested")
+	}
+	for _, cl := range serialRep.Clusters {
+		if cl.Repro == nil {
+			t.Errorf("cluster %s has no minimized reproducer", cl.Key)
+		}
+	}
+}
+
+// TestCampaignStateGuards: resuming against a different config or corpus
+// must be refused, not silently mixed.
+func TestCampaignStateGuards(t *testing.T) {
+	dir := t.TempDir()
+	opt := testCampaignOpt()
+	opt.Generations = 1
+	opt.StatePath = filepath.Join(dir, "state.json")
+	if _, err := spt.RunCampaign(opt); err != nil {
+		t.Fatal(err)
+	}
+
+	other := opt
+	other.Seed = 999
+	if _, err := spt.RunCampaign(other); err == nil {
+		t.Error("state reuse across different configs not refused")
+	}
+
+	noCorpus := opt
+	noCorpus.CorpusDir = ""
+	if _, err := spt.RunCampaign(noCorpus); err == nil {
+		t.Error("state reuse across different corpora not refused")
+	}
+}

@@ -1,19 +1,32 @@
-// Command spt-fuzz runs a differential leakage-fuzzing campaign: generated
-// speculation gadgets are checked by the SPECTECTOR-style oracle (same
-// architectural execution, diffed observation traces) under every requested
-// (scheme, threat-model) cell, and leaking programs are minimized into
-// .urisc reproducers.
+// Command spt-fuzz runs differential leakage fuzzing in two modes.
+//
+// Batch mode (the default) checks -count generated speculation gadgets
+// with the SPECTECTOR-style oracle (same architectural execution, diffed
+// observation traces) under every requested (scheme, threat-model) cell,
+// and minimizes leaking programs into .urisc reproducers:
 //
 //	spt-fuzz -seed 1 -count 64                      # full Table 2 grid
 //	spt-fuzz -schemes stt,spt -models futuristic    # the paper's §3 gap
 //	spt-fuzz -count 32 -minimize 4 -corpus out/     # write reproducers
 //	spt-fuzz -json > report.json
 //
-// The report is deterministic in (seed, count, schemes, models, minimize):
-// -jobs changes only the wall-clock time, never a byte of output. The exit
-// status is the campaign verdict — 0 when every leak is a true-positive
-// control (unsafe baseline, STT on non-speculative secrets, memory
-// speculation outside the Spectre threat model), 1 when any defense failed.
+// Campaign mode (-campaign) runs the coverage-guided orchestrator:
+// generations of fresh gadgets, corpus mutants, and coverage-frontier
+// mutants, observation-shape bucket coverage, clustered leak triage, and
+// resumable sharded state:
+//
+//	spt-fuzz -campaign -generations 4 -per-gen 64
+//	spt-fuzz -campaign -for 30s -state soak.json              # resumable
+//	spt-fuzz -campaign -shard 1/4 -state shard1.json          # one shard
+//	spt-fuzz -campaign -merge 'shard*.json' -state all.json   # merge
+//	spt-fuzz -campaign -mutate-corpus testdata/fuzz -min-buckets 20
+//
+// Reports in both modes are deterministic in the campaign inputs: -jobs,
+// sharding, interruption and resume change only wall-clock time, never a
+// byte of output. The exit status is the verdict — 0 when every leak is a
+// true-positive control (unsafe baseline, STT on non-speculative secrets,
+// memory speculation outside the Spectre threat model), 1 when any
+// defense failed or a coverage floor was missed.
 package main
 
 import (
@@ -23,10 +36,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"spt"
 	"spt/internal/fuzz"
@@ -35,16 +50,26 @@ import (
 func main() {
 	var (
 		seed       = flag.Int64("seed", 1, "base RNG seed; program i uses seed+i")
-		count      = flag.Int("count", 32, "number of generated programs")
+		count      = flag.Int("count", 32, "batch mode: number of generated programs (must be > 0; use -campaign -for for time-budgeted runs)")
 		jobs       = flag.Int("jobs", 0, "concurrent oracle checks (0 = one per core)")
 		schemes    = flag.String("schemes", "", "comma-separated schemes (default: all eight Table 2 configs)")
 		models     = flag.String("models", "", "comma-separated threat models (default: futuristic,spectre)")
-		minimize   = flag.Int("minimize", 2, "minimize up to this many distinct leaking programs")
+		minimize   = flag.Int("minimize", 2, "batch: minimize up to this many leaking programs; campaign: cluster cap (0 = all clusters)")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON instead of text")
 		corpus     = flag.String("corpus", "", "write minimized reproducers as .urisc files into this directory")
 		quiet      = flag.Bool("q", false, "suppress the progress meter")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		campaign     = flag.Bool("campaign", false, "run the coverage-guided campaign orchestrator")
+		generations  = flag.Int("generations", 4, "campaign: number of generations")
+		perGen       = flag.Int("per-gen", 64, "campaign: units per generation")
+		budget       = flag.Duration("for", 0, "campaign: stop at the first generation boundary past this time budget (resumable via -state)")
+		shard        = flag.String("shard", "", "campaign: evaluate only one shard, as i/n (e.g. 0/4); plans and shapes are still computed for all units")
+		state        = flag.String("state", "", "campaign: persist/resume state at this JSON file (with -merge: where to write the merged state)")
+		merge        = flag.String("merge", "", "campaign: merge these shard state files (comma-separated paths or globs) instead of running")
+		mutateCorpus = flag.String("mutate-corpus", "", "campaign: evolve the *.urisc reproducers in this directory alongside fresh generation")
+		minBuckets   = flag.Int("min-buckets", 0, "campaign: fail unless coverage reaches this many observation-shape buckets")
 	)
 	flag.Parse()
 
@@ -73,29 +98,52 @@ func main() {
 		}()
 	}
 
+	var schemeList []spt.Scheme
+	for _, name := range splitList(*schemes) {
+		if _, err := fuzz.PolicyByName(name); err != nil {
+			fatal(err)
+		}
+		schemeList = append(schemeList, spt.Scheme(name))
+	}
+	var modelList []spt.AttackModel
+	for _, name := range splitList(*models) {
+		if _, err := fuzz.ModelByName(name); err != nil {
+			fatal(err)
+		}
+		modelList = append(modelList, spt.AttackModel(name))
+	}
+
 	// SIGINT/SIGTERM cancel the campaign context: the oracle pool stops
 	// picking up cells once the in-flight checks finish, so a long campaign
-	// exits cleanly mid-grid instead of needing a hard kill.
+	// exits cleanly mid-grid instead of needing a hard kill. In campaign
+	// mode with -state, the interrupted state is saved and resumable.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *campaign {
+		runCampaign(ctx, campaignFlags{
+			seed: *seed, generations: *generations, perGen: *perGen, budget: *budget,
+			schemes: schemeList, models: modelList, minimize: *minimize, jobs: *jobs,
+			shard: *shard, state: *state, merge: *merge, mutateCorpus: *mutateCorpus,
+			minBuckets: *minBuckets, corpusOut: *corpus, jsonOut: *jsonOut, quiet: *quiet,
+		})
+		return
+	}
+
+	// Batch mode. -count 0 used to fall through to the library default and
+	// silently run 32 programs; it is now an explicit usage error.
+	if *count <= 0 {
+		fmt.Fprintln(os.Stderr, "spt-fuzz: -count must be > 0 in batch mode (use -campaign with -for <duration> for a time-budgeted run)")
+		os.Exit(2)
+	}
 	opt := spt.FuzzOptions{
 		Seed:     *seed,
 		Count:    *count,
 		Jobs:     *jobs,
 		Minimize: *minimize,
 		Context:  ctx,
-	}
-	for _, name := range splitList(*schemes) {
-		if _, err := fuzz.PolicyByName(name); err != nil {
-			fatal(err)
-		}
-		opt.Schemes = append(opt.Schemes, spt.Scheme(name))
-	}
-	for _, name := range splitList(*models) {
-		if _, err := fuzz.ModelByName(name); err != nil {
-			fatal(err)
-		}
-		opt.Models = append(opt.Models, spt.AttackModel(name))
+		Schemes:  schemeList,
+		Models:   modelList,
 	}
 	if !*quiet {
 		opt.Progress = func(done, total int, j spt.FuzzJob) {
@@ -115,19 +163,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *corpus != "" {
-		for _, m := range rep.Minimized {
-			e, perr := fuzz.ParseCorpusEntry(m.Name, m.Corpus)
-			if perr != nil {
-				fatal(perr)
-			}
-			path, werr := fuzz.WriteCorpusEntry(*corpus, e)
-			if werr != nil {
-				fatal(werr)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s (%d instructions)\n", path, m.After)
-		}
-	}
+	writeRepros(*corpus, rep.Minimized)
 
 	if *jsonOut {
 		js, jerr := rep.JSON()
@@ -140,6 +176,125 @@ func main() {
 	}
 	if len(rep.Unexpected()) > 0 {
 		os.Exit(1)
+	}
+}
+
+type campaignFlags struct {
+	seed                int64
+	generations, perGen int
+	budget              time.Duration
+	schemes             []spt.Scheme
+	models              []spt.AttackModel
+	minimize, jobs      int
+	shard, state, merge string
+	mutateCorpus        string
+	minBuckets          int
+	corpusOut           string
+	jsonOut, quiet      bool
+}
+
+// runCampaign drives campaign mode: either merge shard states into one
+// report, or run (a shard of) the orchestrator.
+func runCampaign(ctx context.Context, f campaignFlags) {
+	opt := spt.CampaignOptions{
+		Seed: f.seed, Generations: f.generations, PerGen: f.perGen, Budget: f.budget,
+		Schemes: f.schemes, Models: f.models, Minimize: f.minimize, Jobs: f.jobs,
+		StatePath: f.state, CorpusDir: f.mutateCorpus, Context: ctx,
+	}
+	if f.shard != "" {
+		if _, err := fmt.Sscanf(f.shard, "%d/%d", &opt.Shard, &opt.Shards); err != nil {
+			fatal(fmt.Errorf("bad -shard %q (want i/n): %w", f.shard, err))
+		}
+	}
+	if !f.quiet {
+		opt.Progress = func(done, total int, what string) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d\033[K", what, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	var rep *spt.CampaignReport
+	var err error
+	if f.merge != "" {
+		var paths []string
+		for _, pat := range splitList(f.merge) {
+			matches, gerr := filepath.Glob(pat)
+			if gerr != nil {
+				fatal(gerr)
+			}
+			if len(matches) == 0 {
+				fatal(fmt.Errorf("-merge pattern %q matches no files", pat))
+			}
+			paths = append(paths, matches...)
+		}
+		st, merr := spt.MergeCampaignStates(paths)
+		if merr != nil {
+			fatal(merr)
+		}
+		if f.state != "" {
+			if serr := st.Save(f.state); serr != nil {
+				fatal(serr)
+			}
+		}
+		rep, err = spt.CampaignReportFromState(st, opt)
+	} else {
+		rep, err = spt.RunCampaign(opt)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if f.state != "" && f.merge == "" {
+				fmt.Fprintf(os.Stderr, "spt-fuzz: interrupted; state saved to %s (rerun to resume)\n", f.state)
+			} else {
+				fmt.Fprintln(os.Stderr, "spt-fuzz: interrupted")
+			}
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+
+	var repros []spt.MinimizedRepro
+	for _, cl := range rep.Clusters {
+		if cl.Repro != nil {
+			repros = append(repros, *cl.Repro)
+		}
+	}
+	writeRepros(f.corpusOut, repros)
+
+	if f.jsonOut {
+		js, jerr := rep.JSON()
+		if jerr != nil {
+			fatal(jerr)
+		}
+		fmt.Print(js)
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if f.minBuckets > 0 && rep.Buckets < f.minBuckets {
+		fmt.Fprintf(os.Stderr, "spt-fuzz: coverage floor missed: %d observation-shape buckets < required %d\n", rep.Buckets, f.minBuckets)
+		os.Exit(1)
+	}
+	if len(rep.Unexpected()) > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeRepros writes minimized reproducers as .urisc files.
+func writeRepros(dir string, repros []spt.MinimizedRepro) {
+	if dir == "" {
+		return
+	}
+	for _, m := range repros {
+		e, perr := fuzz.ParseCorpusEntry(m.Name, m.Corpus)
+		if perr != nil {
+			fatal(perr)
+		}
+		path, werr := fuzz.WriteCorpusEntry(dir, e)
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d instructions)\n", path, m.After)
 	}
 }
 

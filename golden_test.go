@@ -110,6 +110,29 @@ func TestGoldenFuzzReport(t *testing.T) {
 	checkGolden(t, "fuzz_report.golden", rep.Text())
 }
 
+// TestGoldenCampaignReport pins the campaign text renderer: unit mix,
+// bucket coverage, per-cell verdicts, and the triaged distinct-leak table
+// with minimized reproducers. Campaign reports are deterministic at any
+// worker count and under any sharding, so the fixture doubles as a check
+// of the whole orchestration path (fresh units, corpus mutants, coverage
+// mutants, triage, skeleton merge).
+func TestGoldenCampaignReport(t *testing.T) {
+	rep, err := spt.RunCampaign(spt.CampaignOptions{
+		Seed:        1,
+		Generations: 2,
+		PerGen:      8,
+		Schemes:     []spt.Scheme{"unsafe", "spt", "stt"},
+		Models:      []spt.AttackModel{spt.Futuristic},
+		CorpusDir:   filepath.Join("testdata", "fuzz"),
+		Minimize:    0,
+		Jobs:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "campaign_report.golden", rep.Text())
+}
+
 // TestGoldenPerfReport pins the deterministic projection of the perf
 // report: simulated cycle/instruction/IPC columns byte-for-byte, host-time
 // fields zeroed (they vary by machine, so the golden excludes them).

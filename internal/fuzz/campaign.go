@@ -1,0 +1,374 @@
+package fuzz
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+
+	"spt/internal/attack"
+	"spt/internal/isa"
+)
+
+// Campaign orchestration, deterministic by construction. A campaign is a
+// sequence of generations; each generation plans PerGen units, and a unit
+// is either a fresh seed-pure Generate case, a mutant of a checked-in
+// corpus reproducer, or a mutant of an earlier unit that opened a new
+// coverage bucket. Planning for generation g depends only on the campaign
+// config, the corpus, and the *shapes* of generations < g — never on
+// oracle results — and shapes are cheap enough (two functional runs plus
+// one reference simulation per unit) that every shard computes them for
+// every unit. Only the expensive oracle grid is sharded. That split is
+// what makes shard merges exact: shards agree on every planning input, so
+// their unit records differ only in which ones carry oracle results, and
+// a merge is a disjoint union.
+
+// Unit kinds.
+const (
+	KindGenerate       = "generate"        // fresh seed-pure Generate case
+	KindCorpusMutant   = "corpus-mutant"   // mutation of a checked-in reproducer
+	KindCoverageMutant = "coverage-mutant" // mutation of a frontier unit
+)
+
+// CampaignConfig is the deterministic identity of a campaign. Two runs
+// with equal configs (and equal corpora) plan identical units.
+type CampaignConfig struct {
+	// Seed is the base seed; unit u generates from Seed+u, mutants derive
+	// a mixed per-unit mutation seed.
+	Seed int64 `json:"seed"`
+	// Generations and PerGen size the campaign: Generations*PerGen units.
+	Generations int `json:"generations"`
+	PerGen      int `json:"per_gen"`
+	// Schemes and Models define the oracle grid evaluated per unit.
+	Schemes []string `json:"schemes"`
+	Models  []string `json:"models"`
+}
+
+// Units is the campaign's total unit count.
+func (c CampaignConfig) Units() int { return c.Generations * c.PerGen }
+
+// Digest fingerprints the config plus the mutation corpus contents.
+// Shard-merge and resume refuse states whose digests differ: a campaign's
+// plan is only reproducible against the exact corpus it started from.
+func (c CampaignConfig) Digest(corpus []CorpusEntry) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed=%d gens=%d per=%d", c.Seed, c.Generations, c.PerGen)
+	for _, s := range c.Schemes {
+		fmt.Fprintf(h, " s:%s", s)
+	}
+	for _, m := range c.Models {
+		fmt.Fprintf(h, " m:%s", m)
+	}
+	for _, e := range corpus {
+		fmt.Fprintf(h, " corpus:%s:", e.Name)
+		h.Write([]byte(FormatCorpusEntry(e)))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CellLeak records one leaking oracle cell of a unit.
+type CellLeak struct {
+	Scheme string `json:"scheme"`
+	Model  string `json:"model"`
+	// Expected is the ground-truth matrix verdict: true-positive control
+	// vs. defense failure.
+	Expected bool `json:"expected"`
+	// Divergence is the first-divergent-event description.
+	Divergence string `json:"divergence"`
+	// Kinds is the event-kind pair at the divergence (e.g. "L/T", "L/end"),
+	// the address- and cycle-insensitive signal triage clusters on.
+	Kinds string `json:"kinds"`
+}
+
+// UnitRecord is the canonical per-unit campaign state. The plan fields
+// and the realization/shape fields are pure functions of (config, corpus)
+// and are computed identically by every shard; the oracle fields are
+// filled only by the unit's owning shard. The state file is exactly
+// []UnitRecord — coverage maps and triage tables are derived views.
+type UnitRecord struct {
+	// Plan fields.
+	Unit   int    `json:"unit"`
+	Gen    int    `json:"gen"`
+	Kind   string `json:"kind"`
+	Seed   int64  `json:"seed"`             // Generate seed, or mutation rng seed
+	Parent int    `json:"parent,omitempty"` // coverage-mutant: parent unit id
+	Corpus string `json:"corpus,omitempty"` // corpus-mutant: entry name
+
+	// Realization/shape fields (deterministic, computed by every shard).
+	Name        string `json:"name,omitempty"`
+	Class       string `json:"class,omitempty"`
+	Primitive   string `json:"primitive,omitempty"`
+	Transmitter string `json:"transmitter,omitempty"`
+	Op          string `json:"op,omitempty"` // mutation operator applied
+	Insns       int    `json:"insns,omitempty"`
+	// Rejected names why a mutant broke the differential contract (or had
+	// no mutation site); rejected units carry no bucket and are not
+	// evaluated.
+	Rejected string `json:"rejected,omitempty"`
+	Bucket   string `json:"bucket,omitempty"`
+
+	// Oracle fields (owning shard only).
+	Done      bool       `json:"done,omitempty"`
+	EvalError string     `json:"eval_error,omitempty"`
+	Leaks     []CellLeak `json:"leaks,omitempty"`
+}
+
+// mutantSeed derives the mutation rng seed for a unit: a splitmix-style
+// mix so neighbouring units do not get correlated rng streams.
+func mutantSeed(base int64, unit int) int64 {
+	x := uint64(base) + 0x9e3779b97f4a7c15*uint64(unit+1)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int64(x)
+}
+
+// PlanGeneration plans generation gen's unit records (plan fields only).
+// prior must hold the shaped records of all earlier generations in
+// ascending unit order. The mix: in generation 0 everything is fresh
+// except a corpus-mutant every 4th slot; later generations give every odd
+// slot to a mutation of the previous generation's coverage frontier (the
+// units that opened buckets no earlier unit had hit), keeping the other
+// half fresh so the campaign never stops exploring.
+func PlanGeneration(cfg CampaignConfig, corpus []CorpusEntry, gen int, prior []UnitRecord) []UnitRecord {
+	// Replay coverage over the prior records to find the frontier: units
+	// of generation gen-1 that opened a new bucket.
+	cov := NewCoverage()
+	var frontier []int
+	for _, u := range prior {
+		if u.Bucket == "" {
+			continue
+		}
+		if cov.Add(u.Bucket, u.Unit) && u.Gen == gen-1 {
+			frontier = append(frontier, u.Unit)
+		}
+	}
+
+	recs := make([]UnitRecord, 0, cfg.PerGen)
+	for j := 0; j < cfg.PerGen; j++ {
+		u := gen*cfg.PerGen + j
+		rec := UnitRecord{Unit: u, Gen: gen}
+		switch {
+		case gen > 0 && len(frontier) > 0 && j%2 == 1:
+			rec.Kind = KindCoverageMutant
+			rec.Parent = frontier[(j/2)%len(frontier)]
+			rec.Seed = mutantSeed(cfg.Seed, u)
+		case len(corpus) > 0 && j%4 == 2:
+			rec.Kind = KindCorpusMutant
+			rec.Corpus = corpus[(u/4)%len(corpus)].Name
+			rec.Seed = mutantSeed(cfg.Seed, u)
+		default:
+			rec.Kind = KindGenerate
+			rec.Seed = cfg.Seed + int64(u)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// corpusCase rebuilds a Case from a checked-in reproducer's metadata, so
+// mutants of corpus entries carry the ground-truth class/primitive the
+// ExpectLeak matrix needs.
+func corpusCase(e CorpusEntry) (Case, error) {
+	class := Class(e.Meta["class"])
+	prim := Primitive(e.Meta["primitive"])
+	tx := Transmitter(e.Meta["transmitter"])
+	if class == "" || prim == "" || tx == "" {
+		return Case{}, fmt.Errorf("fuzz: corpus entry %s lacks class/primitive/transmitter metadata", e.Name)
+	}
+	seed, _ := strconv.ParseInt(e.Meta["seed"], 10, 64)
+	return Case{Seed: seed, Name: e.Name, Class: class, Primitive: prim, Transmit: tx, Prog: e.Prog}, nil
+}
+
+// RealizeUnit reconstructs a unit's Case from its plan record. all must
+// be the dense unit-indexed record slice (all[u].Unit == u) covering
+// every earlier unit, so coverage-mutant parent chains can be realized
+// recursively. op names the mutation operator applied (empty for fresh
+// cases); reject is non-empty when a mutant had no mutation site.
+// Structural impossibilities (dangling parent, missing corpus entry) are
+// errors because they mean the state and config disagree.
+func RealizeUnit(rec UnitRecord, all []UnitRecord, corpus []CorpusEntry) (c Case, op, reject string, err error) {
+	switch rec.Kind {
+	case KindGenerate:
+		return Generate(rec.Seed), "", "", nil
+
+	case KindCorpusMutant:
+		var base Case
+		found := false
+		for _, e := range corpus {
+			if e.Name == rec.Corpus {
+				bc, cerr := corpusCase(e)
+				if cerr != nil {
+					return Case{}, "", "", cerr
+				}
+				base, found = bc, true
+				break
+			}
+		}
+		if !found {
+			return Case{}, "", "", fmt.Errorf("fuzz: unit %d mutates unknown corpus entry %q", rec.Unit, rec.Corpus)
+		}
+		return mutateCase(base, rec)
+
+	case KindCoverageMutant:
+		if rec.Parent < 0 || rec.Parent >= len(all) || all[rec.Parent].Unit != rec.Parent {
+			return Case{}, "", "", fmt.Errorf("fuzz: unit %d has dangling parent %d", rec.Unit, rec.Parent)
+		}
+		base, _, preject, perr := RealizeUnit(all[rec.Parent], all, corpus)
+		if perr != nil || preject != "" {
+			return Case{}, "", "", fmt.Errorf("fuzz: unit %d parent %d unrealizable (%s)", rec.Unit, rec.Parent, preject)
+		}
+		return mutateCase(base, rec)
+	}
+	return Case{}, "", "", fmt.Errorf("fuzz: unit %d has unknown kind %q", rec.Unit, rec.Kind)
+}
+
+// mutateCase applies the unit's seeded mutation to a base case.
+func mutateCase(base Case, rec UnitRecord) (Case, string, string, error) {
+	rng := rand.New(rand.NewSource(rec.Seed))
+	prog, tx, op, ok := Mutate(base.Prog, base.Transmit, rng)
+	if !ok {
+		return Case{}, "", "no-mutation-site", nil
+	}
+	c := base
+	c.Seed = rec.Seed
+	c.Name = fmt.Sprintf("%s+m%d", base.Name, rec.Unit)
+	c.Transmit = tx
+	c.Prog = prog
+	c.Prog.Name = c.Name
+	return c, op, "", nil
+}
+
+// ShapeUnit realizes a unit and computes its reference shape, returning
+// the filled record, the realized case, and the reference observation
+// trace (the unsafe/futuristic SecretA trace, reusable by EvalUnit).
+// Mutants that violate the differential contract — architecturally
+// divergent twins, non-termination — come back with Rejected set; the
+// same violations on a fresh Generate case are an error, because the
+// generator guarantees the contract.
+func ShapeUnit(rec UnitRecord, all []UnitRecord, corpus []CorpusEntry) (UnitRecord, Case, []string, error) {
+	c, op, reject, err := RealizeUnit(rec, all, corpus)
+	if err != nil {
+		return rec, Case{}, nil, err
+	}
+	if reject != "" {
+		rec.Rejected = reject
+		return rec, Case{}, nil, nil
+	}
+	rec.Op = op
+	rec.Name = c.Name
+	rec.Class = string(c.Class)
+	rec.Primitive = string(c.Primitive)
+	rec.Transmitter = string(c.Transmit)
+	rec.Insns = len(c.Prog.Code)
+
+	reFail := func(stage string, cause error) (UnitRecord, Case, []string, error) {
+		if rec.Kind == KindGenerate {
+			return rec, Case{}, nil, fmt.Errorf("fuzz: generated unit %d breaks the %s contract: %w", rec.Unit, stage, cause)
+		}
+		rec.Rejected = fmt.Sprintf("%s: %v", stage, cause)
+		return rec, Case{}, nil, nil
+	}
+
+	pa := PatchSecret(c.Prog, SecretA)
+	pb := PatchSecret(c.Prog, SecretB)
+	same, err := ArchSame(pa, pb)
+	if err != nil {
+		return reFail("termination", err)
+	}
+	if !same {
+		return reFail("arch-sameness", fmt.Errorf("architectural executions diverge across secrets"))
+	}
+	trace, sh, err := ReferenceObservation(pa)
+	if err != nil {
+		return reFail("reference-run", err)
+	}
+	rec.Bucket = BucketKey(c.Primitive, c.Transmit, sh)
+	return rec, c, trace, nil
+}
+
+// EvalUnit runs the oracle grid for one shaped unit: the SecretA/SecretB
+// twins under every (scheme, model) cell, diffing observation traces.
+// refTrace, when non-nil, must be the unit's reference observation (the
+// SecretA unsafe/futuristic trace) — that cell's A-side simulation is
+// then skipped, which is the campaign-scale amortization: the shape phase
+// already paid for it. The arch-sameness contract is ShapeUnit's job and
+// is not re-checked here. Only leaking cells are returned.
+func EvalUnit(c Case, schemes, models []string, refTrace []string) ([]CellLeak, error) {
+	pa := PatchSecret(c.Prog, SecretA)
+	pb := PatchSecret(c.Prog, SecretB)
+	var leaks []CellLeak
+	for _, s := range schemes {
+		for _, m := range models {
+			mv, err := ModelByName(m)
+			if err != nil {
+				return nil, err
+			}
+			var ta []string
+			if s == "unsafe" && m == "futuristic" && refTrace != nil {
+				ta = refTrace
+			} else {
+				polA, err := PolicyByName(s)
+				if err != nil {
+					return nil, err
+				}
+				if ta, err = attack.ObservationTrace(pa, mv, polA); err != nil {
+					return nil, fmt.Errorf("fuzz: %s under %s/%s: %w", c.Name, s, m, err)
+				}
+			}
+			polB, err := PolicyByName(s)
+			if err != nil {
+				return nil, err
+			}
+			tb, err := attack.ObservationTrace(pb, mv, polB)
+			if err != nil {
+				return nil, fmt.Errorf("fuzz: %s under %s/%s: %w", c.Name, s, m, err)
+			}
+			if div := DiffTraces(ta, tb); div != nil {
+				leaks = append(leaks, CellLeak{
+					Scheme:     s,
+					Model:      m,
+					Expected:   ExpectLeak(s, m, c),
+					Divergence: div.String(),
+					Kinds:      divKinds(div),
+				})
+			}
+		}
+	}
+	return leaks, nil
+}
+
+// divKinds names the event-kind pair at a divergence, e.g. "L/T" for a
+// load event where the other secret produced a store translation, or
+// "R/end" when one trace simply ends early.
+func divKinds(d *Divergence) string {
+	kind := func(ev string) string {
+		if ev == "" {
+			return "end"
+		}
+		return string(ev[0])
+	}
+	return kind(d.A) + "/" + kind(d.B)
+}
+
+// OwnsUnit reports whether shard (of shards total) owns a unit's oracle
+// evaluation. Ownership is round-robin by unit id so every shard touches
+// every generation.
+func OwnsUnit(unit, shard, shards int) bool {
+	if shards <= 1 {
+		return true
+	}
+	return unit%shards == shard
+}
+
+// SkeletonDigest hashes a program's opcode sequence (FNV-1a). Triage uses
+// it as the second-level cluster key: two leaks whose minimized
+// reproducers share an opcode skeleton are the same gadget shape with
+// different constants.
+func SkeletonDigest(prog *isa.Program) uint64 {
+	h := fnv.New64a()
+	for _, ins := range prog.Code {
+		h.Write([]byte{byte(ins.Op)})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,341 @@
+package fuzz
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spt/internal/asm"
+	"spt/internal/isa"
+)
+
+func TestTraceSignature(t *testing.T) {
+	tests := []struct {
+		trace []string
+		want  string
+	}{
+		{nil, "empty"},
+		{[]string{"L@3:0x40"}, "L1"},
+		// Two Ls (len bucket 2), one T (bucket 1), two Rs (bucket 2).
+		{[]string{"L@1:0x0", "L@2:0x40", "T@3:0x1000", "R@4:0x0", "R@5:0x8"}, "L2T1R2"},
+		// 5 and 6 events share a power-of-two bucket (bits.Len 3)...
+		{[]string{"L@1:0", "L@2:0", "L@3:0", "L@4:0", "L@5:0"}, "L3"},
+		{[]string{"L@1:0", "L@2:0", "L@3:0", "L@4:0", "L@5:0", "L@6:0"}, "L3"},
+		// ...but 1 and 100 do not.
+		{[]string{"L@1:0"}, "L1"},
+	}
+	for _, tt := range tests {
+		if got := TraceSignature(tt.trace); got != tt.want {
+			t.Errorf("TraceSignature(%v) = %q, want %q", tt.trace, got, tt.want)
+		}
+	}
+
+	// More than sigMaxRuns runs collapse into a shared "+" suffix bucket.
+	var long []string
+	for i := 0; i < sigMaxRuns+5; i++ {
+		if i%2 == 0 {
+			long = append(long, "L@1:0")
+		} else {
+			long = append(long, "T@1:0")
+		}
+	}
+	sig := TraceSignature(long)
+	if !strings.HasSuffix(sig, "+") {
+		t.Errorf("long alternating trace signature %q should end in +", sig)
+	}
+	if n := strings.Count(sig, "1"); n != sigMaxRuns {
+		t.Errorf("signature %q should keep exactly %d runs", sig, sigMaxRuns)
+	}
+}
+
+func TestBucketKeySeparatesShapes(t *testing.T) {
+	a := BucketKey(PrimBranch, TxLoad, Shape{MaxSquash: 3, Sig: "L2"})
+	b := BucketKey(PrimBranch, TxLoad, Shape{MaxSquash: 9, Sig: "L2"})
+	c := BucketKey(PrimBranch, TxStore, Shape{MaxSquash: 3, Sig: "L2"})
+	if a == b || a == c {
+		t.Errorf("distinct shapes share a bucket: %q %q %q", a, b, c)
+	}
+	// Squash depths in the same power-of-two bucket collapse.
+	if d := BucketKey(PrimBranch, TxLoad, Shape{MaxSquash: 2, Sig: "L2"}); d != a {
+		t.Errorf("squash 2 and 3 should share a bucket: %q vs %q", d, a)
+	}
+}
+
+// TestInsertAtRetargets verifies the control-flow rewrite around an
+// insertion point: branches and JALs spanning the insertion keep their
+// original targets, ones before/after it are untouched.
+func TestInsertAtRetargets(t *testing.T) {
+	b := asm.NewBuilder("insert-test")
+	b.Addi(5, 5, 1)            // 0
+	b.Beq(isa.Zero, 0, "skip") // 1 -> 4
+	b.Addi(6, 6, 1)            // 2  <- insertion point
+	b.Addi(7, 7, 1)            // 3
+	b.Label("skip")
+	b.Halt() // 4
+	prog := b.MustBuild()
+
+	fill := []isa.Instruction{{Op: isa.ADDI, Rd: 9, Rs1: 9, Imm: 1}, {Op: isa.ADDI, Rd: 9, Rs1: 9, Imm: 2}}
+	q, ok := insertAt(prog, 2, fill)
+	if !ok {
+		t.Fatal("insertAt failed")
+	}
+	if len(q.Code) != len(prog.Code)+2 {
+		t.Fatalf("got %d instructions, want %d", len(q.Code), len(prog.Code)+2)
+	}
+	// The branch at 1 originally targeted 4 (halt); the halt is now at 6,
+	// so the relative offset must be 5.
+	if q.Code[1].Op != isa.BEQ || q.Code[1].Imm != 5 {
+		t.Errorf("branch not retargeted: %+v", q.Code[1])
+	}
+	if q.Code[2] != fill[0] || q.Code[3] != fill[1] {
+		t.Errorf("fill not inserted at 2: %+v %+v", q.Code[2], q.Code[3])
+	}
+	if q.Code[6].Op != isa.HALT {
+		t.Errorf("halt not at 6: %+v", q.Code[6])
+	}
+	// Original program is untouched.
+	if prog.Code[1].Imm != 3 {
+		t.Errorf("insertAt mutated its input: %+v", prog.Code[1])
+	}
+}
+
+func TestMutateDeterministic(t *testing.T) {
+	c := Generate(5)
+	for seed := int64(0); seed < 4; seed++ {
+		a, txA, opA, okA := Mutate(c.Prog, c.Transmit, rand.New(rand.NewSource(seed)))
+		b, txB, opB, okB := Mutate(c.Prog, c.Transmit, rand.New(rand.NewSource(seed)))
+		if okA != okB || opA != opB || txA != txB {
+			t.Fatalf("seed %d: mutation not deterministic (%v/%v %s/%s)", seed, okA, okB, opA, opB)
+		}
+		if okA && asm.Disassemble(a) != asm.Disassemble(b) {
+			t.Fatalf("seed %d: same-seed mutants differ", seed)
+		}
+	}
+}
+
+// TestMutantsKeepContractOrReject is the safety property the campaign
+// relies on: a mutant either preserves the differential contract
+// (identical architectural twins, terminating) or is detectably broken —
+// never a silently misclassified gadget.
+func TestMutantsKeepContractOrReject(t *testing.T) {
+	kept, rejected := 0, 0
+	for seed := int64(1); seed <= 24; seed++ {
+		c := Generate(seed)
+		for ms := int64(0); ms < 3; ms++ {
+			m, _, op, ok := Mutate(c.Prog, c.Transmit, rand.New(rand.NewSource(seed*31+ms)))
+			if !ok {
+				t.Fatalf("seed %d: generated program has no mutation site", seed)
+			}
+			same, err := ArchSame(PatchSecret(m, SecretA), PatchSecret(m, SecretB))
+			if err != nil || !same {
+				rejected++ // detectably broken: the shape phase drops it
+				continue
+			}
+			if _, _, err := ReferenceObservation(m); err != nil {
+				rejected++
+				continue
+			}
+			kept++
+			_ = op
+		}
+	}
+	if kept == 0 {
+		t.Error("no mutant survived the contract check; mutation operators too destructive")
+	}
+	t.Logf("mutants: %d kept, %d rejected", kept, rejected)
+}
+
+// TestSwapTransmitterRoundTrips checks the transmitter rewrite against
+// the generator's own emit patterns.
+func TestSwapTransmitterRoundTrips(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		c := Generate(seed)
+		if c.Transmit == TxBranch {
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed))
+		q, tx, ok := swapTransmitter(c.Prog, c.Transmit, rng)
+		if !ok {
+			t.Fatalf("seed %d (%s/%s): transmit pattern not found", seed, c.Primitive, c.Transmit)
+		}
+		if tx == c.Transmit {
+			t.Fatalf("seed %d: transmitter did not swap", seed)
+		}
+		// Swapping back restores the original instruction stream.
+		back, tx2, ok := swapTransmitter(q, tx, rand.New(rand.NewSource(seed)))
+		if !ok || tx2 != c.Transmit {
+			t.Fatalf("seed %d: swap did not round-trip", seed)
+		}
+		if asm.Disassemble(back) != asm.Disassemble(c.Prog) {
+			t.Fatalf("seed %d: double swap changed the program", seed)
+		}
+	}
+}
+
+func TestPlanGenerationDeterministicMix(t *testing.T) {
+	cfg := CampaignConfig{Seed: 3, Generations: 2, PerGen: 8}
+	corpus, err := LoadCorpus(filepath.Join("..", "..", "testdata", "fuzz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := PlanGeneration(cfg, corpus, 0, nil)
+	if !reflect.DeepEqual(g0, PlanGeneration(cfg, corpus, 0, nil)) {
+		t.Fatal("planning is not deterministic")
+	}
+	kinds := map[string]int{}
+	for _, r := range g0 {
+		kinds[r.Kind]++
+	}
+	if kinds[KindCorpusMutant] == 0 || kinds[KindGenerate] == 0 {
+		t.Fatalf("generation 0 should mix fresh and corpus-mutant units, got %v", kinds)
+	}
+
+	// Give generation 1 a prior with two fresh buckets opened in gen 0:
+	// odd slots become coverage mutants of the frontier.
+	prior := []UnitRecord{
+		{Unit: 0, Gen: 0, Kind: KindGenerate, Seed: 3, Bucket: "b1"},
+		{Unit: 1, Gen: 0, Kind: KindGenerate, Seed: 4, Bucket: "b2"},
+		{Unit: 2, Gen: 0, Kind: KindGenerate, Seed: 5, Bucket: "b1"},
+	}
+	g1 := PlanGeneration(cfg, nil, 1, prior)
+	mutants := 0
+	for _, r := range g1 {
+		if r.Kind == KindCoverageMutant {
+			mutants++
+			if r.Parent != 0 && r.Parent != 1 {
+				t.Errorf("coverage mutant parent %d is not on the frontier", r.Parent)
+			}
+		}
+	}
+	if mutants != cfg.PerGen/2 {
+		t.Errorf("got %d coverage mutants, want %d", mutants, cfg.PerGen/2)
+	}
+}
+
+func TestStateSaveLoadRoundTrip(t *testing.T) {
+	cfg := CampaignConfig{Seed: 1, Generations: 1, PerGen: 2, Schemes: []string{"unsafe"}, Models: []string{"futuristic"}}
+	st := NewCampaignState(cfg, cfg.Digest(nil), "engine-test")
+	st.Units = []UnitRecord{
+		{Unit: 0, Gen: 0, Kind: KindGenerate, Seed: 1, Name: "a", Bucket: "x", Done: true,
+			Leaks: []CellLeak{{Scheme: "unsafe", Model: "futuristic", Expected: true, Divergence: "d", Kinds: "L/L"}}},
+		{Unit: 1, Gen: 0, Kind: KindGenerate, Seed: 2, Rejected: "arch-sameness: nope"},
+	}
+	path := filepath.Join(t.TempDir(), "sub", "state.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", st, got)
+	}
+	if got.UnitByID(1) != 1 || got.UnitByID(7) != -1 {
+		t.Error("UnitByID lookup broken")
+	}
+}
+
+func TestMergeStates(t *testing.T) {
+	cfg := CampaignConfig{Seed: 1, Generations: 1, PerGen: 4}
+	digest := cfg.Digest(nil)
+	shaped := func(u int) UnitRecord {
+		return UnitRecord{Unit: u, Gen: 0, Kind: KindGenerate, Seed: int64(u) + 1, Name: "n", Bucket: "b"}
+	}
+	done := func(u int) UnitRecord {
+		r := shaped(u)
+		r.Done = true
+		r.Leaks = []CellLeak{{Scheme: "unsafe", Model: "futuristic", Expected: true, Divergence: "d", Kinds: "L/L"}}
+		return r
+	}
+
+	s0 := NewCampaignState(cfg, digest, "e")
+	s0.Units = []UnitRecord{done(0), shaped(1), done(2), shaped(3)}
+	s1 := NewCampaignState(cfg, digest, "e")
+	s1.Units = []UnitRecord{shaped(0), done(1), shaped(2), done(3)}
+
+	merged, err := MergeStates([]*CampaignState{s1, s0}) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range merged.Units {
+		if u.Unit != i || !u.Done {
+			t.Fatalf("merged unit %d: %+v", i, u)
+		}
+	}
+
+	// Digest mismatch is refused.
+	other := NewCampaignState(cfg, "ffffffffffffffff", "e")
+	if _, err := MergeStates([]*CampaignState{s0, other}); err == nil {
+		t.Error("digest mismatch not detected")
+	}
+
+	// Conflicting oracle results are refused.
+	bad := NewCampaignState(cfg, digest, "e")
+	conflict := done(0)
+	conflict.Leaks[0].Divergence = "different"
+	bad.Units = []UnitRecord{conflict}
+	if _, err := MergeStates([]*CampaignState{s0, bad}); err == nil {
+		t.Error("conflicting results not detected")
+	}
+
+	// Plan/shape disagreement is refused.
+	skew := NewCampaignState(cfg, digest, "e")
+	sk := shaped(1)
+	sk.Bucket = "other-bucket"
+	skew.Units = []UnitRecord{sk}
+	if _, err := MergeStates([]*CampaignState{s0, skew}); err == nil {
+		t.Error("plan/shape disagreement not detected")
+	}
+}
+
+func TestTriageClustersAndOrders(t *testing.T) {
+	leak := func(scheme string, expected bool) CellLeak {
+		return CellLeak{Scheme: scheme, Model: "futuristic", Expected: expected, Divergence: "d", Kinds: "L/L"}
+	}
+	units := []UnitRecord{
+		{Unit: 0, Done: true, Class: "spec-secret", Primitive: "branch", Transmitter: "load", Leaks: []CellLeak{leak("unsafe", true)}},
+		{Unit: 1, Done: true, Class: "spec-secret", Primitive: "branch", Transmitter: "load", Leaks: []CellLeak{leak("unsafe", true)}},
+		{Unit: 2, Done: true, Class: "spec-secret", Primitive: "branch", Transmitter: "load", Leaks: []CellLeak{leak("spt", false)}},
+		{Unit: 3, Done: true, Class: "nonspec-secret", Primitive: "return", Transmitter: "store", Leaks: []CellLeak{leak("unsafe", true)}},
+		{Unit: 4, Done: true, Class: "spec-secret", Primitive: "branch", Transmitter: "load"}, // clean: no cluster
+		{Unit: 5, Class: "spec-secret", Primitive: "branch", Transmitter: "load"},             // pending: no cluster
+	}
+	clusters := Triage(units)
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3: %+v", len(clusters), clusters)
+	}
+	if !clusters[0].Unexpected || clusters[0].Representative != 2 {
+		t.Errorf("unexpected cluster should sort first: %+v", clusters[0])
+	}
+	if clusters[1].Representative != 0 || clusters[1].Count != 2 {
+		t.Errorf("units 0 and 1 should cluster together: %+v", clusters[1])
+	}
+	if got := clusters[0].Cells[0]; got != "!spt/futuristic" {
+		t.Errorf("unexpected cell should carry the ! marker, got %q", got)
+	}
+}
+
+// TestCorpusMutantsRealize ensures every checked-in reproducer can seed
+// mutation: metadata is complete and at least one operator applies.
+func TestCorpusMutantsRealize(t *testing.T) {
+	corpus, err := LoadCorpus(filepath.Join("..", "..", "testdata", "fuzz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("no corpus entries")
+	}
+	for _, e := range corpus {
+		c, err := corpusCase(e)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+			continue
+		}
+		if _, _, _, ok := Mutate(c.Prog, c.Transmit, rand.New(rand.NewSource(1))); !ok {
+			t.Errorf("%s: no mutation operator applies", e.Name)
+		}
+	}
+}

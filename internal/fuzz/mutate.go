@@ -1,0 +1,223 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"spt/internal/isa"
+)
+
+// Corpus evolution: campaigns do not only generate fresh seed-pure
+// gadgets, they also mutate known-interesting programs — checked-in
+// .urisc reproducers and cases that opened new coverage buckets. The
+// operators below are deliberately conservative: they only touch scratch
+// ALU immediates, insert scratch-register filler, or swap the two memory
+// transmitters, so a mutant either keeps the differential contract
+// (identical architectural twins) or breaks it in a way the oracle's
+// contract re-check rejects. Nothing here can silently change which
+// ground-truth class a gadget belongs to.
+
+// Mutation operator names, recorded in unit provenance.
+const (
+	MutPerturb = "perturb" // operand perturbation of a scratch ALU immediate
+	MutStretch = "stretch" // window stretching: insert scratch filler
+	MutSwapTx  = "swaptx"  // transmitter swap: load <-> store channel
+)
+
+// scratch registers the generator's filler uses (gen.go); mutations that
+// only touch these cannot interfere with gadget scaffolding registers
+// (r16..r23) or the kit's address computations.
+const (
+	scratchLo = isa.Reg(5)
+	scratchHi = isa.Reg(15)
+)
+
+func isScratch(r isa.Reg) bool { return r >= scratchLo && r <= scratchHi }
+
+// Mutate applies one randomly chosen operator to prog and returns the
+// mutant, its (possibly swapped) transmitter, and the operator name. It
+// is a pure function of (prog, tx, rng state). ok is false when no
+// operator applies to the program (no mutable site found).
+func Mutate(prog *isa.Program, tx Transmitter, rng *rand.Rand) (*isa.Program, Transmitter, string, bool) {
+	// Try the operators in a seed-determined order so every program with
+	// at least one mutable site yields a mutant.
+	ops := []string{MutPerturb, MutStretch, MutSwapTx}
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	for _, op := range ops {
+		switch op {
+		case MutPerturb:
+			if q, ok := perturbImmediate(prog, rng); ok {
+				return q, tx, op, true
+			}
+		case MutStretch:
+			if q, ok := stretchWindow(prog, rng); ok {
+				return q, tx, op, true
+			}
+		case MutSwapTx:
+			if q, tx2, ok := swapTransmitter(prog, tx, rng); ok {
+				return q, tx2, op, true
+			}
+		}
+	}
+	return nil, tx, "", false
+}
+
+// perturbImmediate rewrites the immediate of one scratch-destination ALU
+// instruction. Scratch registers never feed addresses the gadget
+// scaffolding depends on, so both secret twins change identically and
+// arch-sameness is preserved by construction; what changes is the noise
+// environment the speculation window runs in.
+func perturbImmediate(prog *isa.Program, rng *rand.Rand) (*isa.Program, bool) {
+	var sites []int
+	for i, ins := range prog.Code {
+		switch ins.Op {
+		case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI:
+			if isScratch(ins.Rd) && isScratch(ins.Rs1) {
+				sites = append(sites, i)
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil, false
+	}
+	at := sites[rng.Intn(len(sites))]
+	q := cloneCode(prog)
+	ins := &q.Code[at]
+	if ins.Op == isa.SHLI {
+		ins.Imm = rng.Int63n(48)
+	} else {
+		ins.Imm ^= 1 + rng.Int63n(255)
+	}
+	return q, q.Validate() == nil
+}
+
+// stretchWindow inserts 1-3 scratch ALU instructions at a random point,
+// retargeting relative control flow across the insertion. Inserted
+// between a slow-resolving guard and its gadget it stretches the
+// transient window; inserted inside a length-calibrated window (return /
+// indirect gadgets encode code distances in their slow cells) it breaks
+// the calibration — and the oracle's contract check rejects the mutant.
+func stretchWindow(prog *isa.Program, rng *rand.Rand) (*isa.Program, bool) {
+	n := 1 + rng.Intn(3)
+	fill := make([]isa.Instruction, n)
+	for i := range fill {
+		r := isa.Reg(int(scratchLo) + rng.Intn(int(scratchHi-scratchLo)+1))
+		fill[i] = isa.Instruction{Op: isa.ADDI, Rd: r, Rs1: r, Imm: rng.Int63n(31)}
+	}
+	return insertAt(prog, rng.Intn(len(prog.Code)+1), fill)
+}
+
+// transmit patterns as emitted by attack.Kit: the load transmitter is
+// {shli tmp,val,6; add tmp,tmp,probe; ld tmp,0(tmp)}, the store
+// transmitter {shli tmp,val,12; add tmp,tmp,probe; stb zero,0(tmp)}.
+func isLoadTransmit(c []isa.Instruction, i int) bool {
+	if i+2 >= len(c) {
+		return false
+	}
+	s, a, l := c[i], c[i+1], c[i+2]
+	return s.Op == isa.SHLI && s.Imm == 6 &&
+		a.Op == isa.ADD && a.Rd == s.Rd && a.Rs1 == s.Rd &&
+		l.Op == isa.LD && l.Rd == s.Rd && l.Rs1 == s.Rd && l.Imm == 0
+}
+
+func isStoreTransmit(c []isa.Instruction, i int) bool {
+	if i+2 >= len(c) {
+		return false
+	}
+	s, a, st := c[i], c[i+1], c[i+2]
+	return s.Op == isa.SHLI && s.Imm == 12 &&
+		a.Op == isa.ADD && a.Rd == s.Rd && a.Rs1 == s.Rd &&
+		st.Op == isa.STB && st.Rs1 == s.Rd && st.Rs2 == isa.Zero && st.Imm == 0
+}
+
+// swapTransmitter rewrites one transmit sequence to the other memory
+// channel: the cache-line load channel becomes the page-stride store
+// (TLB) channel or vice versa. Instruction count is unchanged, so no
+// control flow needs retargeting and window calibrations survive.
+func swapTransmitter(prog *isa.Program, tx Transmitter, rng *rand.Rand) (*isa.Program, Transmitter, bool) {
+	var loads, stores []int
+	for i := range prog.Code {
+		if isLoadTransmit(prog.Code, i) {
+			loads = append(loads, i)
+		} else if isStoreTransmit(prog.Code, i) {
+			stores = append(stores, i)
+		}
+	}
+	if len(loads)+len(stores) == 0 {
+		return nil, tx, false
+	}
+	pick := rng.Intn(len(loads) + len(stores))
+	q := cloneCode(prog)
+	newTx := tx
+	if pick < len(loads) {
+		i := loads[pick]
+		tmp := q.Code[i].Rd
+		q.Code[i].Imm = 12
+		q.Code[i+2] = isa.Instruction{Op: isa.STB, Rs1: tmp, Rs2: isa.Zero}
+		if tx == TxLoad {
+			newTx = TxStore
+		}
+	} else {
+		i := stores[pick-len(loads)]
+		tmp := q.Code[i].Rd
+		q.Code[i].Imm = 6
+		q.Code[i+2] = isa.Instruction{Op: isa.LD, Rd: tmp, Rs1: tmp}
+		if tx == TxStore {
+			newTx = TxLoad
+		}
+	}
+	return q, newTx, q.Validate() == nil
+}
+
+// cloneCode copies prog with a private code slice (data is never mutated,
+// so segments are shared).
+func cloneCode(prog *isa.Program) *isa.Program {
+	q := *prog
+	q.Code = make([]isa.Instruction, len(prog.Code))
+	copy(q.Code, prog.Code)
+	return &q
+}
+
+// insertAt inserts instructions before index at, retargeting the relative
+// control flow (conditional branches and JAL) that crosses the insertion
+// point — the mirror image of removeRange in minimize.go. JALR targets
+// are absolute register values the rewrite cannot see; the oracle-driven
+// contract check catches mutants they break.
+func insertAt(prog *isa.Program, at int, ins []isa.Instruction) (*isa.Program, bool) {
+	total := len(prog.Code)
+	n := len(ins)
+	if at < 0 || at > total || n == 0 {
+		return nil, false
+	}
+	shift := func(i int) int {
+		if i >= at {
+			return i + n
+		}
+		return i
+	}
+	code := make([]isa.Instruction, 0, total+n)
+	for i, old := range prog.Code {
+		if i == at {
+			code = append(code, ins...)
+		}
+		if old.IsCondBranch() || old.Op == isa.JAL {
+			target := i + int(old.Imm)
+			if target < 0 || target > total {
+				return nil, false
+			}
+			old.Imm = int64(shift(target) - shift(i))
+		}
+		code = append(code, old)
+	}
+	if at == total {
+		code = append(code, ins...)
+	}
+	entry := prog.Entry
+	if int(entry) >= at {
+		entry += uint64(n)
+	}
+	q := &isa.Program{Name: prog.Name, Code: code, Data: prog.Data, Entry: entry}
+	if err := q.Validate(); err != nil {
+		return nil, false
+	}
+	return q, true
+}

@@ -1,0 +1,155 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// StateVersion identifies the campaign state-file schema.
+const StateVersion = "spt-campaign-state/1"
+
+// CampaignState is the resumable campaign snapshot: the config identity
+// plus the canonical unit records. Everything else a report shows —
+// coverage map, cell tallies, triage clusters — is derived from Units, so
+// two states with equal unit records render byte-identical reports no
+// matter how many shards, interruptions, or resumes produced them.
+type CampaignState struct {
+	Version string `json:"version"`
+	// Engine is the engine version that produced the state; merge and
+	// resume refuse mixed-engine states since simulator changes can move
+	// observation traces.
+	Engine string         `json:"engine,omitempty"`
+	Digest string         `json:"digest"`
+	Config CampaignConfig `json:"config"`
+	Units  []UnitRecord   `json:"units"`
+}
+
+// NewCampaignState starts an empty state for a config.
+func NewCampaignState(cfg CampaignConfig, digest, engine string) *CampaignState {
+	return &CampaignState{Version: StateVersion, Engine: engine, Digest: digest, Config: cfg}
+}
+
+// LoadState reads a campaign state file.
+func LoadState(path string) (*CampaignState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st CampaignState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("fuzz: state %s: %w", path, err)
+	}
+	if st.Version != StateVersion {
+		return nil, fmt.Errorf("fuzz: state %s has version %q, want %q", path, st.Version, StateVersion)
+	}
+	return &st, nil
+}
+
+// Save writes the state atomically (temp file + rename), so a campaign
+// killed mid-write leaves the previous snapshot intact.
+func (s *CampaignState) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".spt-state-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// UnitByID returns the index of a unit's record in Units, or -1.
+func (s *CampaignState) UnitByID(unit int) int {
+	i := sort.Search(len(s.Units), func(i int) bool { return s.Units[i].Unit >= unit })
+	if i < len(s.Units) && s.Units[i].Unit == unit {
+		return i
+	}
+	return -1
+}
+
+// samePlanShape reports whether two records agree on every field all
+// shards compute independently (everything except the oracle results).
+func samePlanShape(a, b UnitRecord) bool {
+	return a.Unit == b.Unit && a.Gen == b.Gen && a.Kind == b.Kind &&
+		a.Seed == b.Seed && a.Parent == b.Parent && a.Corpus == b.Corpus &&
+		a.Name == b.Name && a.Class == b.Class && a.Primitive == b.Primitive &&
+		a.Transmitter == b.Transmitter && a.Op == b.Op && a.Insns == b.Insns &&
+		a.Rejected == b.Rejected && a.Bucket == b.Bucket
+}
+
+// sameResult reports whether two Done records agree on oracle results.
+func sameResult(a, b UnitRecord) bool {
+	if a.EvalError != b.EvalError || len(a.Leaks) != len(b.Leaks) {
+		return false
+	}
+	for i := range a.Leaks {
+		if a.Leaks[i] != b.Leaks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeStates combines shard states into one. All inputs must share the
+// config digest and engine. Unit records are unioned: plan/shape fields
+// must agree exactly (every shard computes them from the same inputs, so
+// a mismatch means corrupted or mixed-campaign state), and where two
+// shards both evaluated a unit their results must agree too. The merged
+// unit list is sorted by unit id, which is what makes the merge — and
+// every report derived from it — deterministic in the input set, not the
+// input order.
+func MergeStates(states []*CampaignState) (*CampaignState, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("fuzz: no states to merge")
+	}
+	first := states[0]
+	merged := map[int]UnitRecord{}
+	for _, st := range states {
+		if st.Digest != first.Digest {
+			return nil, fmt.Errorf("fuzz: state digest mismatch: %s vs %s (different campaign config or corpus)", st.Digest, first.Digest)
+		}
+		if st.Engine != first.Engine {
+			return nil, fmt.Errorf("fuzz: state engine mismatch: %q vs %q", st.Engine, first.Engine)
+		}
+		for _, u := range st.Units {
+			prev, ok := merged[u.Unit]
+			if !ok {
+				merged[u.Unit] = u
+				continue
+			}
+			if !samePlanShape(prev, u) {
+				return nil, fmt.Errorf("fuzz: unit %d plan/shape disagrees across states", u.Unit)
+			}
+			if u.Done && prev.Done && !sameResult(prev, u) {
+				return nil, fmt.Errorf("fuzz: unit %d oracle results disagree across states", u.Unit)
+			}
+			if u.Done {
+				merged[u.Unit] = u
+			}
+		}
+	}
+	out := NewCampaignState(first.Config, first.Digest, first.Engine)
+	out.Units = make([]UnitRecord, 0, len(merged))
+	for _, u := range merged {
+		out.Units = append(out.Units, u)
+	}
+	sort.Slice(out.Units, func(i, j int) bool { return out.Units[i].Unit < out.Units[j].Unit })
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package fuzz
+
+import (
+	"sort"
+	"strings"
+)
+
+// Leak triage. A large campaign produces thousands of raw divergences,
+// but almost all of them are the same few gadget shapes hit again and
+// again; the useful output is a deduplicated table of *distinct* leaks
+// with one representative reproducer each. Clustering is two-level: a
+// cheap first-level key built from unit metadata and the leak-cell
+// profile groups the raw divergences without touching the simulator, and
+// the caller then minimizes only the cluster representatives — collapsing
+// clusters further when minimized reproducers share an opcode skeleton
+// (SkeletonDigest).
+
+// LeakCluster is one distinct leak: a group of units whose divergences
+// share a signature, represented by the lowest unit id in the group.
+type LeakCluster struct {
+	// Key is the cluster signature:
+	// class|primitive|transmitter|cell-profile|divergence-kinds.
+	Key string `json:"key"`
+	// Metadata shared by every unit in the cluster.
+	Class       string `json:"class"`
+	Primitive   string `json:"primitive"`
+	Transmitter string `json:"transmitter"`
+	// Cells lists the leaking scheme/model cells, "!"-prefixed where the
+	// leak is unexpected (a defense failure).
+	Cells []string `json:"cells"`
+	// Unexpected is true when any cell in the profile is a defense failure.
+	Unexpected bool `json:"unexpected"`
+	// Kinds is the per-cell divergence-kind profile.
+	Kinds string `json:"kinds"`
+	// Count is how many evaluated units landed in the cluster; Units lists
+	// the first few ids, Representative the lowest.
+	Count          int   `json:"count"`
+	Units          []int `json:"units"`
+	Representative int   `json:"representative"`
+}
+
+// maxClusterUnits caps the per-cluster unit id list in reports.
+const maxClusterUnits = 8
+
+// clusterKey builds the first-level triage signature for an evaluated
+// unit. The cell profile and divergence kinds come from the unit's leaks
+// in cell order; addresses and cycle counts are deliberately excluded —
+// the same gadget hit at a different probe line is the same leak.
+func clusterKey(u UnitRecord) (key string, cells []string, kinds string, unexpected bool) {
+	var cellList, kindList []string
+	for _, l := range u.Leaks {
+		cell := l.Scheme + "/" + l.Model
+		if !l.Expected {
+			cell = "!" + cell
+			unexpected = true
+		}
+		cellList = append(cellList, cell)
+		kindList = append(kindList, l.Kinds)
+	}
+	cellsStr := strings.Join(cellList, ",")
+	kinds = strings.Join(kindList, ",")
+	key = strings.Join([]string{u.Class, u.Primitive, u.Transmitter, cellsStr, kinds}, "|")
+	return key, cellList, kinds, unexpected
+}
+
+// Triage clusters the evaluated, leaking units. The result is a pure
+// function of the unit records: clusters are keyed on metadata and leak
+// signatures only, ordered unexpected-first and then by representative
+// unit id, so sharded, resumed, and differently-parallelized campaigns
+// triage identically.
+func Triage(units []UnitRecord) []LeakCluster {
+	byKey := map[string]*LeakCluster{}
+	for _, u := range units {
+		if !u.Done || len(u.Leaks) == 0 {
+			continue
+		}
+		key, cells, kinds, unexpected := clusterKey(u)
+		cl, ok := byKey[key]
+		if !ok {
+			cl = &LeakCluster{
+				Key: key, Class: u.Class, Primitive: u.Primitive, Transmitter: u.Transmitter,
+				Cells: cells, Unexpected: unexpected, Kinds: kinds,
+				Representative: u.Unit,
+			}
+			byKey[key] = cl
+		}
+		cl.Count++
+		if u.Unit < cl.Representative {
+			cl.Representative = u.Unit
+		}
+		if len(cl.Units) < maxClusterUnits {
+			cl.Units = append(cl.Units, u.Unit)
+		}
+	}
+	out := make([]LeakCluster, 0, len(byKey))
+	for _, cl := range byKey {
+		sort.Ints(cl.Units)
+		out = append(out, *cl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Unexpected != out[j].Unexpected {
+			return out[i].Unexpected
+		}
+		return out[i].Representative < out[j].Representative
+	})
+	return out
+}
