@@ -194,6 +194,34 @@ func BenchmarkSampledWindows(b *testing.B) {
 	}
 }
 
+// BenchmarkSampledLongPrefix measures a fast-forward-dominated sampled
+// grid: the same windows as BenchmarkSampledWindows but a 2M-instruction
+// budget, so most of each cell's host time is the functional warming
+// walker between windows — the shape of a paper-scale grid, where
+// billions are skipped and thousands are measured. The "ff-MIPS" metric
+// (total budget over wall clock) tracks fast-forward throughput
+// end-to-end; CI floors it.
+func BenchmarkSampledLongPrefix(b *testing.B) {
+	sample := spt.SampleSpec{Intervals: 8, Warmup: 400, Detail: 3200}
+	const budget = 2_000_000
+	var jobs []spt.Job
+	for _, w := range []string{"gcc", "mcf"} {
+		jobs = append(jobs, spt.Job{
+			Workload: w, Scheme: spt.SPTFull, Model: spt.Futuristic,
+			Budget: budget, Sample: sample,
+		})
+	}
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := spt.RunJobs(jobs, spt.EvalOptions{Jobs: 1, WindowJobs: 1}); err != nil {
+			b.Fatal(err)
+		}
+		sec += time.Since(start).Seconds()
+	}
+	b.ReportMetric(float64(budget*uint64(len(jobs)))*float64(b.N)/sec/1e6, "ff-MIPS")
+}
+
 // BenchmarkFigure8Breakdown regenerates the untaint-event breakdown
 // (Figure 8) on the full SPT design for both models, reporting the share
 // of forward untaints in the futuristic rows.

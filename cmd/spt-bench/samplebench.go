@@ -17,7 +17,9 @@ import (
 	"time"
 
 	"spt"
+	"spt/internal/checkpoint"
 	"spt/internal/emu"
+	"spt/internal/mem"
 	"spt/internal/workloads"
 )
 
@@ -32,6 +34,13 @@ type functionalRow struct {
 	SpeedupX  float64
 }
 
+type warmingRow struct {
+	Workload   string
+	HookedMIPS float64
+	BlockMIPS  float64
+	SpeedupX   float64
+}
+
 type sampleBenchReport struct {
 	Engine     string
 	Note       string
@@ -40,6 +49,11 @@ type sampleBenchReport struct {
 	Functional struct {
 		Instructions uint64
 		Rows         []functionalRow
+		GeomeanX     float64
+	}
+	Warming struct {
+		Instructions uint64
+		Rows         []warmingRow
 		GeomeanX     float64
 	}
 	SampledGrid struct {
@@ -51,6 +65,16 @@ type sampleBenchReport struct {
 		SerialSeconds   float64
 		ParallelSeconds float64
 		SpeedupX        float64
+
+		// The long-prefix grid keeps the same windows but stretches the
+		// budget so the functional walker pass dominates, the shape of a
+		// paper-scale grid (billions skipped, thousands measured). Its
+		// wall clock tracks warming throughput where the small grid above
+		// is detail-dominated and barely moves with fast-forward changes.
+		LongPrefixWorkloads []string
+		LongPrefixBudget    uint64
+		LongPrefixSample    string
+		LongPrefixSeconds   float64
 	}
 }
 
@@ -105,6 +129,54 @@ func benchFunctional(ctx context.Context, insts uint64) ([]functionalRow, float6
 	return rows, math.Exp(logSum / float64(len(rows))), nil
 }
 
+// benchWarming times the functional-warming walker — the serial
+// bottleneck of sampled grids — through both its paths: the
+// per-instruction hook reference (AdvanceHooked) and the block-granular
+// event-replay fast path (Advance). Both produce byte-identical warm
+// state; the ratio is pure dispatch-and-batching overhead.
+func benchWarming(ctx context.Context, insts uint64) ([]warmingRow, float64, error) {
+	names := []string{"gcc", "mcf", "lbm", "aes-bitslice", "chacha20"}
+	hcfg := mem.DefaultHierarchyConfig()
+	rows := make([]warmingRow, 0, len(names))
+	logSum := 0.0
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, context.Cause(ctx)
+		}
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		p := w.Build(1 << 40)
+		var hookedSec, blockSec []float64
+		for r := 0; r < sampleBenchRuns; r++ {
+			bw := checkpoint.NewWalker(p, hcfg, true)
+			start := time.Now()
+			if err := bw.Advance(insts); err != nil {
+				return nil, 0, err
+			}
+			blockSec = append(blockSec, time.Since(start).Seconds())
+
+			hw := checkpoint.NewWalker(p, hcfg, true)
+			start = time.Now()
+			if err := hw.AdvanceHooked(insts); err != nil {
+				return nil, 0, err
+			}
+			hookedSec = append(hookedSec, time.Since(start).Seconds())
+		}
+		h, b := median(hookedSec), median(blockSec)
+		row := warmingRow{
+			Workload:   name,
+			HookedMIPS: float64(insts) / h / 1e6,
+			BlockMIPS:  float64(insts) / b / 1e6,
+			SpeedupX:   h / b,
+		}
+		logSum += math.Log(row.SpeedupX)
+		rows = append(rows, row)
+	}
+	return rows, math.Exp(logSum / float64(len(rows))), nil
+}
+
 // benchSampledGrid times the same sampled grid with serial windows and
 // with windowJobs windows in flight, asserting the estimates agree.
 func benchSampledGrid(ctx context.Context, rep *sampleBenchReport) error {
@@ -152,6 +224,27 @@ func benchSampledGrid(ctx context.Context, rep *sampleBenchReport) error {
 	g.SerialSeconds = median(serialSec)
 	g.ParallelSeconds = median(parSec)
 	g.SpeedupX = g.SerialSeconds / g.ParallelSeconds
+
+	g.LongPrefixWorkloads = []string{"gcc", "mcf"}
+	g.LongPrefixBudget = 2_000_000
+	longSample := spt.SampleSpec{Intervals: 8, Warmup: 400, Detail: 3200}
+	g.LongPrefixSample = longSample.String()
+	var longJobs []spt.Job
+	for _, w := range g.LongPrefixWorkloads {
+		longJobs = append(longJobs, spt.Job{
+			Workload: w, Scheme: spt.SPTFull, Model: spt.Futuristic,
+			Budget: g.LongPrefixBudget, Sample: longSample,
+		})
+	}
+	var longSec []float64
+	for r := 0; r < sampleBenchRuns; r++ {
+		start := time.Now()
+		if _, err := spt.RunJobs(longJobs, spt.EvalOptions{Jobs: 1, WindowJobs: 1, Context: ctx}); err != nil {
+			return err
+		}
+		longSec = append(longSec, time.Since(start).Seconds())
+	}
+	g.LongPrefixSeconds = median(longSec)
 	return nil
 }
 
@@ -161,7 +254,9 @@ func runSampleBench(ctx context.Context, path string) error {
 	rep := &sampleBenchReport{
 		Engine: spt.EngineVersion,
 		Note: "Medians of 3 runs. Functional compares the predecoded basic-block engine (Run) " +
-			"against the Step interpreter over the same region; SampledGrid compares one sampled " +
+			"against the Step interpreter over the same region; Warming compares the block-granular " +
+			"warming walker (batched event replay) against the per-instruction hook reference, " +
+			"both producing byte-identical warm state; SampledGrid compares one sampled " +
 			"grid with measured windows serial vs 8 in flight. Simulated results are bit-identical " +
 			"in every variant; window parallelism needs GOMAXPROCS > 1 to show wall-clock gains.",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -173,6 +268,12 @@ func runSampleBench(ctx context.Context, path string) error {
 		return err
 	}
 	rep.Functional.Rows, rep.Functional.GeomeanX = rows, geomean
+	rep.Warming.Instructions = 1_000_000
+	wrows, wgeomean, err := benchWarming(ctx, rep.Warming.Instructions)
+	if err != nil {
+		return err
+	}
+	rep.Warming.Rows, rep.Warming.GeomeanX = wrows, wgeomean
 	if err := benchSampledGrid(ctx, rep); err != nil {
 		return err
 	}

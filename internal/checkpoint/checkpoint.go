@@ -108,12 +108,41 @@ func NewWalker(p *isa.Program, hcfg mem.HierarchyConfig, warm bool) *Walker {
 }
 
 // Advance executes functionally until the emulator has retired target
-// instructions in total, through the emulator's predecoded basic-block
-// engine (warm mode attaches warmOne as the per-instruction hook, so
-// warming events are byte-identical to the old instruction-at-a-time
-// pass). Reaching HALT before the target is an error: a checkpoint past
-// the end of the program is meaningless.
+// instructions in total. In warm mode it takes the block-granular fast
+// path: the emulator's superblock engine batches one WarmEvent per
+// retired instruction and replay streams each batch into the hierarchy
+// and predictor. The event stream is byte-identical — same events, same
+// order, same operand values — to what AdvanceHooked's per-instruction
+// pass produces, so checkpoints (and their hashes) do not depend on
+// which path built them; TestWalkerReplayMatchesHooked and the walker
+// determinism goldens are the contract. Reaching HALT before the target
+// is an error: a checkpoint past the end of the program is meaningless.
 func (w *Walker) Advance(target uint64) error {
+	st := &w.Em.State
+	for st.Retired < target {
+		if st.Halted {
+			return fmt.Errorf("checkpoint: %s halted after %d instructions (fast-forward target %d)",
+				w.Em.Prog.Name, st.Retired, target)
+		}
+		var err error
+		if w.Hier != nil {
+			_, err = w.Em.RunWarm(target-st.Retired, w.replay)
+		} else {
+			_, err = w.Em.Run(target - st.Retired)
+		}
+		if err != nil {
+			return fmt.Errorf("checkpoint: %s: %w", w.Em.Prog.Name, err)
+		}
+	}
+	return nil
+}
+
+// AdvanceHooked is the per-instruction reference warming path: identical
+// semantics to Advance, but warming runs as a pre-execution hook on every
+// instruction instead of through batched event replay. It exists so tests
+// can pin the fast path's warm state to the reference, and as a fallback
+// observation point for tooling that needs a live per-instruction view.
+func (w *Walker) AdvanceHooked(target uint64) error {
 	st := &w.Em.State
 	for st.Retired < target {
 		if st.Halted {
@@ -131,6 +160,63 @@ func (w *Walker) Advance(target uint64) error {
 		}
 	}
 	return nil
+}
+
+// replay streams a batch of warming events into the warm structures — the
+// block-granular counterpart of warmOne. Every arm mirrors warmOne
+// exactly: one pseudo-clock tick and an instruction fetch per event, then
+// the class-specific access or predictor round trip. The emulator
+// captured each event's operands at the same pre-execution point the hook
+// would have observed, so the two paths train identical state.
+func (w *Walker) replay(evs []emu.WarmEvent) {
+	h, p := w.Hier, w.Pred
+	now := w.now
+	var cpv predictor.Checkpoint
+	cp := &cpv
+	for i := range evs {
+		ev := &evs[i]
+		now++
+		h.AccessInstr(now, ev.PC*uint64(isa.WordSize))
+		switch ev.Kind {
+		case emu.WarmFetch:
+		case emu.WarmLoad:
+			h.AccessData(now, ev.Aux, false)
+		case emu.WarmStore:
+			h.AccessData(now, ev.Aux, true)
+		case emu.WarmCondNotTaken:
+			p.PredictCond(ev.PC, cp)
+			if p.ResolveCond(cp, false, ev.Aux) {
+				p.Recover(cp, false)
+			}
+		case emu.WarmCondTaken:
+			p.PredictCond(ev.PC, cp)
+			if p.ResolveCond(cp, true, ev.Aux) {
+				p.Recover(cp, true)
+			}
+		case emu.WarmJal:
+			p.PredictJump(ev.PC, ev.Aux, true, false, false, cp)
+			p.ResolveJump(cp, ev.Aux, false)
+		case emu.WarmJalCall:
+			p.PredictJump(ev.PC, ev.Aux, true, true, false, cp)
+			p.ResolveJump(cp, ev.Aux, false)
+		case emu.WarmJalr:
+			p.PredictJump(ev.PC, 0, false, false, false, cp)
+			if p.ResolveJump(cp, ev.Aux, true) {
+				p.Recover(cp, true)
+			}
+		case emu.WarmJalrCall:
+			p.PredictJump(ev.PC, 0, false, true, false, cp)
+			if p.ResolveJump(cp, ev.Aux, true) {
+				p.Recover(cp, true)
+			}
+		case emu.WarmJalrRet:
+			p.PredictJump(ev.PC, 0, false, false, true, cp)
+			if p.ResolveJump(cp, ev.Aux, true) {
+				p.Recover(cp, true)
+			}
+		}
+	}
+	w.now = now
 }
 
 // warmOne streams the next instruction's microarchitectural events into
@@ -151,24 +237,27 @@ func (w *Walker) warmOne(pc uint64, ins *isa.Instruction) {
 		// functional mode the access simply does not install this tick.
 		w.Hier.AccessData(w.now, addr, ins.IsStore())
 	case ins.IsCondBranch():
-		cp := w.Pred.PredictCond(pc)
+		var cp predictor.Checkpoint
+		w.Pred.PredictCond(pc, &cp)
 		taken := emu.BranchTaken(ins.Op, st.Regs[ins.Rs1], st.Regs[ins.Rs2])
 		target := pc + 1
 		if taken {
 			target = pc + uint64(ins.Imm)
 		}
-		if w.Pred.ResolveCond(cp, taken, target) {
-			w.Pred.Recover(cp, taken)
+		if w.Pred.ResolveCond(&cp, taken, target) {
+			w.Pred.Recover(&cp, taken)
 		}
 	case ins.Op == isa.JAL:
 		target := pc + uint64(ins.Imm)
-		cp := w.Pred.PredictJump(pc, target, true, ins.IsCall(), false)
-		w.Pred.ResolveJump(cp, target, false)
+		var cp predictor.Checkpoint
+		w.Pred.PredictJump(pc, target, true, ins.IsCall(), false, &cp)
+		w.Pred.ResolveJump(&cp, target, false)
 	case ins.Op == isa.JALR:
 		target := st.Regs[ins.Rs1] + uint64(ins.Imm)
-		cp := w.Pred.PredictJump(pc, 0, false, ins.IsCall(), ins.IsReturn())
-		if w.Pred.ResolveJump(cp, target, true) {
-			w.Pred.Recover(cp, true)
+		var cp predictor.Checkpoint
+		w.Pred.PredictJump(pc, 0, false, ins.IsCall(), ins.IsReturn(), &cp)
+		if w.Pred.ResolveJump(&cp, target, true) {
+			w.Pred.Recover(&cp, true)
 		}
 	}
 }

@@ -7,24 +7,47 @@ import (
 	"spt/internal/isa"
 )
 
-// Threaded-code execution engine: instead of re-decoding every instruction
-// on every visit (the Step path), Run predecodes straight-line runs of code
-// into basic blocks of dense micro-op records — operands, immediates, and
+// Threaded-code execution engine, v2: instead of re-decoding every
+// instruction on every visit (the Step path), run predecodes code into
+// superblocks of dense micro-op records — operands, immediates, and
 // branch targets already extracted, the handler selected — and executes
-// them in a tight dispatch loop. Blocks are cached per entry PC, so loop
-// bodies decode once and then execute with no per-instruction fetch,
-// bounds check, or operand extraction.
+// them in a tight dispatch loop.
+//
+// A superblock has one entry and many exits: decode continues through
+// conditional branches (the not-taken path stays in-block, the taken path
+// exits through a per-op successor pointer) and through forward JALs (the
+// link write is emitted as a uJalIn micro-op and decode resumes at the
+// jump target, so hot call chains flatten into one µop array). Decode
+// terminates at JALR, HALT, backward jumps, or the instruction budget.
+// Because an inlined jump makes the block span several disjoint PC
+// ranges, each block records its ranges for InvalidateCode overlap
+// checks.
+//
+// Two decode-time optimizations ride on top:
+//
+//   - Micro-op fusion: the dominant adjacent pairs — an ALU op feeding a
+//     conditional branch, and address generation feeding a load/store —
+//     collapse into one uFused micro-op executed in a single dispatch.
+//     Fusion never crosses a range boundary and both halves retire
+//     atomically on the fast path (budget-truncated runs fall back to the
+//     per-instruction tail, which splits pairs naturally).
+//   - Per-µop translation slots: each memory micro-op owns a one-entry
+//     page-translation cache (memSlot) validated by the memory's epoch,
+//     so the three-array kernels (lbm) whose bases alias in the global
+//     direct-mapped page cache each keep their own hot page.
 //
 // Correctness contract: the block engine and Step implement identical
-// architectural semantics (block_test.go cross-checks them instruction for
-// instruction on random programs). Step remains the golden reference; the
-// block engine is the throughput path behind Run and RunHooked.
+// architectural semantics (block_test.go cross-checks them instruction
+// for instruction on random programs). Step remains the golden reference;
+// the block engine is the throughput path behind Run, RunHooked, and
+// RunWarm.
 //
 // The cache holds no architectural state — only a decoded view of
 // Prog.Code — so snapshots and copy-on-write restores (snapshot.go) never
-// interact with it: restoring architectural state onto an emulator keeps
-// its decoded blocks valid because the code is unchanged. The only way
-// code changes is through SetCode/InvalidateCode, which drop every cached
+// interact with it (the translation slots carry architectural *page
+// pointers, but they are guarded by the memory epoch, which every
+// snapshot, restore, and copy-on-write clone advances). The only way code
+// changes is through SetCode/InvalidateCode, which drop every cached
 // block overlapping the modified range.
 
 // uKind selects a micro-op handler in the dispatch loop. Hot operations
@@ -39,13 +62,15 @@ const (
 	uHalt
 	uMovi
 	uMov
+	uLoadNop // load to the zero register: no architectural effect, but warming still sees the access
 	uLoad8
 	uLoad4
 	uLoad1
 	uStore8
 	uStore4
 	uStore1
-	uJal
+	uJal   // terminal jump: backward or out-of-range target
+	uJalIn // inlined forward JAL: link write only, execution continues in-block
 	uJalr
 	uBeq
 	uBne
@@ -74,58 +99,84 @@ const (
 	uShri
 	uSrai
 	uSlti
-	uAlu // anything else register-writing: DIV, REM, SLT(U), MIN/MAX(U), ...
+	uAlu   // anything else register-writing: DIV, REM, SLT(U), MIN/MAX(U), ...
+	uFused // two-instruction pair: k1 (ALU first half) + k2 (branch or memory second half)
 )
 
-// uOp is one predecoded micro-op: 32 bytes, everything the dispatch loop
-// needs without touching isa.Instruction again.
+// raReg is the return-address register, the only register with
+// call/return semantics baked into the warming event classification.
+const raReg = uint8(isa.RA)
+
+// uOp is one predecoded micro-op: everything the dispatch loop needs
+// without touching isa.Instruction again. A fused op carries both halves:
+// rd/rs1/rs2/imm belong to the first (ALU) instruction at pc, and
+// rd2/rs21/rs22/imm2/target to the second at pc+1.
 type uOp struct {
-	kind uKind
-	op   isa.Op // original opcode, for uAlu dispatch
-	rd   uint8
-	rs1  uint8
-	rs2  uint8
-
-	imm int64
-	// target is the statically known control-flow destination (pc+imm) for
-	// conditional branches and uJal; link is pc+1 for uJal/uJalr.
-	target uint64
-	link   uint64
+	imm    int64
+	imm2   int64
+	target uint64 // static taken/jump destination (branches, uJal, uJalIn)
+	succ   *block // cached block at target, resolved lazily on first taken exit
+	pc     uint32 // PC of this op's (first) instruction
+	sIdx   uint16 // index into the block's translation slots (memory ops only)
+	cum    uint16 // instructions retired through this op inclusive (2 for fused)
+	kind   uKind
+	k1     uKind // fused first-half kind
+	k2     uKind // fused second-half kind
+	op     isa.Op
+	rd     uint8
+	rs1    uint8
+	rs2    uint8
+	rd2    uint8
+	rs21   uint8
+	rs22   uint8
 }
 
-// maxBlockLen bounds a block so the budget arithmetic in execBlock stays
-// cheap and a pathological straight-line program cannot decode the whole
-// code section in one shot.
-const maxBlockLen = 128
-
-// block is a predecoded straight-line run starting at start. The last op
-// is the first control-flow instruction (or HALT) at or after start, or
-// the maxBlockLen'th op, whichever comes first. next and tkn chain to the
-// fallthrough and taken-branch successor blocks (resolved lazily on first
-// transition), so steady-state execution hops block to block without
-// consulting the cache index.
-type block struct {
-	start uint64
-	ops   []uOp
-	next  *block // fallthrough successor
-	tkn   *block // statically known taken/jump successor
+// memSlot is a one-entry page-translation cache owned by a single memory
+// micro-op. tag is the page number + 1 (0 marks empty); the slot is valid
+// only while epoch matches the memory's current epoch, which advances on
+// every snapshot, restore, explicit invalidation, and copy-on-write page
+// clone — and epochs are globally unique, so a slot can never alias a
+// different Memory that happens to reuse the address.
+type memSlot struct {
+	epoch uint64
+	tag   uint64
+	pg    *page
 }
 
-// execBlock exit reasons: how control left the block.
 const (
-	exitFall  uint8 = iota // ran off the end (or a not-taken terminal branch)
-	exitTaken              // terminal branch taken or uJal: PC = static target
-	exitDyn                // uJalr or budget truncation: PC needs a fresh lookup
-	exitHalt               // HALT retired
+	// maxBlockLen bounds a superblock's instruction count so the budget
+	// arithmetic stays cheap and a pathological straight-line program
+	// cannot decode the whole code section in one shot.
+	maxBlockLen = 128
+	// maxRanges bounds how many disjoint PC ranges one superblock may
+	// span (each inlined forward JAL opens a new range).
+	maxRanges = 8
 )
+
+// crange is one half-open PC range [from, to) covered by a superblock.
+type crange struct{ from, to uint64 }
+
+// block is a predecoded superblock entered at start. cost is the number
+// of architectural instructions a full pass retires; end is the resume PC
+// when execution falls off the last op. next chains to the fall-through
+// successor (resolved lazily), taken exits chain through each op's succ.
+type block struct {
+	start  uint64
+	end    uint64
+	cost   uint64
+	ops    []uOp
+	slots  []memSlot
+	next   *block
+	ranges []crange
+}
 
 // decodeOne predecodes the instruction at pc. Register-writing ops whose
-// destination is the hardwired zero register are architectural no-ops
-// (loads included: a functional memory read has no side effects), so they
-// decode to uNop and the dispatch loop never needs an rd != Zero check on
-// those paths.
+// destination is the hardwired zero register are architectural no-ops, so
+// they decode to uNop — except loads, which decode to uLoadNop so the
+// warming event stream still sees the memory access exactly like the
+// per-instruction reference path does.
 func decodeOne(ins isa.Instruction, pc uint64) uOp {
-	u := uOp{op: ins.Op, rd: uint8(ins.Rd), rs1: uint8(ins.Rs1), rs2: uint8(ins.Rs2), imm: ins.Imm}
+	u := uOp{op: ins.Op, rd: uint8(ins.Rd), rs1: uint8(ins.Rs1), rs2: uint8(ins.Rs2), imm: ins.Imm, pc: uint32(pc)}
 	switch ins.Op {
 	case isa.NOP:
 		u.kind = uNop
@@ -150,10 +201,8 @@ func decodeOne(ins isa.Instruction, pc uint64) uOp {
 	case isa.JAL:
 		u.kind = uJal
 		u.target = pc + uint64(ins.Imm)
-		u.link = pc + 1
 	case isa.JALR:
 		u.kind = uJalr
-		u.link = pc + 1
 	case isa.BEQ:
 		u.kind = uBeq
 		u.target = pc + uint64(ins.Imm)
@@ -221,7 +270,9 @@ func decodeOne(ins isa.Instruction, pc uint64) uOp {
 	}
 	if u.rd == 0 {
 		switch u.kind {
-		case uMovi, uMov, uLoad8, uLoad4, uLoad1, uAdd, uSub, uAnd, uOr, uXor, uShl, uShr, uSra,
+		case uLoad8, uLoad4, uLoad1:
+			u.kind = uLoadNop
+		case uMovi, uMov, uAdd, uSub, uAnd, uOr, uXor, uShl, uShr, uSra,
 			uMul, uAddw, uSubw, uRolw, uRorw, uAddi, uAndi, uOri, uXori,
 			uShli, uShri, uSrai, uSlti, uAlu:
 			u.kind = uNop
@@ -230,17 +281,119 @@ func decodeOne(ins isa.Instruction, pc uint64) uOp {
 	return u
 }
 
-// decodeBlock predecodes the straight-line run starting at start.
+// fusableFirst reports whether k can serve as the first half of a fused
+// pair: a single-dispatch register write with no control flow — a plain
+// ALU op (the classic condition-feeds-branch and address-generation
+// producers) or a load (pointer chases and load-compare-branch chains).
+func fusableFirst(k uKind) bool {
+	switch k {
+	case uMovi, uMov, uAdd, uSub, uAnd, uOr, uXor, uShl, uShr, uSra, uMul,
+		uAddw, uSubw, uRolw, uRorw, uAddi, uAndi, uOri, uXori, uShli, uShri, uSrai, uSlti,
+		uLoad8, uLoad4, uLoad1:
+		return true
+	}
+	return false
+}
+
+// fusableSecond reports whether k can serve as the second half of a fused
+// pair: a conditional branch (the condition-feeds-branch pattern), a
+// load/store (the address-generation pattern), or another plain ALU op
+// (back-to-back arithmetic, the common case in crypto kernels). uAlu is
+// excluded because a fused op has no room for a second isa.Op.
+func fusableSecond(k uKind) bool {
+	switch k {
+	case uBeq, uBne, uBlt, uBge, uBltu, uBgeu, uLoad8, uLoad4, uLoad1, uStore8, uStore4, uStore1:
+		return true
+	}
+	return false
+}
+
+func isMemKind(k uKind) bool {
+	switch k {
+	case uLoad8, uLoad4, uLoad1, uStore8, uStore4, uStore1:
+		return true
+	}
+	return false
+}
+
+// decodeBlock predecodes the superblock entered at start: straight-line
+// code plus not-taken branch fall-through, with forward JALs inlined.
 func decodeBlock(code []isa.Instruction, start uint64) *block {
 	b := &block{start: start}
-	for pc := start; pc < uint64(len(code)) && len(b.ops) < maxBlockLen; pc++ {
+	codeLen := uint64(len(code))
+	pc := start
+	from := start // start of the current contiguous range
+	n := 0        // instructions decoded
+	nslots := 0
+	finish := func(endPC, rangeTo uint64) *block {
+		b.ranges = append(b.ranges, crange{from, rangeTo})
+		b.end = endPC
+		b.cost = uint64(n)
+		if nslots > 0 {
+			b.slots = make([]memSlot, nslots)
+		}
+		return b
+	}
+	for n < maxBlockLen && pc < codeLen {
 		ins := code[pc]
-		b.ops = append(b.ops, decodeOne(ins, pc))
-		if ins.IsControlFlow() || ins.Op == isa.HALT {
-			break
+		u := decodeOne(ins, pc)
+		n++
+		u.cum = uint16(n)
+		switch {
+		case u.kind == uHalt || u.kind == uJalr:
+			b.ops = append(b.ops, u)
+			return finish(pc+1, pc+1)
+		case u.kind == uJal:
+			if tgt := u.target; tgt > pc && tgt < codeLen && len(b.ranges) < maxRanges-1 && n < maxBlockLen {
+				// Forward jump: emit the link write and keep decoding at
+				// the target — the chain flattens into this block.
+				u.kind = uJalIn
+				b.ops = append(b.ops, u)
+				b.ranges = append(b.ranges, crange{from, pc + 1})
+				pc = tgt
+				from = tgt
+				continue
+			}
+			// Backward or out-of-range jump: terminal, taken exit.
+			b.ops = append(b.ops, u)
+			return finish(pc+1, pc+1)
+		default:
+			// Try fusing with the previous op: both halves must be
+			// adjacent in the same range, the first must be a plain
+			// register write (fused ops themselves never refuse again
+			// because uFused is not fusableFirst), and at most one half
+			// may touch memory — a fused pair carries a single
+			// translation slot.
+			if fusableSecond(u.kind) && len(b.ops) > 0 {
+				prev := &b.ops[len(b.ops)-1]
+				if fusableFirst(prev.kind) && uint64(prev.pc)+1 == pc &&
+					!(isMemKind(prev.kind) && isMemKind(u.kind)) {
+					prev.k1 = prev.kind
+					prev.k2 = u.kind
+					prev.kind = uFused
+					prev.rd2 = u.rd
+					prev.rs21 = u.rs1
+					prev.rs22 = u.rs2
+					prev.imm2 = u.imm
+					prev.target = u.target
+					prev.cum = uint16(n)
+					if isMemKind(u.kind) {
+						prev.sIdx = uint16(nslots)
+						nslots++
+					}
+					pc++
+					continue
+				}
+			}
+			if isMemKind(u.kind) {
+				u.sIdx = uint16(nslots)
+				nslots++
+			}
+			b.ops = append(b.ops, u)
+			pc++
 		}
 	}
-	return b
+	return finish(pc, pc)
 }
 
 // blockAt returns the cached block entered at pc, decoding it on first
@@ -272,166 +425,254 @@ func (e *Emulator) SetCode(pc uint64, ins isa.Instruction) {
 
 // InvalidateCode drops cached blocks covering [from, to), forcing a
 // re-decode on next entry. Use it after mutating Prog.Code directly.
+// A superblock spans every range it decoded through (inlined forward
+// jumps open new ranges), so overlap is checked against each range.
 // Invalidation is coarse — one overlapping block drops the whole cache —
 // because blocks chain successor pointers to each other, so a surviving
 // block could otherwise keep a stale neighbor reachable. Code patching is
 // rare and decode is cheap; correctness wins over precision here.
 func (e *Emulator) InvalidateCode(from, to uint64) {
 	for _, b := range e.blocks {
-		if b != nil && b.start < to && from < b.start+uint64(len(b.ops)) {
-			e.blocks = nil
-			return
+		if b == nil {
+			continue
+		}
+		for _, r := range b.ranges {
+			if r.from < to && from < r.to {
+				e.blocks = nil
+				return
+			}
 		}
 	}
 }
 
-// execBlock executes up to budget micro-ops of b, which must be entered at
-// b.start == State.PC. It updates PC and Retired and returns the number of
-// instructions executed plus the exit reason (run's chaining decision). A
-// control-flow op or HALT always terminates the run through the block;
-// otherwise execution falls off the end (or stops at the budget) with PC
-// pointing at the next sequential instruction. hook, if non-nil, observes
-// each instruction (original encoding, pre-execution state) before it
-// executes.
-func (e *Emulator) execBlock(b *block, budget uint64, hook func(pc uint64, ins *isa.Instruction)) (uint64, uint8) {
+// runFast is the plain (unobserved) engine behind Run. Control chains
+// superblock to superblock through cached successor pointers (taken exits
+// through the exiting op's succ, fall-through through the block's next);
+// only dynamic jumps fall back to a cache lookup. A block executes on the
+// fast path only when the remaining budget covers it whole — the final
+// partial block runs through the per-instruction Step reference, which
+// also splits fused pairs at budget boundaries.
+//
+// runObserved is the same loop with per-instruction observation (hook
+// calls and warming events) woven in; the two must stay in lockstep.
+// They are separate functions on purpose: keeping the observation state
+// out of this loop entirely is worth ~25% dispatch throughput (the
+// compiler keeps every hot variable in registers), and the lockstep tests
+// (compareEngines, the RunHooked trace test, and the walker replay
+// cross-check) pin all paths to Step's semantics.
+func (e *Emulator) runFast(maxInstructions uint64) (uint64, error) {
 	s := &e.State
 	regs := &s.Regs
 	m := s.Mem
-	ops := b.ops
-	if budget < uint64(len(ops)) {
-		ops = ops[:budget]
+	codeLen := uint64(len(e.Prog.Code))
+	// pc and done shadow s.PC and the retired count so block exits touch
+	// only registers; they are flushed back to State at the halt, error,
+	// and budget boundaries (and around the Step tail, which operates on
+	// State directly).
+	pc := s.PC
+	var (
+		done    uint64
+		flushed uint64 // portion of done already folded into s.Retired
+		b       *block
+		slots   []memSlot
+		ops     []uOp
+		o       *uOp
+		j       int
+		err     error
+	)
+
+top:
+	if s.Halted || done >= maxInstructions {
+		goto out
 	}
-	pc := b.start
-	for j := range ops {
-		i := uint64(j)
-		o := &ops[j]
-		if hook != nil {
-			hook(pc, &e.Prog.Code[pc])
-		}
+	if pc >= codeLen {
+		err = ErrPCOutOfRange{pc}
+		goto out
+	}
+	b = e.blockAt(pc)
+
+enter:
+	if done+b.cost > maxInstructions {
+		goto tail
+	}
+	ops = b.ops
+	slots = b.slots
+	for j = 0; j < len(ops); j++ {
+		o = &ops[j]
 		switch o.kind {
-		case uNop:
+		case uNop, uLoadNop:
 		case uHalt:
 			s.Halted = true
-			s.PC = pc + 1
-			s.Retired += i + 1
-			return i + 1, exitHalt
+			pc = uint64(o.pc) + 1
+			done += uint64(o.cum)
+			goto out
 		case uMovi:
 			regs[o.rd&31] = uint64(o.imm)
 		case uMov:
 			regs[o.rd&31] = regs[o.rs1&31]
 		case uLoad8:
-			// Loads and stores inline the page-cache hit path per access
-			// width; any miss (cold slot, page-crossing, copy-on-write)
-			// falls back to the general Read/Write.
+			// Memory ops go through the op's private translation slot
+			// first (hot page pinned per static instruction, immune to
+			// page-cache aliasing), then the shared direct-mapped page
+			// cache, then the general Read/Write; the slot re-primes on
+			// the slowest path only, so pointer-chasing access patterns
+			// that would thrash it stay on the shared cache.
 			a := regs[o.rs1&31] + uint64(o.imm)
 			off := a & (pageSize - 1)
 			pn := a >> pageShift
-			si := pn & (pcacheSlots - 1)
-			if off <= pageSize-8 && m.ctags[si] == pn+1 {
-				regs[o.rd&31] = binary.LittleEndian.Uint64(m.cptrs[si][off : off+8])
+			sl := &slots[o.sIdx]
+			if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+				regs[o.rd&31] = binary.LittleEndian.Uint64(sl.pg[off : off+8])
+			} else if si := pn & (pcacheSlots - 1); off <= pageSize-8 && m.ctags[si] == pn+1 {
+				p := m.cptrs[si]
+				if sl.tag == pn+1 {
+					sl.epoch, sl.pg = m.epoch, p
+				}
+				regs[o.rd&31] = binary.LittleEndian.Uint64(p[off : off+8])
 			} else {
 				regs[o.rd&31] = m.Read(a, 8)
+				if p := m.lookup(pn); p != nil && off <= pageSize-8 {
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+				}
 			}
 		case uLoad4:
 			a := regs[o.rs1&31] + uint64(o.imm)
 			off := a & (pageSize - 1)
 			pn := a >> pageShift
-			si := pn & (pcacheSlots - 1)
-			if off <= pageSize-4 && m.ctags[si] == pn+1 {
-				regs[o.rd&31] = uint64(binary.LittleEndian.Uint32(m.cptrs[si][off : off+4]))
+			sl := &slots[o.sIdx]
+			if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+				regs[o.rd&31] = uint64(binary.LittleEndian.Uint32(sl.pg[off : off+4]))
+			} else if si := pn & (pcacheSlots - 1); off <= pageSize-4 && m.ctags[si] == pn+1 {
+				p := m.cptrs[si]
+				if sl.tag == pn+1 {
+					sl.epoch, sl.pg = m.epoch, p
+				}
+				regs[o.rd&31] = uint64(binary.LittleEndian.Uint32(p[off : off+4]))
 			} else {
 				regs[o.rd&31] = m.Read(a, 4)
+				if p := m.lookup(pn); p != nil && off <= pageSize-4 {
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+				}
 			}
 		case uLoad1:
 			a := regs[o.rs1&31] + uint64(o.imm)
 			pn := a >> pageShift
-			si := pn & (pcacheSlots - 1)
-			if m.ctags[si] == pn+1 {
-				regs[o.rd&31] = uint64(m.cptrs[si][a&(pageSize-1)])
+			sl := &slots[o.sIdx]
+			if sl.tag == pn+1 && sl.epoch == m.epoch {
+				regs[o.rd&31] = uint64(sl.pg[a&(pageSize-1)])
+			} else if si := pn & (pcacheSlots - 1); m.ctags[si] == pn+1 {
+				p := m.cptrs[si]
+				if sl.tag == pn+1 {
+					sl.epoch, sl.pg = m.epoch, p
+				}
+				regs[o.rd&31] = uint64(p[a&(pageSize-1)])
 			} else {
 				regs[o.rd&31] = m.Read(a, 1)
+				if p := m.lookup(pn); p != nil {
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+				}
 			}
 		case uStore8:
 			a := regs[o.rs1&31] + uint64(o.imm)
 			off := a & (pageSize - 1)
 			pn := a >> pageShift
-			si := pn & (pcacheSlots - 1)
-			if off <= pageSize-8 && m.wtags[si] == pn+1 {
-				binary.LittleEndian.PutUint64(m.wptrs[si][off:off+8], regs[o.rs2&31])
+			sl := &slots[o.sIdx]
+			if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+				binary.LittleEndian.PutUint64(sl.pg[off:off+8], regs[o.rs2&31])
+			} else if si := pn & (pcacheSlots - 1); off <= pageSize-8 && m.wtags[si] == pn+1 {
+				p := m.wptrs[si]
+				if sl.tag == pn+1 {
+					sl.epoch, sl.pg = m.epoch, p
+				}
+				binary.LittleEndian.PutUint64(p[off:off+8], regs[o.rs2&31])
 			} else {
 				m.Write(a, 8, regs[o.rs2&31])
+				if off <= pageSize-8 {
+					// ensure after Write is a cheap write-cache hit, and if
+					// the write just broke copy-on-write the slot picks up
+					// the fresh epoch and the cloned page.
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+				}
 			}
 		case uStore4:
 			a := regs[o.rs1&31] + uint64(o.imm)
 			off := a & (pageSize - 1)
 			pn := a >> pageShift
-			si := pn & (pcacheSlots - 1)
-			if off <= pageSize-4 && m.wtags[si] == pn+1 {
-				binary.LittleEndian.PutUint32(m.wptrs[si][off:off+4], uint32(regs[o.rs2&31]))
+			sl := &slots[o.sIdx]
+			if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+				binary.LittleEndian.PutUint32(sl.pg[off:off+4], uint32(regs[o.rs2&31]))
+			} else if si := pn & (pcacheSlots - 1); off <= pageSize-4 && m.wtags[si] == pn+1 {
+				p := m.wptrs[si]
+				if sl.tag == pn+1 {
+					sl.epoch, sl.pg = m.epoch, p
+				}
+				binary.LittleEndian.PutUint32(p[off:off+4], uint32(regs[o.rs2&31]))
 			} else {
 				m.Write(a, 4, regs[o.rs2&31])
+				if off <= pageSize-4 {
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+				}
 			}
 		case uStore1:
 			a := regs[o.rs1&31] + uint64(o.imm)
 			pn := a >> pageShift
-			si := pn & (pcacheSlots - 1)
-			if m.wtags[si] == pn+1 {
-				m.wptrs[si][a&(pageSize-1)] = byte(regs[o.rs2&31])
+			sl := &slots[o.sIdx]
+			if sl.tag == pn+1 && sl.epoch == m.epoch {
+				sl.pg[a&(pageSize-1)] = byte(regs[o.rs2&31])
+			} else if si := pn & (pcacheSlots - 1); m.wtags[si] == pn+1 {
+				p := m.wptrs[si]
+				if sl.tag == pn+1 {
+					sl.epoch, sl.pg = m.epoch, p
+				}
+				p[a&(pageSize-1)] = byte(regs[o.rs2&31])
 			} else {
 				m.Write(a, 1, regs[o.rs2&31])
+				sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
 			}
 		case uJal:
 			if o.rd != 0 {
-				regs[o.rd&31] = o.link
+				regs[o.rd&31] = uint64(o.pc) + 1
 			}
-			s.PC = o.target
-			s.Retired += i + 1
-			return i + 1, exitTaken
+			pc = o.target
+			done += uint64(o.cum)
+			goto taken
+		case uJalIn:
+			if o.rd != 0 {
+				regs[o.rd&31] = uint64(o.pc) + 1
+			}
 		case uJalr:
 			// Read rs1 before writing the link: JALR may use its own
 			// destination as the jump base.
-			t := regs[o.rs1&31] + uint64(o.imm)
+			a := regs[o.rs1&31] + uint64(o.imm)
 			if o.rd != 0 {
-				regs[o.rd&31] = o.link
+				regs[o.rd&31] = uint64(o.pc) + 1
 			}
-			s.PC = t
-			s.Retired += i + 1
-			return i + 1, exitDyn
+			pc = a
+			done += uint64(o.cum)
+			goto top
 		case uBeq:
 			if regs[o.rs1&31] == regs[o.rs2&31] {
-				s.PC = o.target
-				s.Retired += i + 1
-				return i + 1, exitTaken
+				goto bTaken
 			}
 		case uBne:
 			if regs[o.rs1&31] != regs[o.rs2&31] {
-				s.PC = o.target
-				s.Retired += i + 1
-				return i + 1, exitTaken
+				goto bTaken
 			}
 		case uBlt:
 			if int64(regs[o.rs1&31]) < int64(regs[o.rs2&31]) {
-				s.PC = o.target
-				s.Retired += i + 1
-				return i + 1, exitTaken
+				goto bTaken
 			}
 		case uBge:
 			if int64(regs[o.rs1&31]) >= int64(regs[o.rs2&31]) {
-				s.PC = o.target
-				s.Retired += i + 1
-				return i + 1, exitTaken
+				goto bTaken
 			}
 		case uBltu:
 			if regs[o.rs1&31] < regs[o.rs2&31] {
-				s.PC = o.target
-				s.Retired += i + 1
-				return i + 1, exitTaken
+				goto bTaken
 			}
 		case uBgeu:
 			if regs[o.rs1&31] >= regs[o.rs2&31] {
-				s.PC = o.target
-				s.Retired += i + 1
-				return i + 1, exitTaken
+				goto bTaken
 			}
 		case uAdd:
 			regs[o.rd&31] = regs[o.rs1&31] + regs[o.rs2&31]
@@ -481,55 +722,1095 @@ func (e *Emulator) execBlock(b *block, budget uint64, hook func(pc uint64, ins *
 			}
 		case uAlu:
 			regs[o.rd&31] = ALU(o.op, regs[o.rs1&31], regs[o.rs2&31], o.imm)
-		}
-		pc++
-	}
-	n := uint64(len(ops))
-	s.PC = pc
-	s.Retired += n
-	if n < uint64(len(b.ops)) {
-		return n, exitDyn // budget truncation: resume mid-block next call
-	}
-	return n, exitFall
-}
-
-// run is the shared engine behind Run and RunHooked. The inner loop
-// follows the blocks' successor chains (resolving them on first use);
-// only dynamic jumps and budget truncation fall back to a cache lookup.
-func (e *Emulator) run(maxInstructions uint64, hook func(pc uint64, ins *isa.Instruction)) (uint64, error) {
-	s := &e.State
-	codeLen := uint64(len(e.Prog.Code))
-	var done uint64
-	for !s.Halted && done < maxInstructions {
-		if s.PC >= codeLen {
-			return done, ErrPCOutOfRange{s.PC}
-		}
-		b := e.blockAt(s.PC)
-		for done < maxInstructions {
-			n, exit := e.execBlock(b, maxInstructions-done, hook)
-			done += n
-			switch exit {
-			case exitFall:
-				if b.next == nil {
-					if s.PC >= codeLen {
-						return done, ErrPCOutOfRange{s.PC}
-					}
-					b.next = e.blockAt(s.PC)
+		case uFused:
+			// First half: the ALU or load instruction at o.pc.
+			switch o.k1 {
+			case uMovi:
+				regs[o.rd&31] = uint64(o.imm)
+			case uMov:
+				regs[o.rd&31] = regs[o.rs1&31]
+			case uAdd:
+				regs[o.rd&31] = regs[o.rs1&31] + regs[o.rs2&31]
+			case uSub:
+				regs[o.rd&31] = regs[o.rs1&31] - regs[o.rs2&31]
+			case uAnd:
+				regs[o.rd&31] = regs[o.rs1&31] & regs[o.rs2&31]
+			case uOr:
+				regs[o.rd&31] = regs[o.rs1&31] | regs[o.rs2&31]
+			case uXor:
+				regs[o.rd&31] = regs[o.rs1&31] ^ regs[o.rs2&31]
+			case uShl:
+				regs[o.rd&31] = regs[o.rs1&31] << (regs[o.rs2&31] & 63)
+			case uShr:
+				regs[o.rd&31] = regs[o.rs1&31] >> (regs[o.rs2&31] & 63)
+			case uSra:
+				regs[o.rd&31] = uint64(int64(regs[o.rs1&31]) >> (regs[o.rs2&31] & 63))
+			case uMul:
+				regs[o.rd&31] = regs[o.rs1&31] * regs[o.rs2&31]
+			case uAddw:
+				regs[o.rd&31] = uint64(uint32(regs[o.rs1&31]) + uint32(regs[o.rs2&31]))
+			case uSubw:
+				regs[o.rd&31] = uint64(uint32(regs[o.rs1&31]) - uint32(regs[o.rs2&31]))
+			case uRolw:
+				regs[o.rd&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs1&31]), int(regs[o.rs2&31]&31)))
+			case uRorw:
+				regs[o.rd&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs1&31]), -int(regs[o.rs2&31]&31)))
+			case uAddi:
+				regs[o.rd&31] = regs[o.rs1&31] + uint64(o.imm)
+			case uAndi:
+				regs[o.rd&31] = regs[o.rs1&31] & uint64(o.imm)
+			case uOri:
+				regs[o.rd&31] = regs[o.rs1&31] | uint64(o.imm)
+			case uXori:
+				regs[o.rd&31] = regs[o.rs1&31] ^ uint64(o.imm)
+			case uShli:
+				regs[o.rd&31] = regs[o.rs1&31] << (uint64(o.imm) & 63)
+			case uShri:
+				regs[o.rd&31] = regs[o.rs1&31] >> (uint64(o.imm) & 63)
+			case uSrai:
+				regs[o.rd&31] = uint64(int64(regs[o.rs1&31]) >> (uint64(o.imm) & 63))
+			case uSlti:
+				if int64(regs[o.rs1&31]) < o.imm {
+					regs[o.rd&31] = 1
+				} else {
+					regs[o.rd&31] = 0
 				}
-				b = b.next
-			case exitTaken:
-				if b.tkn == nil {
-					if s.PC >= codeLen {
-						return done, ErrPCOutOfRange{s.PC}
+			case uLoad8:
+				a := regs[o.rs1&31] + uint64(o.imm)
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd&31] = binary.LittleEndian.Uint64(sl.pg[off : off+8])
+				} else if si := pn & (pcacheSlots - 1); off <= pageSize-8 && m.ctags[si] == pn+1 {
+					p := m.cptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
 					}
-					b.tkn = e.blockAt(s.PC)
+					regs[o.rd&31] = binary.LittleEndian.Uint64(p[off : off+8])
+				} else {
+					regs[o.rd&31] = m.Read(a, 8)
+					if p := m.lookup(pn); p != nil && off <= pageSize-8 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
 				}
-				b = b.tkn
-			default: // exitDyn, exitHalt: back to the outer checks
-				goto outer
+			case uLoad4:
+				a := regs[o.rs1&31] + uint64(o.imm)
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd&31] = uint64(binary.LittleEndian.Uint32(sl.pg[off : off+4]))
+				} else if si := pn & (pcacheSlots - 1); off <= pageSize-4 && m.ctags[si] == pn+1 {
+					p := m.cptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					regs[o.rd&31] = uint64(binary.LittleEndian.Uint32(p[off : off+4]))
+				} else {
+					regs[o.rd&31] = m.Read(a, 4)
+					if p := m.lookup(pn); p != nil && off <= pageSize-4 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			case uLoad1:
+				a := regs[o.rs1&31] + uint64(o.imm)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd&31] = uint64(sl.pg[a&(pageSize-1)])
+				} else if si := pn & (pcacheSlots - 1); m.ctags[si] == pn+1 {
+					p := m.cptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					regs[o.rd&31] = uint64(p[a&(pageSize-1)])
+				} else {
+					regs[o.rd&31] = m.Read(a, 1)
+					if p := m.lookup(pn); p != nil {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			}
+			// Second half: the branch, memory, or ALU instruction at
+			// o.pc+1 (operands in rd2/rs21/rs22/imm2).
+			switch o.k2 {
+			case uMovi:
+				regs[o.rd2&31] = uint64(o.imm2)
+			case uMov:
+				regs[o.rd2&31] = regs[o.rs21&31]
+			case uAdd:
+				regs[o.rd2&31] = regs[o.rs21&31] + regs[o.rs22&31]
+			case uSub:
+				regs[o.rd2&31] = regs[o.rs21&31] - regs[o.rs22&31]
+			case uAnd:
+				regs[o.rd2&31] = regs[o.rs21&31] & regs[o.rs22&31]
+			case uOr:
+				regs[o.rd2&31] = regs[o.rs21&31] | regs[o.rs22&31]
+			case uXor:
+				regs[o.rd2&31] = regs[o.rs21&31] ^ regs[o.rs22&31]
+			case uMul:
+				regs[o.rd2&31] = regs[o.rs21&31] * regs[o.rs22&31]
+			case uShl:
+				regs[o.rd2&31] = regs[o.rs21&31] << (regs[o.rs22&31] & 63)
+			case uShr:
+				regs[o.rd2&31] = regs[o.rs21&31] >> (regs[o.rs22&31] & 63)
+			case uSra:
+				regs[o.rd2&31] = uint64(int64(regs[o.rs21&31]) >> (regs[o.rs22&31] & 63))
+			case uAddw:
+				regs[o.rd2&31] = uint64(uint32(regs[o.rs21&31]) + uint32(regs[o.rs22&31]))
+			case uSubw:
+				regs[o.rd2&31] = uint64(uint32(regs[o.rs21&31]) - uint32(regs[o.rs22&31]))
+			case uRolw:
+				regs[o.rd2&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs21&31]), int(regs[o.rs22&31]&31)))
+			case uRorw:
+				regs[o.rd2&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs21&31]), -int(regs[o.rs22&31]&31)))
+			case uAddi:
+				regs[o.rd2&31] = regs[o.rs21&31] + uint64(o.imm2)
+			case uAndi:
+				regs[o.rd2&31] = regs[o.rs21&31] & uint64(o.imm2)
+			case uOri:
+				regs[o.rd2&31] = regs[o.rs21&31] | uint64(o.imm2)
+			case uXori:
+				regs[o.rd2&31] = regs[o.rs21&31] ^ uint64(o.imm2)
+			case uShli:
+				regs[o.rd2&31] = regs[o.rs21&31] << (uint64(o.imm2) & 63)
+			case uShri:
+				regs[o.rd2&31] = regs[o.rs21&31] >> (uint64(o.imm2) & 63)
+			case uSrai:
+				regs[o.rd2&31] = uint64(int64(regs[o.rs21&31]) >> (uint64(o.imm2) & 63))
+			case uSlti:
+				if int64(regs[o.rs21&31]) < o.imm2 {
+					regs[o.rd2&31] = 1
+				} else {
+					regs[o.rd2&31] = 0
+				}
+			case uBeq:
+				if regs[o.rs21&31] == regs[o.rs22&31] {
+					goto bTaken
+				}
+			case uBne:
+				if regs[o.rs21&31] != regs[o.rs22&31] {
+					goto bTaken
+				}
+			case uBlt:
+				if int64(regs[o.rs21&31]) < int64(regs[o.rs22&31]) {
+					goto bTaken
+				}
+			case uBge:
+				if int64(regs[o.rs21&31]) >= int64(regs[o.rs22&31]) {
+					goto bTaken
+				}
+			case uBltu:
+				if regs[o.rs21&31] < regs[o.rs22&31] {
+					goto bTaken
+				}
+			case uBgeu:
+				if regs[o.rs21&31] >= regs[o.rs22&31] {
+					goto bTaken
+				}
+			case uLoad8:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd2&31] = binary.LittleEndian.Uint64(sl.pg[off : off+8])
+				} else if si := pn & (pcacheSlots - 1); off <= pageSize-8 && m.ctags[si] == pn+1 {
+					p := m.cptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					regs[o.rd2&31] = binary.LittleEndian.Uint64(p[off : off+8])
+				} else {
+					regs[o.rd2&31] = m.Read(a, 8)
+					if p := m.lookup(pn); p != nil && off <= pageSize-8 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			case uLoad4:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd2&31] = uint64(binary.LittleEndian.Uint32(sl.pg[off : off+4]))
+				} else if si := pn & (pcacheSlots - 1); off <= pageSize-4 && m.ctags[si] == pn+1 {
+					p := m.cptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					regs[o.rd2&31] = uint64(binary.LittleEndian.Uint32(p[off : off+4]))
+				} else {
+					regs[o.rd2&31] = m.Read(a, 4)
+					if p := m.lookup(pn); p != nil && off <= pageSize-4 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			case uLoad1:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd2&31] = uint64(sl.pg[a&(pageSize-1)])
+				} else if si := pn & (pcacheSlots - 1); m.ctags[si] == pn+1 {
+					p := m.cptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					regs[o.rd2&31] = uint64(p[a&(pageSize-1)])
+				} else {
+					regs[o.rd2&31] = m.Read(a, 1)
+					if p := m.lookup(pn); p != nil {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			case uStore8:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					binary.LittleEndian.PutUint64(sl.pg[off:off+8], regs[o.rs22&31])
+				} else if si := pn & (pcacheSlots - 1); off <= pageSize-8 && m.wtags[si] == pn+1 {
+					p := m.wptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					binary.LittleEndian.PutUint64(p[off:off+8], regs[o.rs22&31])
+				} else {
+					m.Write(a, 8, regs[o.rs22&31])
+					if off <= pageSize-8 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+					}
+				}
+			case uStore4:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					binary.LittleEndian.PutUint32(sl.pg[off:off+4], uint32(regs[o.rs22&31]))
+				} else if si := pn & (pcacheSlots - 1); off <= pageSize-4 && m.wtags[si] == pn+1 {
+					p := m.wptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					binary.LittleEndian.PutUint32(p[off:off+4], uint32(regs[o.rs22&31]))
+				} else {
+					m.Write(a, 4, regs[o.rs22&31])
+					if off <= pageSize-4 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+					}
+				}
+			case uStore1:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if sl.tag == pn+1 && sl.epoch == m.epoch {
+					sl.pg[a&(pageSize-1)] = byte(regs[o.rs22&31])
+				} else if si := pn & (pcacheSlots - 1); m.wtags[si] == pn+1 {
+					p := m.wptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					p[a&(pageSize-1)] = byte(regs[o.rs22&31])
+				} else {
+					m.Write(a, 1, regs[o.rs22&31])
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+				}
 			}
 		}
-	outer:
+		continue
+
+	bTaken:
+		pc = o.target
+		done += uint64(o.cum)
+		goto taken
 	}
-	return done, nil
+
+	// Fell off the end of the block: resume at the next sequential PC.
+	pc = b.end
+	done += b.cost
+	if b.next == nil {
+		if pc >= codeLen {
+			err = ErrPCOutOfRange{pc}
+			goto out
+		}
+		b.next = e.blockAt(pc)
+	}
+	b = b.next
+	goto enter
+
+taken:
+	if o.succ == nil {
+		if pc >= codeLen {
+			err = ErrPCOutOfRange{pc}
+			goto out
+		}
+		o.succ = e.blockAt(pc)
+	}
+	b = o.succ
+	goto enter
+
+tail:
+	// The remaining budget does not cover the next block whole: retire the
+	// leftovers one instruction at a time through Step (identical
+	// semantics by contract), which also splits fused pairs cleanly. Step
+	// operates on State, so the shadowed pc and retired count are flushed
+	// first and reloaded after.
+	s.PC = pc
+	s.Retired += done - flushed
+	flushed = done
+	for done < maxInstructions && !s.Halted {
+		pc = s.PC
+		if pc >= codeLen {
+			err = ErrPCOutOfRange{pc}
+			goto out
+		}
+		if err = e.Step(); err != nil {
+			pc = s.PC
+			goto out
+		}
+		done++
+		flushed++
+	}
+	pc = s.PC
+	goto top
+
+out:
+	s.PC = pc
+	s.Retired += done - flushed
+	return done, err
+}
+
+// runObserved is runFast with per-instruction observation woven in: it is
+// the shared engine behind RunHooked and RunWarm. Control
+// chains superblock to superblock through cached successor pointers
+// (taken exits through the exiting op's succ, fall-through through the
+// block's next); only dynamic jumps fall back to a cache lookup. A block
+// executes on the fast path only when the remaining budget covers it
+// whole — the final partial block runs through the per-instruction Step
+// reference, which also splits fused pairs at budget boundaries.
+//
+// hook, if non-nil, observes every instruction (original encoding,
+// pre-execution state) before it executes. With warm set, every
+// instruction appends one WarmEvent to the warming buffer, flushed
+// through flush whenever it fills and before every return.
+func (e *Emulator) runObserved(maxInstructions uint64, hook func(pc uint64, ins *isa.Instruction), warm bool, flush func([]WarmEvent)) (uint64, error) {
+	s := &e.State
+	regs := &s.Regs
+	m := s.Mem
+	code := e.Prog.Code
+	codeLen := uint64(len(code))
+	var (
+		done  uint64
+		b     *block
+		buf   []WarmEvent
+		slots []memSlot
+		ops   []uOp
+		o     *uOp
+		j     int
+		err   error
+	)
+	if warm {
+		if e.warmBuf == nil {
+			e.warmBuf = make([]WarmEvent, 0, warmBufCap)
+		}
+		buf = e.warmBuf[:0]
+	}
+
+top:
+	if s.Halted || done >= maxInstructions {
+		goto out
+	}
+	if s.PC >= codeLen {
+		err = ErrPCOutOfRange{s.PC}
+		goto out
+	}
+	b = e.blockAt(s.PC)
+
+enter:
+	if done+b.cost > maxInstructions {
+		goto tail
+	}
+	ops = b.ops
+	slots = b.slots
+	for j = 0; j < len(ops); j++ {
+		o = &ops[j]
+		if hook != nil {
+			hook(uint64(o.pc), &code[o.pc])
+		}
+		if warm {
+			if len(buf)+2 > cap(buf) {
+				flush(buf)
+				buf = buf[:0]
+			}
+			buf = append(buf, WarmEvent{PC: uint64(o.pc)})
+		}
+		switch o.kind {
+		case uNop:
+		case uHalt:
+			s.Halted = true
+			s.PC = uint64(o.pc) + 1
+			s.Retired += uint64(o.cum)
+			done += uint64(o.cum)
+			goto out
+		case uMovi:
+			regs[o.rd&31] = uint64(o.imm)
+		case uMov:
+			regs[o.rd&31] = regs[o.rs1&31]
+		case uLoadNop:
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Kind = WarmLoad
+				ev.Aux = regs[o.rs1&31] + uint64(o.imm)
+			}
+		case uLoad8:
+			// Memory ops go through the op's private translation slot
+			// first (hot page pinned per static instruction, immune to
+			// page-cache aliasing); any miss falls back to the general
+			// Read/Write, then re-primes the slot.
+			a := regs[o.rs1&31] + uint64(o.imm)
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Kind = WarmLoad
+				ev.Aux = a
+			}
+			off := a & (pageSize - 1)
+			pn := a >> pageShift
+			sl := &slots[o.sIdx]
+			if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+				regs[o.rd&31] = binary.LittleEndian.Uint64(sl.pg[off : off+8])
+			} else {
+				regs[o.rd&31] = m.Read(a, 8)
+				if p := m.lookup(pn); p != nil {
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+				}
+			}
+		case uLoad4:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Kind = WarmLoad
+				ev.Aux = a
+			}
+			off := a & (pageSize - 1)
+			pn := a >> pageShift
+			sl := &slots[o.sIdx]
+			if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+				regs[o.rd&31] = uint64(binary.LittleEndian.Uint32(sl.pg[off : off+4]))
+			} else {
+				regs[o.rd&31] = m.Read(a, 4)
+				if p := m.lookup(pn); p != nil {
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+				}
+			}
+		case uLoad1:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Kind = WarmLoad
+				ev.Aux = a
+			}
+			pn := a >> pageShift
+			sl := &slots[o.sIdx]
+			if sl.tag == pn+1 && sl.epoch == m.epoch {
+				regs[o.rd&31] = uint64(sl.pg[a&(pageSize-1)])
+			} else {
+				regs[o.rd&31] = m.Read(a, 1)
+				if p := m.lookup(pn); p != nil {
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+				}
+			}
+		case uStore8:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Kind = WarmStore
+				ev.Aux = a
+			}
+			off := a & (pageSize - 1)
+			pn := a >> pageShift
+			sl := &slots[o.sIdx]
+			if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+				binary.LittleEndian.PutUint64(sl.pg[off:off+8], regs[o.rs2&31])
+			} else {
+				m.Write(a, 8, regs[o.rs2&31])
+				if off <= pageSize-8 {
+					// ensure after Write is a cheap write-cache hit, and if
+					// the write just broke copy-on-write the slot picks up
+					// the fresh epoch and the cloned page.
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+				}
+			}
+		case uStore4:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Kind = WarmStore
+				ev.Aux = a
+			}
+			off := a & (pageSize - 1)
+			pn := a >> pageShift
+			sl := &slots[o.sIdx]
+			if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+				binary.LittleEndian.PutUint32(sl.pg[off:off+4], uint32(regs[o.rs2&31]))
+			} else {
+				m.Write(a, 4, regs[o.rs2&31])
+				if off <= pageSize-4 {
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+				}
+			}
+		case uStore1:
+			a := regs[o.rs1&31] + uint64(o.imm)
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Kind = WarmStore
+				ev.Aux = a
+			}
+			pn := a >> pageShift
+			sl := &slots[o.sIdx]
+			if sl.tag == pn+1 && sl.epoch == m.epoch {
+				sl.pg[a&(pageSize-1)] = byte(regs[o.rs2&31])
+			} else {
+				m.Write(a, 1, regs[o.rs2&31])
+				sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+			}
+		case uJal:
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Aux = o.target
+				if o.rd == raReg {
+					ev.Kind = WarmJalCall
+				} else {
+					ev.Kind = WarmJal
+				}
+			}
+			if o.rd != 0 {
+				regs[o.rd&31] = uint64(o.pc) + 1
+			}
+			s.PC = o.target
+			s.Retired += uint64(o.cum)
+			done += uint64(o.cum)
+			goto taken
+		case uJalIn:
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Aux = o.target
+				if o.rd == raReg {
+					ev.Kind = WarmJalCall
+				} else {
+					ev.Kind = WarmJal
+				}
+			}
+			if o.rd != 0 {
+				regs[o.rd&31] = uint64(o.pc) + 1
+			}
+		case uJalr:
+			// Read rs1 before writing the link: JALR may use its own
+			// destination as the jump base.
+			a := regs[o.rs1&31] + uint64(o.imm)
+			if warm {
+				ev := &buf[len(buf)-1]
+				ev.Aux = a
+				switch {
+				case o.rd == raReg:
+					ev.Kind = WarmJalrCall
+				case o.rs1 == raReg:
+					ev.Kind = WarmJalrRet
+				default:
+					ev.Kind = WarmJalr
+				}
+			}
+			if o.rd != 0 {
+				regs[o.rd&31] = uint64(o.pc) + 1
+			}
+			s.PC = a
+			s.Retired += uint64(o.cum)
+			done += uint64(o.cum)
+			goto top
+		case uBeq:
+			if regs[o.rs1&31] == regs[o.rs2&31] {
+				goto bTaken
+			}
+			goto bNotTaken
+		case uBne:
+			if regs[o.rs1&31] != regs[o.rs2&31] {
+				goto bTaken
+			}
+			goto bNotTaken
+		case uBlt:
+			if int64(regs[o.rs1&31]) < int64(regs[o.rs2&31]) {
+				goto bTaken
+			}
+			goto bNotTaken
+		case uBge:
+			if int64(regs[o.rs1&31]) >= int64(regs[o.rs2&31]) {
+				goto bTaken
+			}
+			goto bNotTaken
+		case uBltu:
+			if regs[o.rs1&31] < regs[o.rs2&31] {
+				goto bTaken
+			}
+			goto bNotTaken
+		case uBgeu:
+			if regs[o.rs1&31] >= regs[o.rs2&31] {
+				goto bTaken
+			}
+			goto bNotTaken
+		case uAdd:
+			regs[o.rd&31] = regs[o.rs1&31] + regs[o.rs2&31]
+		case uSub:
+			regs[o.rd&31] = regs[o.rs1&31] - regs[o.rs2&31]
+		case uAnd:
+			regs[o.rd&31] = regs[o.rs1&31] & regs[o.rs2&31]
+		case uOr:
+			regs[o.rd&31] = regs[o.rs1&31] | regs[o.rs2&31]
+		case uXor:
+			regs[o.rd&31] = regs[o.rs1&31] ^ regs[o.rs2&31]
+		case uShl:
+			regs[o.rd&31] = regs[o.rs1&31] << (regs[o.rs2&31] & 63)
+		case uShr:
+			regs[o.rd&31] = regs[o.rs1&31] >> (regs[o.rs2&31] & 63)
+		case uSra:
+			regs[o.rd&31] = uint64(int64(regs[o.rs1&31]) >> (regs[o.rs2&31] & 63))
+		case uMul:
+			regs[o.rd&31] = regs[o.rs1&31] * regs[o.rs2&31]
+		case uAddw:
+			regs[o.rd&31] = uint64(uint32(regs[o.rs1&31]) + uint32(regs[o.rs2&31]))
+		case uSubw:
+			regs[o.rd&31] = uint64(uint32(regs[o.rs1&31]) - uint32(regs[o.rs2&31]))
+		case uRolw:
+			regs[o.rd&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs1&31]), int(regs[o.rs2&31]&31)))
+		case uRorw:
+			regs[o.rd&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs1&31]), -int(regs[o.rs2&31]&31)))
+		case uAddi:
+			regs[o.rd&31] = regs[o.rs1&31] + uint64(o.imm)
+		case uAndi:
+			regs[o.rd&31] = regs[o.rs1&31] & uint64(o.imm)
+		case uOri:
+			regs[o.rd&31] = regs[o.rs1&31] | uint64(o.imm)
+		case uXori:
+			regs[o.rd&31] = regs[o.rs1&31] ^ uint64(o.imm)
+		case uShli:
+			regs[o.rd&31] = regs[o.rs1&31] << (uint64(o.imm) & 63)
+		case uShri:
+			regs[o.rd&31] = regs[o.rs1&31] >> (uint64(o.imm) & 63)
+		case uSrai:
+			regs[o.rd&31] = uint64(int64(regs[o.rs1&31]) >> (uint64(o.imm) & 63))
+		case uSlti:
+			if int64(regs[o.rs1&31]) < o.imm {
+				regs[o.rd&31] = 1
+			} else {
+				regs[o.rd&31] = 0
+			}
+		case uAlu:
+			regs[o.rd&31] = ALU(o.op, regs[o.rs1&31], regs[o.rs2&31], o.imm)
+		case uFused:
+			// First half: the ALU or load instruction at o.pc.
+			switch o.k1 {
+			case uMovi:
+				regs[o.rd&31] = uint64(o.imm)
+			case uMov:
+				regs[o.rd&31] = regs[o.rs1&31]
+			case uAdd:
+				regs[o.rd&31] = regs[o.rs1&31] + regs[o.rs2&31]
+			case uSub:
+				regs[o.rd&31] = regs[o.rs1&31] - regs[o.rs2&31]
+			case uAnd:
+				regs[o.rd&31] = regs[o.rs1&31] & regs[o.rs2&31]
+			case uOr:
+				regs[o.rd&31] = regs[o.rs1&31] | regs[o.rs2&31]
+			case uXor:
+				regs[o.rd&31] = regs[o.rs1&31] ^ regs[o.rs2&31]
+			case uShl:
+				regs[o.rd&31] = regs[o.rs1&31] << (regs[o.rs2&31] & 63)
+			case uShr:
+				regs[o.rd&31] = regs[o.rs1&31] >> (regs[o.rs2&31] & 63)
+			case uSra:
+				regs[o.rd&31] = uint64(int64(regs[o.rs1&31]) >> (regs[o.rs2&31] & 63))
+			case uMul:
+				regs[o.rd&31] = regs[o.rs1&31] * regs[o.rs2&31]
+			case uAddw:
+				regs[o.rd&31] = uint64(uint32(regs[o.rs1&31]) + uint32(regs[o.rs2&31]))
+			case uSubw:
+				regs[o.rd&31] = uint64(uint32(regs[o.rs1&31]) - uint32(regs[o.rs2&31]))
+			case uRolw:
+				regs[o.rd&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs1&31]), int(regs[o.rs2&31]&31)))
+			case uRorw:
+				regs[o.rd&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs1&31]), -int(regs[o.rs2&31]&31)))
+			case uAddi:
+				regs[o.rd&31] = regs[o.rs1&31] + uint64(o.imm)
+			case uAndi:
+				regs[o.rd&31] = regs[o.rs1&31] & uint64(o.imm)
+			case uOri:
+				regs[o.rd&31] = regs[o.rs1&31] | uint64(o.imm)
+			case uXori:
+				regs[o.rd&31] = regs[o.rs1&31] ^ uint64(o.imm)
+			case uShli:
+				regs[o.rd&31] = regs[o.rs1&31] << (uint64(o.imm) & 63)
+			case uShri:
+				regs[o.rd&31] = regs[o.rs1&31] >> (uint64(o.imm) & 63)
+			case uSrai:
+				regs[o.rd&31] = uint64(int64(regs[o.rs1&31]) >> (uint64(o.imm) & 63))
+			case uSlti:
+				if int64(regs[o.rs1&31]) < o.imm {
+					regs[o.rd&31] = 1
+				} else {
+					regs[o.rd&31] = 0
+				}
+			case uLoad8:
+				a := regs[o.rs1&31] + uint64(o.imm)
+				if warm {
+					ev := &buf[len(buf)-1]
+					ev.Kind = WarmLoad
+					ev.Aux = a
+				}
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd&31] = binary.LittleEndian.Uint64(sl.pg[off : off+8])
+				} else if si := pn & (pcacheSlots - 1); off <= pageSize-8 && m.ctags[si] == pn+1 {
+					p := m.cptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					regs[o.rd&31] = binary.LittleEndian.Uint64(p[off : off+8])
+				} else {
+					regs[o.rd&31] = m.Read(a, 8)
+					if p := m.lookup(pn); p != nil && off <= pageSize-8 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			case uLoad4:
+				a := regs[o.rs1&31] + uint64(o.imm)
+				if warm {
+					ev := &buf[len(buf)-1]
+					ev.Kind = WarmLoad
+					ev.Aux = a
+				}
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd&31] = uint64(binary.LittleEndian.Uint32(sl.pg[off : off+4]))
+				} else if si := pn & (pcacheSlots - 1); off <= pageSize-4 && m.ctags[si] == pn+1 {
+					p := m.cptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					regs[o.rd&31] = uint64(binary.LittleEndian.Uint32(p[off : off+4]))
+				} else {
+					regs[o.rd&31] = m.Read(a, 4)
+					if p := m.lookup(pn); p != nil && off <= pageSize-4 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			case uLoad1:
+				a := regs[o.rs1&31] + uint64(o.imm)
+				if warm {
+					ev := &buf[len(buf)-1]
+					ev.Kind = WarmLoad
+					ev.Aux = a
+				}
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd&31] = uint64(sl.pg[a&(pageSize-1)])
+				} else if si := pn & (pcacheSlots - 1); m.ctags[si] == pn+1 {
+					p := m.cptrs[si]
+					if sl.tag == pn+1 {
+						sl.epoch, sl.pg = m.epoch, p
+					}
+					regs[o.rd&31] = uint64(p[a&(pageSize-1)])
+				} else {
+					regs[o.rd&31] = m.Read(a, 1)
+					if p := m.lookup(pn); p != nil {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			}
+			// Second half: the branch or memory instruction at o.pc+1.
+			// The hook (and the warm event) observe it after the first
+			// half executed — exactly the state the per-instruction
+			// reference paths would see.
+			if hook != nil {
+				hook(uint64(o.pc)+1, &code[o.pc+1])
+			}
+			if warm {
+				buf = append(buf, WarmEvent{PC: uint64(o.pc) + 1})
+			}
+			switch o.k2 {
+			case uMovi:
+				regs[o.rd2&31] = uint64(o.imm2)
+			case uMov:
+				regs[o.rd2&31] = regs[o.rs21&31]
+			case uAdd:
+				regs[o.rd2&31] = regs[o.rs21&31] + regs[o.rs22&31]
+			case uSub:
+				regs[o.rd2&31] = regs[o.rs21&31] - regs[o.rs22&31]
+			case uAnd:
+				regs[o.rd2&31] = regs[o.rs21&31] & regs[o.rs22&31]
+			case uOr:
+				regs[o.rd2&31] = regs[o.rs21&31] | regs[o.rs22&31]
+			case uXor:
+				regs[o.rd2&31] = regs[o.rs21&31] ^ regs[o.rs22&31]
+			case uMul:
+				regs[o.rd2&31] = regs[o.rs21&31] * regs[o.rs22&31]
+			case uShl:
+				regs[o.rd2&31] = regs[o.rs21&31] << (regs[o.rs22&31] & 63)
+			case uShr:
+				regs[o.rd2&31] = regs[o.rs21&31] >> (regs[o.rs22&31] & 63)
+			case uSra:
+				regs[o.rd2&31] = uint64(int64(regs[o.rs21&31]) >> (regs[o.rs22&31] & 63))
+			case uAddw:
+				regs[o.rd2&31] = uint64(uint32(regs[o.rs21&31]) + uint32(regs[o.rs22&31]))
+			case uSubw:
+				regs[o.rd2&31] = uint64(uint32(regs[o.rs21&31]) - uint32(regs[o.rs22&31]))
+			case uRolw:
+				regs[o.rd2&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs21&31]), int(regs[o.rs22&31]&31)))
+			case uRorw:
+				regs[o.rd2&31] = uint64(bits.RotateLeft32(uint32(regs[o.rs21&31]), -int(regs[o.rs22&31]&31)))
+			case uAddi:
+				regs[o.rd2&31] = regs[o.rs21&31] + uint64(o.imm2)
+			case uAndi:
+				regs[o.rd2&31] = regs[o.rs21&31] & uint64(o.imm2)
+			case uOri:
+				regs[o.rd2&31] = regs[o.rs21&31] | uint64(o.imm2)
+			case uXori:
+				regs[o.rd2&31] = regs[o.rs21&31] ^ uint64(o.imm2)
+			case uShli:
+				regs[o.rd2&31] = regs[o.rs21&31] << (uint64(o.imm2) & 63)
+			case uShri:
+				regs[o.rd2&31] = regs[o.rs21&31] >> (uint64(o.imm2) & 63)
+			case uSrai:
+				regs[o.rd2&31] = uint64(int64(regs[o.rs21&31]) >> (uint64(o.imm2) & 63))
+			case uSlti:
+				if int64(regs[o.rs21&31]) < o.imm2 {
+					regs[o.rd2&31] = 1
+				} else {
+					regs[o.rd2&31] = 0
+				}
+			case uBeq:
+				if regs[o.rs21&31] == regs[o.rs22&31] {
+					goto bTaken
+				}
+				goto bNotTaken
+			case uBne:
+				if regs[o.rs21&31] != regs[o.rs22&31] {
+					goto bTaken
+				}
+				goto bNotTaken
+			case uBlt:
+				if int64(regs[o.rs21&31]) < int64(regs[o.rs22&31]) {
+					goto bTaken
+				}
+				goto bNotTaken
+			case uBge:
+				if int64(regs[o.rs21&31]) >= int64(regs[o.rs22&31]) {
+					goto bTaken
+				}
+				goto bNotTaken
+			case uBltu:
+				if regs[o.rs21&31] < regs[o.rs22&31] {
+					goto bTaken
+				}
+				goto bNotTaken
+			case uBgeu:
+				if regs[o.rs21&31] >= regs[o.rs22&31] {
+					goto bTaken
+				}
+				goto bNotTaken
+			case uLoad8:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				if warm {
+					ev := &buf[len(buf)-1]
+					ev.Kind = WarmLoad
+					ev.Aux = a
+				}
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd2&31] = binary.LittleEndian.Uint64(sl.pg[off : off+8])
+				} else {
+					regs[o.rd2&31] = m.Read(a, 8)
+					if p := m.lookup(pn); p != nil {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			case uLoad4:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				if warm {
+					ev := &buf[len(buf)-1]
+					ev.Kind = WarmLoad
+					ev.Aux = a
+				}
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd2&31] = uint64(binary.LittleEndian.Uint32(sl.pg[off : off+4]))
+				} else {
+					regs[o.rd2&31] = m.Read(a, 4)
+					if p := m.lookup(pn); p != nil {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			case uLoad1:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				if warm {
+					ev := &buf[len(buf)-1]
+					ev.Kind = WarmLoad
+					ev.Aux = a
+				}
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if sl.tag == pn+1 && sl.epoch == m.epoch {
+					regs[o.rd2&31] = uint64(sl.pg[a&(pageSize-1)])
+				} else {
+					regs[o.rd2&31] = m.Read(a, 1)
+					if p := m.lookup(pn); p != nil {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, p
+					}
+				}
+			case uStore8:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				if warm {
+					ev := &buf[len(buf)-1]
+					ev.Kind = WarmStore
+					ev.Aux = a
+				}
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-8 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					binary.LittleEndian.PutUint64(sl.pg[off:off+8], regs[o.rs22&31])
+				} else {
+					m.Write(a, 8, regs[o.rs22&31])
+					if off <= pageSize-8 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+					}
+				}
+			case uStore4:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				if warm {
+					ev := &buf[len(buf)-1]
+					ev.Kind = WarmStore
+					ev.Aux = a
+				}
+				off := a & (pageSize - 1)
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if off <= pageSize-4 && sl.tag == pn+1 && sl.epoch == m.epoch {
+					binary.LittleEndian.PutUint32(sl.pg[off:off+4], uint32(regs[o.rs22&31]))
+				} else {
+					m.Write(a, 4, regs[o.rs22&31])
+					if off <= pageSize-4 {
+						sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+					}
+				}
+			case uStore1:
+				a := regs[o.rs21&31] + uint64(o.imm2)
+				if warm {
+					ev := &buf[len(buf)-1]
+					ev.Kind = WarmStore
+					ev.Aux = a
+				}
+				pn := a >> pageShift
+				sl := &slots[o.sIdx]
+				if sl.tag == pn+1 && sl.epoch == m.epoch {
+					sl.pg[a&(pageSize-1)] = byte(regs[o.rs22&31])
+				} else {
+					m.Write(a, 1, regs[o.rs22&31])
+					sl.epoch, sl.tag, sl.pg = m.epoch, pn+1, m.ensure(pn)
+				}
+			}
+		}
+		continue
+
+	bNotTaken:
+		// Not-taken branch: execution continues in-block (the superblock
+		// decoded through the fall-through path).
+		if warm {
+			ev := &buf[len(buf)-1]
+			ev.Kind = WarmCondNotTaken
+			ev.Aux = ev.PC + 1
+		}
+		continue
+
+	bTaken:
+		if warm {
+			ev := &buf[len(buf)-1]
+			ev.Kind = WarmCondTaken
+			ev.Aux = o.target
+		}
+		s.PC = o.target
+		s.Retired += uint64(o.cum)
+		done += uint64(o.cum)
+		goto taken
+	}
+
+	// Fell off the end of the block: resume at the next sequential PC.
+	s.PC = b.end
+	s.Retired += b.cost
+	done += b.cost
+	if b.next == nil {
+		if s.PC >= codeLen {
+			err = ErrPCOutOfRange{s.PC}
+			goto out
+		}
+		b.next = e.blockAt(s.PC)
+	}
+	b = b.next
+	goto enter
+
+taken:
+	if o.succ == nil {
+		if s.PC >= codeLen {
+			err = ErrPCOutOfRange{s.PC}
+			goto out
+		}
+		o.succ = e.blockAt(s.PC)
+	}
+	b = o.succ
+	goto enter
+
+tail:
+	// The remaining budget does not cover the next block whole: retire the
+	// leftovers one instruction at a time through Step (identical
+	// semantics by contract), which also splits fused pairs cleanly.
+	for done < maxInstructions && !s.Halted {
+		if s.PC >= codeLen {
+			err = ErrPCOutOfRange{s.PC}
+			goto out
+		}
+		if hook != nil {
+			hook(s.PC, &code[s.PC])
+		}
+		if warm {
+			if len(buf) >= cap(buf) {
+				flush(buf)
+				buf = buf[:0]
+			}
+			buf = append(buf, warmEventFor(s, s.PC, &code[s.PC]))
+		}
+		if err = e.Step(); err != nil {
+			goto out
+		}
+		done++
+	}
+	goto top
+
+out:
+	if warm {
+		if len(buf) > 0 {
+			flush(buf)
+		}
+		e.warmBuf = buf[:0]
+	}
+	return done, err
 }

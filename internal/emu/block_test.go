@@ -272,6 +272,54 @@ func TestInvalidateCodeScope(t *testing.T) {
 	}
 }
 
+// TestInvalidateCodeSecondRange pins the multi-range overlap check: a
+// superblock that inlined a forward JAL spans two disjoint PC ranges, and
+// an invalidation touching only the second range (the jump target's code)
+// must still drop the block — a block keyed only by its entry range would
+// keep executing the stale decode of the patched instruction.
+func TestInvalidateCodeSecondRange(t *testing.T) {
+	p := &isa.Program{Code: []isa.Instruction{
+		{Op: isa.ADDI, Rd: 1, Rs1: 1, Imm: 1},
+		{Op: isa.JAL, Imm: 3}, // forward to pc 4: inlined, opens a second range
+		{Op: isa.HALT},        // skipped, never decoded
+		{Op: isa.HALT},
+		{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 7}, // patch target, second range only
+		{Op: isa.HALT},
+	}}
+	e := New(p)
+	if _, err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if e.State.Regs[2] != 7 {
+		t.Fatalf("pre-patch r2 = %d, want 7", e.State.Regs[2])
+	}
+	b := e.blocks[0]
+	if b == nil || len(b.ranges) < 2 {
+		t.Fatalf("expected a superblock with an inlined jump (>= 2 ranges), got %+v", b)
+	}
+
+	// The gap between the ranges (the skipped pcs 2-3) overlaps nothing.
+	e.InvalidateCode(2, 4)
+	if e.blocks == nil || e.blocks[0] != b {
+		t.Fatal("invalidating the inter-range gap dropped the cache")
+	}
+
+	// pc 4 lives only in the block's second range; the overlap check must
+	// consult it, not just the entry range.
+	e.Prog.Code[4] = isa.Instruction{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 100}
+	e.InvalidateCode(4, 5)
+	if e.blocks != nil {
+		t.Fatal("invalidating the second range of a superblock kept the cache")
+	}
+	resetTo(e)
+	if _, err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if e.State.Regs[2] != 100 {
+		t.Fatalf("post-patch r2 = %d, want 100 (stale second-range decode executed)", e.State.Regs[2])
+	}
+}
+
 // TestRunHookedTraceMatchesStep verifies the hook sees every instruction,
 // in retirement order, with pre-execution state — regardless of how the
 // budget is chunked — by comparing its (pc, op, rs1-value) trace to one

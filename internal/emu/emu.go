@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"spt/internal/isa"
 )
@@ -31,7 +32,20 @@ type Memory struct {
 	// a frozen page clones it first (copy-on-write), so snapshot contents
 	// are immutable. nil until the first snapshot touches this memory.
 	frozen map[uint64]struct{}
+	// epoch is a globally unique generation stamp validating the block
+	// engine's per-µop translation slots (block.go). It advances — to a
+	// fresh value no Memory has ever used — whenever a cached page pointer
+	// could go stale: Invalidate (snapshot, restore) and copy-on-write
+	// clones. A slot whose epoch matches is guaranteed to point at the
+	// live page of this memory.
+	epoch uint64
 }
+
+// memEpochCtr issues globally unique memory epochs. Atomic because
+// parallel sampled windows run emulators on concurrent goroutines.
+var memEpochCtr atomic.Uint64
+
+func newMemEpoch() uint64 { return memEpochCtr.Add(1) }
 
 const (
 	pageShift = 12
@@ -47,7 +61,7 @@ type page [pageSize]byte
 
 // NewMemory returns an empty memory. All bytes read as zero.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*page)}
+	return &Memory{pages: make(map[uint64]*page), epoch: newMemEpoch()}
 }
 
 // lookup returns the page holding page number pn, or nil if it has never
@@ -83,6 +97,9 @@ func (m *Memory) ensure(pn uint64) *page {
 			m.pages[pn] = cp
 			delete(m.frozen, pn)
 			p = cp
+			// The old page pointer is now stale for writes and no longer
+			// the live copy for reads: expire every translation slot.
+			m.epoch = newMemEpoch()
 		}
 	}
 	m.wtags[i] = pn + 1
@@ -105,6 +122,7 @@ func (m *Memory) Invalidate() {
 	m.cptrs = [pcacheSlots]*page{}
 	m.wtags = [pcacheSlots]uint64{}
 	m.wptrs = [pcacheSlots]*page{}
+	m.epoch = newMemEpoch()
 }
 
 // LoadSegments copies a program's initial data image into memory.
@@ -209,11 +227,15 @@ type Emulator struct {
 	Prog  *isa.Program
 	State State
 
-	// blocks caches predecoded basic blocks by entry PC (block.go). It is
-	// a pure decode cache over the immutable code section — no
-	// architectural state — so snapshot/restore never touches it and it
+	// blocks caches predecoded superblocks by entry PC (block.go). It is
+	// a decode cache over the immutable code section — the only
+	// architectural pointers it holds (per-µop translation slots) are
+	// epoch-guarded — so snapshot/restore never touches it and it
 	// survives Restore. SetCode/InvalidateCode drop stale entries.
 	blocks []*block
+
+	// warmBuf is RunWarm's reusable event buffer (warm.go).
+	warmBuf []WarmEvent
 }
 
 // New creates an emulator with the program's data image loaded and the PC
@@ -293,17 +315,17 @@ func (e *Emulator) Step() error {
 // the predecoded basic-block engine. It reports the number of instructions
 // retired by this call.
 func (e *Emulator) Run(maxInstructions uint64) (uint64, error) {
-	return e.run(maxInstructions, nil)
+	return e.runFast(maxInstructions)
 }
 
 // RunHooked is Run with a per-instruction observer: hook is called before
 // each instruction executes, with the instruction's PC and its encoding
 // (a pointer into Prog.Code — do not retain it) while State still holds
-// the pre-execution register file. The checkpoint walker uses it to
-// stream cache/TLB/predictor warming events without paying the Step
-// loop's per-instruction decode.
+// the pre-execution register file. It is the per-instruction reference
+// observation path; the checkpoint walker's fast path batches the same
+// information through RunWarm instead.
 func (e *Emulator) RunHooked(maxInstructions uint64, hook func(pc uint64, ins *isa.Instruction)) (uint64, error) {
-	return e.run(maxInstructions, hook)
+	return e.runObserved(maxInstructions, hook, false, nil)
 }
 
 // BranchTaken evaluates a conditional branch's predicate.

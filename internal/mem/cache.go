@@ -64,6 +64,7 @@ type Cache struct {
 	cfg       CacheConfig
 	sets      int
 	lineShift uint
+	setShift  uint // log2(sets); tags are (addr >> lineShift) >> setShift
 	setMask   uint64
 	lines     []line // sets*ways, row-major by set
 	stamp     uint64
@@ -94,6 +95,9 @@ func NewCache(cfg CacheConfig) *Cache {
 	for s := cfg.LineBytes; s > 1; s >>= 1 {
 		c.lineShift++
 	}
+	for s := sets; s > 1; s >>= 1 {
+		c.setShift++
+	}
 	return c
 }
 
@@ -111,10 +115,40 @@ func (c *Cache) setOf(addr uint64) int {
 }
 
 func (c *Cache) tagOf(addr uint64) uint64 {
-	return (addr >> c.lineShift) / uint64(c.sets)
+	// sets is a power of two (checked in NewCache), so the tag is a shift
+	// — a division here would dominate the tag scan, since the divisor is
+	// only known at run time.
+	return (addr >> c.lineShift) >> c.setShift
 }
 
 func (c *Cache) slot(set, way int) *line { return &c.lines[set*c.cfg.Ways+way] }
+
+// locate returns the set and way holding addr's line, without updating
+// LRU or statistics — the lookup half of Access, used to pin a (set, way)
+// for a repeated-hit fast path (see Hierarchy.AccessInstr).
+func (c *Cache) locate(addr uint64) (set, way int, ok bool) {
+	set = c.setOf(addr)
+	tag := c.tagOf(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := c.slot(set, w)
+		if l.state != Invalid && l.tag == tag {
+			return set, w, true
+		}
+	}
+	return 0, 0, false
+}
+
+// touch replays the bookkeeping half of a read hit on a known (set, way):
+// the stamp advance, the access and hit counters, and the LRU refresh —
+// exactly what Access(addr, false) does when it finds the line, minus the
+// tag scan. The caller is responsible for (set, way) still holding the
+// intended line.
+func (c *Cache) touch(set, way int) {
+	c.stamp++
+	c.stats.Accesses++
+	c.stats.Hits++
+	c.slot(set, way).lru = c.stamp
+}
 
 // Probe reports whether addr's line is present, without updating LRU or
 // statistics. Used by the covert-channel receiver in the penetration tests
@@ -122,10 +156,10 @@ func (c *Cache) slot(set, way int) *line { return &c.lines[set*c.cfg.Ways+way] }
 func (c *Cache) Probe(addr uint64) (MESI, bool) {
 	set := c.setOf(addr)
 	tag := c.tagOf(addr)
-	for w := 0; w < c.cfg.Ways; w++ {
-		l := c.slot(set, w)
-		if l.state != Invalid && l.tag == tag {
-			return l.state, true
+	ls := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+	for w := range ls {
+		if ls[w].state != Invalid && ls[w].tag == tag {
+			return ls[w].state, true
 		}
 	}
 	return Invalid, false
@@ -139,8 +173,9 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	c.stats.Accesses++
 	set := c.setOf(addr)
 	tag := c.tagOf(addr)
-	for w := 0; w < c.cfg.Ways; w++ {
-		l := c.slot(set, w)
+	ls := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+	for w := range ls {
+		l := &ls[w]
 		if l.state != Invalid && l.tag == tag {
 			l.lru = c.stamp
 			if write {

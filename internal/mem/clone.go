@@ -9,6 +9,7 @@ func (c *Cache) Clone() *Cache {
 		cfg:       c.cfg,
 		sets:      c.sets,
 		lineShift: c.lineShift,
+		setShift:  c.setShift,
 		setMask:   c.setMask,
 		lines:     make([]line, len(c.lines)),
 		stamp:     c.stamp,
@@ -22,18 +23,24 @@ func (c *Cache) Clone() *Cache {
 // cache starts a measured region with clean statistics.
 func (c *Cache) ResetStats() { c.stats = CacheStats{} }
 
-// Clone returns a deep copy of the TLB: entries, LRU stamps, and counters.
+// Clone returns a deep copy of the TLB: entries, recency order, and
+// counters.
 func (t *TLB) Clone() *TLB {
 	out := &TLB{
 		entries:   t.entries,
 		pageShift: t.pageShift,
 		walkCost:  t.walkCost,
-		pages:     make(map[uint64]uint64, len(t.pages)),
-		stamp:     t.stamp,
+		idx:       make(map[uint64]int, len(t.idx)),
+		pages:     append([]uint64(nil), t.pages...),
+		prev:      append([]int(nil), t.prev...),
+		next:      append([]int(nil), t.next...),
+		head:      t.head,
+		tail:      t.tail,
+		used:      t.used,
 		Stats:     t.Stats,
 	}
-	for p, s := range t.pages {
-		out.pages[p] = s
+	for p, s := range t.idx {
+		out.idx[p] = s
 	}
 	return out
 }
@@ -45,14 +52,15 @@ func (t *TLB) Clone() *TLB {
 // cycle 0) — and neither are cache hooks (see Cache.Clone).
 func (h *Hierarchy) Clone() *Hierarchy {
 	return &Hierarchy{
-		cfg:   h.cfg,
-		L1I:   h.L1I.Clone(),
-		L1D:   h.L1D.Clone(),
-		L2:    h.L2.Clone(),
-		L3:    h.L3.Clone(),
-		DTLB:  h.DTLB.Clone(),
-		mshr:  make(map[uint64]uint64, h.cfg.MSHRs),
-		Stats: h.Stats,
+		cfg:     h.cfg,
+		L1I:     h.L1I.Clone(),
+		L1D:     h.L1D.Clone(),
+		L2:      h.L2.Clone(),
+		L3:      h.L3.Clone(),
+		DTLB:    h.DTLB.Clone(),
+		mshr:    make([]mshrEntry, 0, h.cfg.MSHRs),
+		mshrMin: ^uint64(0),
+		Stats:   h.Stats,
 	}
 }
 

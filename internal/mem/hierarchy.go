@@ -54,8 +54,28 @@ type Hierarchy struct {
 	L3   *Cache
 	DTLB *TLB
 
-	// mshr maps outstanding miss line addresses to completion cycles.
-	mshr map[uint64]uint64
+	// mshr tracks outstanding misses as (line address, completion cycle)
+	// pairs. A flat array beats a map here: there are at most cfg.MSHRs
+	// (16) entries, every data access expires and searches them, and
+	// mshrMin lets the expiry scan skip entirely while no entry is due —
+	// the common case during functional warming, where the pseudo-clock
+	// advances one tick per instruction.
+	mshr    []mshrEntry
+	mshrMin uint64 // earliest completion cycle in mshr; ^0 when empty
+
+	// Fetch-streak memo: iLine is the line address of the last
+	// instruction fetch plus one (zero = invalid), iSet/iWay its resident
+	// L1I slot. It is established only when both that line and the next
+	// are present after a fetch, which makes the repeated same-line fetch
+	// — the overwhelmingly common case, since superblocks fetch word by
+	// word through 16-instruction lines — a touch plus a latency constant
+	// with no tag scans or prefetch probes. Only AccessInstr and FlushAll
+	// mutate the L1I, so the memo cannot go stale in between; Clone drops
+	// it (struct literal), which only costs the first fetch after a
+	// restore.
+	iLine uint64
+	iSet  int
+	iWay  int
 
 	Stats HierarchyStats
 }
@@ -63,25 +83,52 @@ type Hierarchy struct {
 // NewHierarchy builds the memory system.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	return &Hierarchy{
-		cfg:  cfg,
-		L1I:  NewCache(cfg.L1I),
-		L1D:  NewCache(cfg.L1D),
-		L2:   NewCache(cfg.L2),
-		L3:   NewCache(cfg.L3),
-		DTLB: NewTLB(cfg.TLBEntries, cfg.PageBytes, cfg.PageWalkCycles),
-		mshr: make(map[uint64]uint64, cfg.MSHRs),
+		cfg:     cfg,
+		L1I:     NewCache(cfg.L1I),
+		L1D:     NewCache(cfg.L1D),
+		L2:      NewCache(cfg.L2),
+		L3:      NewCache(cfg.L3),
+		DTLB:    NewTLB(cfg.TLBEntries, cfg.PageBytes, cfg.PageWalkCycles),
+		mshr:    make([]mshrEntry, 0, cfg.MSHRs),
+		mshrMin: ^uint64(0),
 	}
+}
+
+type mshrEntry struct {
+	line  uint64
+	ready uint64
 }
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
 func (h *Hierarchy) expireMSHRs(now uint64) {
-	for lineAddr, ready := range h.mshr {
-		if ready <= now {
-			delete(h.mshr, lineAddr)
+	if now < h.mshrMin {
+		return
+	}
+	min := ^uint64(0)
+	out := h.mshr[:0]
+	for _, e := range h.mshr {
+		if e.ready > now {
+			if e.ready < min {
+				min = e.ready
+			}
+			out = append(out, e)
 		}
 	}
+	h.mshr = out
+	h.mshrMin = min
+}
+
+// mshrLookup returns the completion cycle of an in-flight miss to
+// lineAddr, if any.
+func (h *Hierarchy) mshrLookup(lineAddr uint64) (uint64, bool) {
+	for i := range h.mshr {
+		if h.mshr[i].line == lineAddr {
+			return h.mshr[i].ready, true
+		}
+	}
+	return 0, false
 }
 
 // AccessData performs a data access at cycle now. It returns the cycle the
@@ -100,7 +147,7 @@ func (h *Hierarchy) AccessData(now uint64, addr uint64, write bool) (uint64, boo
 		return start + h.cfg.L1D.LatencyCycles, true
 	}
 	// L1 miss: check for an in-flight miss to the same line.
-	if ready, ok := h.mshr[lineAddr]; ok {
+	if ready, ok := h.mshrLookup(lineAddr); ok {
 		h.Stats.MSHRMerges++
 		done := ready
 		if s := start + h.cfg.L1D.LatencyCycles; s > done {
@@ -137,7 +184,10 @@ func (h *Hierarchy) AccessData(now uint64, addr uint64, write bool) (uint64, boo
 		h.L2.Access(victim, true)
 	}
 	done := start + latency
-	h.mshr[lineAddr] = done
+	h.mshr = append(h.mshr, mshrEntry{line: lineAddr, ready: done})
+	if done < h.mshrMin {
+		h.mshrMin = done
+	}
 	return done, true
 }
 
@@ -151,12 +201,24 @@ func (h *Hierarchy) fillL2(addr uint64, write bool) {
 // AccessInstr performs an instruction fetch at cycle now and returns the
 // completion cycle. Fetch misses do not consume data MSHRs.
 func (h *Hierarchy) AccessInstr(now uint64, addr uint64) uint64 {
+	line := h.L1I.LineAddr(addr)
+	if line+1 == h.iLine {
+		// Same line as the previous fetch and the memo guarantees both it
+		// and the next line are resident: replay the hit bookkeeping and
+		// return. Byte-identical to the slow path below for this case —
+		// the Access would hit, the Probe would find the next line, and
+		// no state beyond the LRU stamp and hit counters would change.
+		h.Stats.InstrAccesses++
+		h.L1I.touch(h.iSet, h.iWay)
+		return now + h.cfg.L1I.LatencyCycles
+	}
+	h.iLine = 0
 	h.Stats.InstrAccesses++
 	latency := h.cfg.L1I.LatencyCycles
 	hit := h.L1I.Access(addr, false)
 	// Next-line prefetch: sequential fetch is the overwhelmingly common
 	// case, so every access pulls the following line in behind it.
-	next := h.L1I.LineAddr(addr) + uint64(h.cfg.L1I.LineBytes)
+	next := line + uint64(h.cfg.L1I.LineBytes)
 	if _, present := h.L1I.Probe(next); !present {
 		h.Stats.InstrPrefetches++
 		if !h.L2.Access(next, false) {
@@ -165,6 +227,7 @@ func (h *Hierarchy) AccessInstr(now uint64, addr uint64) uint64 {
 		h.L1I.Fill(next, Exclusive)
 	}
 	if hit {
+		h.establishStreak(line, next)
 		return now + latency
 	}
 	switch {
@@ -182,7 +245,20 @@ func (h *Hierarchy) AccessInstr(now uint64, addr uint64) uint64 {
 		h.fillL2(addr, false)
 	}
 	h.L1I.Fill(addr, Exclusive)
+	h.establishStreak(line, next)
 	return now + latency
+}
+
+// establishStreak arms the fetch-streak memo for line if both it and the
+// following line ended the access resident (the prefetch fill can evict
+// either in degenerate single-set configurations, so residency is checked
+// rather than assumed).
+func (h *Hierarchy) establishStreak(line, next uint64) {
+	if set, way, ok := h.L1I.locate(line); ok {
+		if _, present := h.L1I.Probe(next); present {
+			h.iLine, h.iSet, h.iWay = line+1, set, way
+		}
+	}
 }
 
 // OutstandingMisses reports the number of busy MSHRs at cycle now.
@@ -194,9 +270,11 @@ func (h *Hierarchy) OutstandingMisses(now uint64) int {
 // FlushAll empties every cache level and the TLB contents are kept (the
 // paper's receiver probes cache residency, not TLB state).
 func (h *Hierarchy) FlushAll() {
+	h.iLine = 0
 	h.L1I.FlushAll()
 	h.L1D.FlushAll()
 	h.L2.FlushAll()
 	h.L3.FlushAll()
-	h.mshr = make(map[uint64]uint64, h.cfg.MSHRs)
+	h.mshr = h.mshr[:0]
+	h.mshrMin = ^uint64(0)
 }

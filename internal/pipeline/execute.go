@@ -292,9 +292,9 @@ func (c *Core) resolveBranchWindow(win []DynInst, pending *int) bool {
 		// out of predictor state, since the policy gate already passed).
 		var misp bool
 		if di.Ins.IsCondBranch() {
-			misp = c.Pred.ResolveCond(di.Cp, di.ActualTaken, di.ActualTarget)
+			misp = c.Pred.ResolveCond(&di.Cp, di.ActualTaken, di.ActualTarget)
 		} else {
-			misp = c.Pred.ResolveJump(di.Cp, di.ActualTarget, di.Ins.Op == isa.JALR)
+			misp = c.Pred.ResolveJump(&di.Cp, di.ActualTarget, di.Ins.Op == isa.JALR)
 		}
 		di.Resolved = true
 		c.cfUnresolved--
@@ -309,7 +309,7 @@ func (c *Core) resolveBranchWindow(win []DynInst, pending *int) bool {
 		c.Stats.BranchResolutions++
 		if misp {
 			c.Stats.BranchMispredicts++
-			c.Pred.Recover(di.Cp, di.ActualTaken)
+			c.Pred.Recover(&di.Cp, di.ActualTaken)
 			c.squashAfter(di.Seq)
 			c.redirect(di.ActualTarget)
 			c.squashedThisCycle = true

@@ -82,16 +82,16 @@ func (c *Core) fetch() {
 		nextPC := pc + 1
 		switch {
 		case ins.IsCondBranch():
-			fe.cp = c.Pred.PredictCond(pc)
+			c.Pred.PredictCond(pc, &fe.cp)
 			fe.hasCp = true
 			nextPC = fe.cp.Target
 		case ins.Op == isa.JAL:
 			target := pc + uint64(ins.Imm)
-			fe.cp = c.Pred.PredictJump(pc, target, true, ins.IsCall(), false)
+			c.Pred.PredictJump(pc, target, true, ins.IsCall(), false, &fe.cp)
 			fe.hasCp = true
 			nextPC = fe.cp.Target
 		case ins.Op == isa.JALR:
-			fe.cp = c.Pred.PredictJump(pc, 0, false, ins.IsCall(), ins.IsReturn())
+			c.Pred.PredictJump(pc, 0, false, ins.IsCall(), ins.IsReturn(), &fe.cp)
 			fe.hasCp = true
 			nextPC = fe.cp.Target
 		case ins.Op == isa.HALT:

@@ -1,0 +1,53 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// foldRef is the original chunked-XOR loop. fold's branch-free cascade
+// must agree with it bit for bit on every geometry the predictor uses —
+// the warming fast path relies on the two being interchangeable.
+func foldRef(h uint64, histLen, outBits int) uint64 {
+	if histLen < 64 {
+		h &= (1 << uint(histLen)) - 1
+	}
+	var f uint64
+	for h != 0 {
+		f ^= h & ((1 << uint(outBits)) - 1)
+		h >>= uint(outBits)
+	}
+	return f
+}
+
+func TestFoldMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	histLens := []int{1, 3, 4, 8, 16, 32, 63, 64, 128}
+	outBits := []int{8, 9, 10, 12, 16}
+	inputs := []uint64{0, 1, ^uint64(0), 0x8000000000000000, 0x5555555555555555}
+	for i := 0; i < 2000; i++ {
+		inputs = append(inputs, rng.Uint64())
+	}
+	for _, hl := range histLens {
+		for _, ob := range outBits {
+			for _, h := range inputs {
+				if got, want := fold(h, hl, ob), foldRef(h, hl, ob); got != want {
+					t.Fatalf("fold(%#x, %d, %d) = %#x, reference %#x", h, hl, ob, got, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFold(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var hs [256]uint64
+	for i := range hs {
+		hs[i] = rng.Uint64()
+	}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= fold(hs[i&255], 128, 10)
+	}
+	_ = sink
+}

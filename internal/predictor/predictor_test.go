@@ -10,14 +10,15 @@ import (
 func trainCond(u *Unit, pc uint64, outcomes []bool) float64 {
 	correct, counted := 0, 0
 	for i, taken := range outcomes {
-		cp := u.PredictCond(pc)
+		var cp Checkpoint
+		u.PredictCond(pc, &cp)
 		target := pc + 10
 		if !taken {
 			target = pc + 1
 		}
-		misp := u.ResolveCond(cp, taken, target)
+		misp := u.ResolveCond(&cp, taken, target)
 		if misp {
-			u.Recover(cp, taken)
+			u.Recover(&cp, taken)
 		}
 		if i >= len(outcomes)/2 {
 			counted++
@@ -186,12 +187,14 @@ func TestIndirectPredictorHistoryDisambiguation(t *testing.T) {
 func TestUnitJumpRASFlow(t *testing.T) {
 	u := NewUnit()
 	// Call at pc 10 to 100: RAS should hold 11.
-	cp := u.PredictJump(10, 100, true, true, false)
+	var cp Checkpoint
+	u.PredictJump(10, 100, true, true, false, &cp)
 	if cp.Target != 100 {
 		t.Fatalf("call target = %d", cp.Target)
 	}
 	// Return: predicted target is the pushed return address.
-	cp2 := u.PredictJump(105, 0, false, false, true)
+	var cp2 Checkpoint
+	u.PredictJump(105, 0, false, false, true, &cp2)
 	if cp2.Target != 11 {
 		t.Fatalf("return target = %d, want 11", cp2.Target)
 	}
@@ -199,13 +202,15 @@ func TestUnitJumpRASFlow(t *testing.T) {
 
 func TestUnitIndirectTrainsAfterMiss(t *testing.T) {
 	u := NewUnit()
-	cp := u.PredictJump(30, 0, false, false, false)
-	misp := u.ResolveJump(cp, 300, true)
+	var cp Checkpoint
+	u.PredictJump(30, 0, false, false, false, &cp)
+	misp := u.ResolveJump(&cp, 300, true)
 	if !misp {
 		t.Fatal("cold indirect should mispredict")
 	}
-	u.Recover(cp, true)
-	cp2 := u.PredictJump(30, 0, false, false, false)
+	u.Recover(&cp, true)
+	var cp2 Checkpoint
+	u.PredictJump(30, 0, false, false, false, &cp2)
 	if cp2.Target != 300 {
 		t.Fatalf("trained indirect target = %d, want 300", cp2.Target)
 	}
@@ -213,10 +218,11 @@ func TestUnitIndirectTrainsAfterMiss(t *testing.T) {
 
 func TestUnitRecoverRestoresHistory(t *testing.T) {
 	u := NewUnit()
-	cp := u.PredictCond(77) // predicted not-taken initially
+	var cp Checkpoint
+	u.PredictCond(77, &cp) // predicted not-taken initially
 	// History speculatively updated; suppose the branch was actually taken.
-	u.ResolveCond(cp, true, 99)
-	u.Recover(cp, true)
+	u.ResolveCond(&cp, true, 99)
+	u.Recover(&cp, true)
 	want := cp.HistBefore.Update(77, true)
 	if u.Hist != want {
 		t.Fatalf("history after recover = %+v, want %+v", u.Hist, want)
@@ -236,10 +242,11 @@ func TestTAGEStress(t *testing.T) {
 	for i := 0; i < 20000; i++ {
 		pc := uint64(rng.Intn(64))
 		taken := rng.Float64() < bias[pc]
-		cp := u.PredictCond(pc)
-		misp := u.ResolveCond(cp, taken, pc+5)
+		var cp Checkpoint
+		u.PredictCond(pc, &cp)
+		misp := u.ResolveCond(&cp, taken, pc+5)
 		if misp {
-			u.Recover(cp, taken)
+			u.Recover(&cp, taken)
 		}
 		if i > 10000 {
 			total++

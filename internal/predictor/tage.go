@@ -85,14 +85,32 @@ func DefaultTAGE() *TAGE {
 	return NewTAGE(4096, 1024, []int{4, 8, 16, 32, 64, 128})
 }
 
+// fold compresses the low histLen bits of h into outBits by XOR-ing
+// successive outBits-wide chunks together. It is the hottest function in
+// functional warming (four calls per tagged table per branch), so the
+// production geometries (outBits >= 8, i.e. at most eight chunks in a
+// 64-bit word) use a branch-free doubling cascade: after h ^= h>>b, bit p
+// holds chunk XORs at stride b; two more doublings cover strides 2b and
+// 4b, so the low b bits end up with the XOR of all ceil(64/b) <= 8
+// chunks. Shifts of 64 or more are well-defined in Go (they yield zero),
+// which makes the later steps harmless no-ops once every chunk is folded
+// in. Narrower outputs keep the reference loop; fold_test.go cross-checks
+// the two forms.
 func fold(h uint64, histLen, outBits int) uint64 {
 	if histLen < 64 {
 		h &= (1 << uint(histLen)) - 1
 	}
+	b := uint(outBits)
+	if b >= 8 {
+		h ^= h >> b
+		h ^= h >> (2 * b)
+		h ^= h >> (4 * b)
+		return h & (1<<b - 1)
+	}
 	var f uint64
 	for h != 0 {
-		f ^= h & ((1 << uint(outBits)) - 1)
-		h >>= uint(outBits)
+		f ^= h & (1<<b - 1)
+		h >>= b
 	}
 	return f
 }
@@ -119,10 +137,13 @@ type Prediction struct {
 	baseIndex uint64
 }
 
-// Predict looks up the direction for the branch at pc under history hist.
-func (t *TAGE) Predict(pc uint64, hist History) Prediction {
+// Predict looks up the direction for the branch at pc under history hist,
+// filling p in place (the struct carries per-table indices and tags for
+// Update, so it is returned through a pointer to avoid copying it twice
+// per branch).
+func (t *TAGE) Predict(pc uint64, hist History, p *Prediction) {
 	t.Stats.Lookups++
-	p := Prediction{provider: -1, baseIndex: pc & t.mask}
+	*p = Prediction{provider: -1, baseIndex: pc & t.mask}
 	p.Taken = t.base[p.baseIndex] >= 0
 	p.altTaken = p.Taken
 	for i, tt := range t.tables {
@@ -138,7 +159,6 @@ func (t *TAGE) Predict(pc uint64, hist History) Prediction {
 	if p.provider >= 0 {
 		t.Stats.ProviderHit++
 	}
-	return p
 }
 
 func (t *TAGE) nextRand() uint32 {
@@ -149,7 +169,7 @@ func (t *TAGE) nextRand() uint32 {
 }
 
 // Update trains the predictor with the branch's resolved direction.
-func (t *TAGE) Update(pc uint64, hist History, p Prediction, taken bool) {
+func (t *TAGE) Update(pc uint64, hist History, p *Prediction, taken bool) {
 	// Train the provider.
 	if p.provider >= 0 {
 		e := &t.tables[p.provider].entries[p.indices[p.provider]]

@@ -51,12 +51,15 @@ type Checkpoint struct {
 }
 
 // PredictCond predicts the conditional branch at pc and speculatively
-// updates history. The returned checkpoint must be passed to Resolve (to
-// train) and, on a misprediction, to Recover.
-func (u *Unit) PredictCond(pc uint64) Checkpoint {
+// updates history, filling cp in place. The checkpoint must be passed to
+// Resolve (to train) and, on a misprediction, to Recover. Checkpoints are
+// filled through a pointer rather than returned: they are ~160 bytes and
+// every retired branch moves one through predict and resolve, so by-value
+// passing made struct copying a measurable slice of functional warming.
+func (u *Unit) PredictCond(pc uint64, cp *Checkpoint) {
 	u.Stats.CondPredicts++
-	cp := Checkpoint{PC: pc, HistBefore: u.Hist, RasSnap: u.Ras.Snapshot()}
-	cp.Pred = u.Tage.Predict(pc, u.Hist)
+	*cp = Checkpoint{PC: pc, HistBefore: u.Hist, RasSnap: u.Ras.Snapshot()}
+	u.Tage.Predict(pc, u.Hist, &cp.Pred)
 	cp.Taken = cp.Pred.Taken
 	if loopTaken, confident := u.Loop.Predict(pc); confident {
 		cp.Taken = loopTaken
@@ -76,14 +79,14 @@ func (u *Unit) PredictCond(pc uint64) Checkpoint {
 		cp.Target = pc + 1
 	}
 	u.Hist = u.Hist.Update(pc, cp.Taken)
-	return cp
 }
 
 // PredictJump predicts an unconditional control transfer (JAL/JALR) at pc.
 // directTarget is the statically-known target for JAL (ok=false for JALR).
-func (u *Unit) PredictJump(pc uint64, directTarget uint64, direct, isCall, isReturn bool) Checkpoint {
+// cp is filled in place (see PredictCond).
+func (u *Unit) PredictJump(pc uint64, directTarget uint64, direct, isCall, isReturn bool, cp *Checkpoint) {
 	u.Stats.JumpPredicts++
-	cp := Checkpoint{PC: pc, HistBefore: u.Hist, RasSnap: u.Ras.Snapshot(), Taken: true}
+	*cp = Checkpoint{PC: pc, HistBefore: u.Hist, RasSnap: u.Ras.Snapshot(), Taken: true}
 	switch {
 	case direct:
 		cp.Target = directTarget
@@ -102,18 +105,17 @@ func (u *Unit) PredictJump(pc uint64, directTarget uint64, direct, isCall, isRet
 		u.Ras.Push(pc + 1)
 	}
 	u.Hist = u.Hist.Update(pc, true)
-	return cp
 }
 
 // ResolveCond trains the structures with a conditional branch's outcome.
 // Mispredicted reports whether the prediction was wrong. Train only when
 // the protection policy permits resolution effects.
-func (u *Unit) ResolveCond(cp Checkpoint, taken bool, target uint64) (mispredicted bool) {
+func (u *Unit) ResolveCond(cp *Checkpoint, taken bool, target uint64) (mispredicted bool) {
 	mispredicted = taken != cp.Taken
 	if mispredicted {
 		u.Stats.CondMispredict++
 	}
-	u.Tage.Update(cp.PC, cp.HistBefore, cp.Pred, taken)
+	u.Tage.Update(cp.PC, cp.HistBefore, &cp.Pred, taken)
 	u.Loop.Update(cp.PC, taken)
 	if taken {
 		u.Btb.Insert(cp.PC, target)
@@ -122,7 +124,7 @@ func (u *Unit) ResolveCond(cp Checkpoint, taken bool, target uint64) (mispredict
 }
 
 // ResolveJump trains the structures with an indirect jump's target.
-func (u *Unit) ResolveJump(cp Checkpoint, target uint64, indirect bool) (mispredicted bool) {
+func (u *Unit) ResolveJump(cp *Checkpoint, target uint64, indirect bool) (mispredicted bool) {
 	mispredicted = target != cp.Target
 	if mispredicted {
 		u.Stats.JumpMispredict++
@@ -137,7 +139,7 @@ func (u *Unit) ResolveJump(cp Checkpoint, target uint64, indirect bool) (mispred
 // Recover repairs the speculative state after squashing from a
 // mispredicted control-flow instruction: history is rebuilt from the
 // checkpoint with the correct outcome, and the RAS is restored.
-func (u *Unit) Recover(cp Checkpoint, actualTaken bool) {
+func (u *Unit) Recover(cp *Checkpoint, actualTaken bool) {
 	u.Hist = cp.HistBefore.Update(cp.PC, actualTaken)
 	u.Ras.Restore(cp.RasSnap)
 }

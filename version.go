@@ -11,4 +11,4 @@ package spt
 //
 // The value is "spt-engine/<n>"; <n> increments with the PR sequence
 // whenever simulated behavior or report schemas change.
-const EngineVersion = "spt-engine/7"
+const EngineVersion = "spt-engine/8"
